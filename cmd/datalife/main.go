@@ -1,0 +1,276 @@
+// Command datalife is the end-to-end DFL tool: it executes one of the five
+// built-in workflows on the monitored simulator substrate, builds the data
+// flow lifecycle graph, runs generalized critical path + caterpillar
+// analysis and Table 1 opportunity detection, and renders the results.
+//
+// Usage:
+//
+//	datalife [-workflow NAME] [-weight volume|latency|branchjoin|fanin]
+//	         [-top N] [-svg FILE] [-html FILE] [-dot FILE] [-json FILE]
+//	         [-csv FILE] [-advise] [-nodes N] [-sankey] [-template]
+//
+// Workflows: genomes, ddmd, belle2, montage, seismic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"datalife/internal/advisor"
+	"datalife/internal/cpa"
+	"datalife/internal/dfl"
+	"datalife/internal/export"
+	"datalife/internal/iotrace"
+	"datalife/internal/patterns"
+	"datalife/internal/report"
+	"datalife/internal/sankey"
+	"datalife/internal/workflows"
+)
+
+// options collects the CLI flags.
+type options struct {
+	workflow, weight                   string
+	top, nodes                         int
+	svg, htmlOut, dot, jsonOut, csvOut string
+	saveState, loadState               string
+	showSankey, asTemplate, advise     bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.workflow, "workflow", "ddmd", "workflow: genomes, ddmd, belle2, montage, seismic, random")
+	flag.StringVar(&o.weight, "weight", "volume", "critical-path weight: volume, latency, branchjoin, fanin")
+	flag.IntVar(&o.top, "top", 10, "rows to show in rankings")
+	flag.IntVar(&o.nodes, "nodes", 4, "nodes assumed by -advise")
+	flag.StringVar(&o.svg, "svg", "", "write a Sankey SVG to this file")
+	flag.StringVar(&o.htmlOut, "html", "", "write a self-contained HTML report to this file")
+	flag.StringVar(&o.dot, "dot", "", "write the DFL graph as Graphviz DOT to this file")
+	flag.StringVar(&o.jsonOut, "json", "", "write the DFL property graph as JSON to this file")
+	flag.StringVar(&o.csvOut, "csv", "", "write the opportunity table as CSV to this file")
+	flag.StringVar(&o.saveState, "save", "", "save the raw measurement database (collector state) to this file")
+	flag.StringVar(&o.loadState, "load", "", "skip execution; analyze a measurement database saved with -save")
+	flag.BoolVar(&o.showSankey, "sankey", true, "print a text Sankey")
+	flag.BoolVar(&o.asTemplate, "template", true, "aggregate task instances into a DFL template for display")
+	flag.BoolVar(&o.advise, "advise", false, "run the placement advisor and print its plan")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintf(os.Stderr, "datalife: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// buildSpec returns a modest-size instance of the named workflow: large
+// enough to show every pattern, small enough to run in seconds.
+func buildSpec(name string) (*workflows.Spec, error) {
+	switch name {
+	case "genomes", "1000genomes":
+		p := workflows.DefaultGenomes()
+		p.Chromosomes, p.IndivPerChr, p.Populations = 3, 6, 3
+		p.ChrBytes, p.ColumnsBytes, p.AnnotationBytes = 96<<20, 64<<20, 32<<20
+		p.IndivCompute, p.MergeCompute, p.SiftCompute, p.ConsumerCompute = 2, 1, 1, 0.5
+		return workflows.Genomes(p), nil
+	case "ddmd", "deepdrivemd":
+		return workflows.DDMD(workflows.DefaultDDMD(), 0), nil
+	case "belle2":
+		p := workflows.DefaultBelle2()
+		p.Tasks, p.DatasetsPerTask, p.PoolDatasets = 48, 6, 24
+		p.DatasetBytes = 128 << 20
+		p.ComputePerDataset = 1
+		return workflows.Belle2(p), nil
+	case "montage":
+		return workflows.Montage(workflows.DefaultMontage()), nil
+	case "seismic":
+		return workflows.Seismic(workflows.DefaultSeismic()), nil
+	case "random":
+		return workflows.Random(workflows.DefaultRandom(1)), nil
+	default:
+		return nil, fmt.Errorf("unknown workflow %q", name)
+	}
+}
+
+func pathFor(g *dfl.Graph, weight string) (cpa.Path, error) {
+	switch weight {
+	case "volume":
+		return cpa.CriticalPath(g, cpa.ByVolume, nil)
+	case "latency":
+		return cpa.CriticalPath(g, cpa.ByLatency, nil)
+	case "branchjoin":
+		return cpa.CriticalPath(g, nil, cpa.ByBranchJoin)
+	case "fanin":
+		return cpa.CriticalPath(g, nil, cpa.ByTaskFanIn)
+	default:
+		return cpa.Path{}, fmt.Errorf("unknown weight %q", weight)
+	}
+}
+
+func run(o options) error {
+	var g *dfl.Graph
+	var makespan float64
+	title := o.workflow
+	if o.loadState != "" {
+		// Analyze-only phase: load a saved measurement database.
+		f, err := os.Open(o.loadState)
+		if err != nil {
+			return err
+		}
+		st, err := iotrace.LoadJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		g = dfl.BuildSaved(st)
+		fmt.Printf("== DataLife: %s (from %s) ==\n", title, o.loadState)
+		fmt.Printf("DFL-DAG: %d vertices, %d edges, %.2f GB total flow\n\n",
+			g.NumVertices(), g.NumEdges(), float64(g.TotalVolume())/(1<<30))
+	} else {
+		spec, err := buildSpec(o.workflow)
+		if err != nil {
+			return err
+		}
+		title = spec.Name
+		fmt.Printf("== DataLife: %s ==\n", spec.Name)
+		fmt.Printf("collecting lifecycle measurements (%d tasks, %d inputs)...\n",
+			len(spec.Workload.Tasks), len(spec.Inputs))
+		col, res, err := workflows.RunCollector(spec, workflows.RunOptions{})
+		if err != nil {
+			return err
+		}
+		if o.saveState != "" {
+			f, err := os.Create(o.saveState)
+			if err != nil {
+				return err
+			}
+			if err := col.SaveJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", o.saveState)
+		}
+		g = dfl.Build(col)
+		makespan = res.Makespan
+		fmt.Printf("execution: makespan %.1fs; DFL-DAG: %d vertices, %d edges, %.2f GB total flow\n\n",
+			makespan, g.NumVertices(), g.NumEdges(), float64(g.TotalVolume())/(1<<30))
+	}
+
+	path, err := pathFor(g, o.weight)
+	if err != nil {
+		return err
+	}
+	cat := cpa.DFLCaterpillar(g, path)
+	br, jn := cpa.GroupedBranchJoin(g, nil)
+	fmt.Printf("critical path (%s): %d vertices, weight %.4g; workflow has %d branches, %d joins\n",
+		o.weight, len(path.Vertices), path.Weight, br, jn)
+	fmt.Printf("DFL caterpillar: %d spine + %d legs + %d extended producers\n\n",
+		len(cat.Spine.Vertices), len(cat.Legs), len(cat.Extended))
+
+	taskKind := dfl.TaskVertex
+	if bns, err := cpa.Bottlenecks(g, cpa.ByVolume, cpa.ByTaskTime, min(o.top, 5), &taskKind); err == nil && len(bns) > 0 {
+		fmt.Println("bottleneck tasks (lowest slack first):")
+		for i, b := range bns {
+			fmt.Printf("%2d. %-40s slack %.4g\n", i+1, b.ID.Name, b.Slack)
+		}
+		fmt.Println()
+	}
+
+	opps := patterns.Analyze(g, cat, patterns.Config{})
+	fmt.Println(patterns.Report("opportunities on the caterpillar (ranked):", opps, o.top))
+	benefits := patterns.EstimateBenefits(g, opps, patterns.DefaultEnvelope())
+	if len(benefits) > 0 {
+		fmt.Println(patterns.BenefitReport(benefits, o.top))
+	}
+	ranking := patterns.RankProducerConsumerByVolume(g)
+	fmt.Println(patterns.Table("producer-consumer relations by volume:", ranking, o.top))
+
+	var plan *advisor.Plan
+	if o.advise {
+		var err error
+		plan, err = advisor.Advise(g, advisor.Config{Nodes: o.nodes})
+		if err != nil {
+			return err
+		}
+		fmt.Println(plan.Report(o.top))
+		fmt.Printf("plan locality score: %.0f%% of flow volume becomes node-local\n\n",
+			100*plan.LocalityScore(g))
+	}
+
+	display := g
+	if o.asTemplate {
+		if tpl := dfl.Template(g, nil); tpl.IsDAG() {
+			display = tpl
+		}
+	}
+	if o.showSankey {
+		// The display path is recomputed on the template so highlighting
+		// matches the rendered graph.
+		dPath, err := pathFor(display, o.weight)
+		if err == nil {
+			txt, err := sankey.Text(display, sankey.Options{
+				Title: "Sankey (" + o.weight + "-weighted):", Critical: dPath})
+			if err != nil {
+				return err
+			}
+			fmt.Println(txt)
+		}
+	}
+
+	dPath, _ := pathFor(display, o.weight)
+	writeOut := func(path string, gen func(f *os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := gen(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		return nil
+	}
+	if err := writeOut(o.svg, func(f *os.File) error {
+		svg, err := sankey.SVG(display, sankey.Options{Title: title, Critical: dPath})
+		if err != nil {
+			return err
+		}
+		_, err = f.WriteString(svg)
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := writeOut(o.htmlOut, func(f *os.File) error {
+		return report.Write(f, report.Input{
+			Title:         title,
+			Graph:         g,
+			Display:       display,
+			Critical:      dPath,
+			Caterpillar:   cat,
+			Opportunities: opps,
+			Ranking:       ranking,
+			Benefits:      benefits,
+			Plan:          plan,
+			MakespanS:     makespan,
+			Limit:         o.top,
+		})
+	}); err != nil {
+		return err
+	}
+	if err := writeOut(o.dot, func(f *os.File) error {
+		_, err := f.WriteString(export.DOT(display, dPath))
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := writeOut(o.jsonOut, func(f *os.File) error {
+		return export.JSON(f, g)
+	}); err != nil {
+		return err
+	}
+	return writeOut(o.csvOut, func(f *os.File) error {
+		return export.OpportunitiesCSV(f, opps)
+	})
+}

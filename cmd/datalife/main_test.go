@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildSpecAllWorkflows(t *testing.T) {
+	for _, name := range []string{"genomes", "1000genomes", "ddmd", "deepdrivemd",
+		"belle2", "montage", "seismic", "random"} {
+		spec, err := buildSpec(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(spec.Workload.Tasks) == 0 {
+			t.Fatalf("%s: empty workload", name)
+		}
+		if err := spec.Workload.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := buildSpec("fortran"); err == nil {
+		t.Fatal("unknown workflow accepted")
+	}
+}
+
+func TestPathForWeights(t *testing.T) {
+	spec, err := buildSpec("ddmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = spec
+	if _, err := pathFor(nil, "gravity"); err == nil {
+		t.Fatal("unknown weight accepted")
+	}
+}
+
+func TestRunEndToEndWithOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI run")
+	}
+	dir := t.TempDir()
+	o := options{
+		workflow:   "ddmd",
+		weight:     "volume",
+		top:        3,
+		nodes:      2,
+		svg:        filepath.Join(dir, "out.svg"),
+		htmlOut:    filepath.Join(dir, "out.html"),
+		dot:        filepath.Join(dir, "out.dot"),
+		jsonOut:    filepath.Join(dir, "out.json"),
+		csvOut:     filepath.Join(dir, "out.csv"),
+		saveState:  filepath.Join(dir, "state.json"),
+		asTemplate: true,
+		advise:     true,
+	}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"out.svg", "out.html", "out.dot", "out.json", "out.csv", "state.json"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil || len(data) == 0 {
+			t.Errorf("output %s missing or empty: %v", f, err)
+		}
+	}
+	// Analyze-only phase from the saved state.
+	o2 := options{
+		loadState: filepath.Join(dir, "state.json"),
+		weight:    "volume",
+		top:       3,
+	}
+	if err := run(o2); err != nil {
+		t.Fatal(err)
+	}
+	// Bad load path errors cleanly.
+	if err := run(options{loadState: filepath.Join(dir, "missing.json"), weight: "volume"}); err == nil {
+		t.Fatal("missing state accepted")
+	}
+	svg, _ := os.ReadFile(filepath.Join(dir, "out.svg"))
+	if !strings.HasPrefix(string(svg), "<svg") {
+		t.Fatal("svg output malformed")
+	}
+}

@@ -1,0 +1,195 @@
+// Command dflrun regenerates the tables and figures of the DataLife paper's
+// evaluation (§6). Each subcommand prints the corresponding report; `all`
+// runs everything in order.
+//
+// Usage:
+//
+//	dflrun [-scale paper|small] [-svg DIR] fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|all
+//
+// With -svg DIR, Sankey diagrams for the five workflows (Fig. 2) and the
+// chr1 caterpillar (Fig. 5) are written as SVG files into DIR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"datalife/internal/dfl"
+	"datalife/internal/experiments"
+	"datalife/internal/patterns"
+	"datalife/internal/sankey"
+	"datalife/internal/workflows"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "paper", "experiment scale: paper or small")
+	svgDir := flag.String("svg", "", "directory to write Sankey SVGs into")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dflrun [-scale paper|small] [-svg DIR] <fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|all>")
+		os.Exit(2)
+	}
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "paper":
+		scale = experiments.Paper
+	case "small":
+		scale = experiments.Small
+	default:
+		fmt.Fprintf(os.Stderr, "dflrun: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	cmd := flag.Arg(0)
+	if err := run(cmd, scale, *svgDir); err != nil {
+		fmt.Fprintf(os.Stderr, "dflrun: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd string, scale experiments.Scale, svgDir string) error {
+	needFig2 := map[string]bool{"fig2": true, "fig4": true, "table1": true, "all": true}
+	var dfls []experiments.WorkflowDFL
+	if needFig2[cmd] {
+		var err error
+		dfls, err = experiments.Fig2(scale)
+		if err != nil {
+			return err
+		}
+	}
+
+	do := func(name string) error {
+		switch name {
+		case "fig2":
+			fmt.Println(experiments.Fig2Report(dfls, true))
+			if svgDir != "" {
+				for _, w := range dfls {
+					g := dfl.Template(w.Graph, nil)
+					if !g.IsDAG() {
+						g = w.Graph
+					}
+					svg, err := sankey.SVG(g, sankey.Options{Title: w.Name})
+					if err != nil {
+						return err
+					}
+					if err := writeFile(svgDir, "fig2-"+w.Name+".svg", svg); err != nil {
+						return err
+					}
+				}
+			}
+		case "fig2f":
+			ranked, err := experiments.Fig2f(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(patterns.Table("Fig. 2f: DDMD producer-consumer relations by volume", ranked, 10))
+		case "fig3":
+			g, p, cat, opps, err := experiments.Fig3()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Fig. 3: worked example — %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+			fmt.Printf("critical path (volume, weight %.0f): %v\n", p.Weight, p.Vertices)
+			fmt.Printf("caterpillar: %d spine + %d legs + %d extended\n",
+				len(cat.Spine.Vertices), len(cat.Legs), len(cat.Extended))
+			fmt.Println(patterns.Report("opportunities:", opps, 10))
+		case "fig4":
+			fmt.Println(experiments.Fig4Report(dfls))
+		case "fig5":
+			g, cat, br, jn, err := experiments.Fig5(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Fig. 5: 1000 Genomes chr1 caterpillar — %d branches, %d joins, %d vertices\n",
+				br, jn, cat.Size())
+			if svgDir != "" {
+				svg, err := sankey.SVG(cat.Subgraph(g), sankey.Options{
+					Title: "1000 Genomes chr1 caterpillar", Critical: cat.Spine})
+				if err != nil {
+					return err
+				}
+				if err := writeFile(svgDir, "fig5-genomes-caterpillar.svg", svg); err != nil {
+					return err
+				}
+			}
+		case "fig6":
+			rows, err := experiments.Fig6(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Fig6Report(rows))
+		case "fig7":
+			rows, err := experiments.Fig7(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Fig7Report(rows))
+		case "fig8":
+			d, err := experiments.Fig8(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Fig8Report(d))
+		case "table1":
+			fmt.Println(experiments.Table1Report(experiments.Table1(dfls), dfls))
+		case "sweep":
+			sizes := []int{4, 8, 12, 16}
+			runs := 3
+			if scale == experiments.Small {
+				sizes, runs = []int{2, 4}, 2
+			}
+			points, err := experiments.SweepDDMD(sizes, runs)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.SweepReport(points))
+		case "whatif":
+			sp := workflows.DefaultSeismic()
+			mp := workflows.DefaultMontage()
+			nodes := []int{1, 2, 4, 8}
+			if scale == experiments.Small {
+				sp.Stations, sp.GroupSize, sp.SignalBytes = 12, 4, 8<<20
+				sp.XcorrCompute, sp.FinalCompute = 1, 0.5
+				mp.Images = 12
+				nodes = []int{1, 2}
+			}
+			seismic, err := experiments.SeismicWhatIf(sp, 4)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.SeismicWhatIfReport(seismic))
+			montage, err := experiments.MontageScaling(mp, nodes)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.MontageScalingReport(montage))
+		default:
+			return fmt.Errorf("unknown subcommand %q", name)
+		}
+		return nil
+	}
+
+	if cmd == "all" {
+		for _, name := range []string{"fig2", "fig2f", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "sweep", "whatif"} {
+			if err := do(name); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	return do(cmd)
+}
+
+func writeFile(dir, name, content string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

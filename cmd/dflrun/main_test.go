@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"datalife/internal/experiments"
+)
+
+func TestRunFastSubcommands(t *testing.T) {
+	for _, cmd := range []string{"fig3", "fig2f", "fig5", "sweep"} {
+		if err := run(cmd, experiments.Small, ""); err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+	}
+	if err := run("fig99", experiments.Small, ""); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+func TestRunWritesSVGs(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("fig5", experiments.Small, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig5-genomes-caterpillar.svg"))
+	if err != nil || len(data) == 0 {
+		t.Fatalf("svg missing: %v", err)
+	}
+}

@@ -1,0 +1,11 @@
+// Package datalife is a from-scratch Go reproduction of "Data Flow
+// Lifecycles for Optimizing Workflow Coordination" (SC '23): constant-space
+// I/O flow measurement, DFL property graphs, generalized critical path and
+// caterpillar-tree analysis, Table 1 opportunity detection, Sankey
+// visualization, and a discrete-event cluster substrate that regenerates the
+// paper's three case studies.
+//
+// The public surface lives under cmd/ (the datalife and dflrun tools) and
+// examples/; the library packages are under internal/. See README.md for a
+// tour and DESIGN.md for the system inventory and per-experiment index.
+package datalife

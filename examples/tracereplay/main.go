@@ -1,0 +1,45 @@
+// Trace-based emulation walkthrough (§6.4, BigFlowSim style): capture the
+// operation trace of a real (fragmented, uncached) Belle II campaign, adjust
+// the trace per Table 3's optimizations, and replay each adjusted trace with
+// compute held constant.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"datalife/internal/emulator"
+	"datalife/internal/workflows"
+)
+
+func main() {
+	p := workflows.DefaultBelle2()
+	p.Tasks, p.DatasetsPerTask, p.PoolDatasets = 48, 8, 24
+	p.DatasetBytes = 256 << 20
+	p.ComputePerDataset = 5
+
+	fmt.Println("== capturing the real execution's trace ==")
+	tr, err := emulator.CaptureTrace(p, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("captured %d events across %d tasks; %.1f GB read\n\n",
+		len(tr.Events), len(tr.Tasks()), float64(tr.ReadBytes())/(1<<30))
+
+	fmt.Println("== adjusting and replaying (Table 3 scenarios) ==")
+	var base float64
+	for _, sc := range emulator.Scenarios() {
+		r, err := emulator.ReplayScenarioTrace(p, tr, sc, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = r.Makespan
+		}
+		fmt.Printf("%-3s regular=%-5v ensemble=%d filter=%d  %8.0fs  %.2fx  network=%.0fs\n",
+			sc.Name, sc.Regular, sc.Ensemble, sc.Filter,
+			r.Makespan, base/r.Makespan, r.NetworkSeconds)
+	}
+	fmt.Println("\ncompute is identical in every replay (conservative emulation);")
+	fmt.Println("all improvement comes from the adjusted data accesses.")
+}

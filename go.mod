@@ -1,0 +1,3 @@
+module datalife
+
+go 1.22

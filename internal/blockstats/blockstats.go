@@ -1,0 +1,442 @@
+// Package blockstats implements the constant-space flow histograms of §3 of
+// the DataLife paper ("Data Flow Lifecycles for Optimizing Workflow
+// Coordination", SC '23).
+//
+// For each task-file pair the collector keeps one FlowStat: a handful of
+// aggregate counters plus a per-block histogram whose size is bounded by a
+// constant, independent of both the number of I/O operations (unlike tracing)
+// and the file size (unlike naive histograms). Two mechanisms establish the
+// bound, exactly as in the paper:
+//
+//  1. Adjustable access resolution: the maximum number of tracked locations
+//     per file is Config.BlocksPerFile. The block size is a ratio of the file
+//     size for reads; for writes, where the final size is unknown, an initial
+//     size comes from historical information or user guidance
+//     (Config.WriteBlockSize) and the histogram re-scales (doubling the block
+//     size and folding bins) whenever a growing file would exceed the bound.
+//  2. Spatial sampling: a deterministic hash rule H(L) mod P < T selects a
+//     fixed fraction r = T/P of block locations. The rule depends only on the
+//     location, never on access order or volume, so every producer and
+//     consumer of a lifecycle samples the same locations — the paper's
+//     correctness requirement for sampling connected flows.
+package blockstats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"datalife/internal/stats"
+)
+
+// OpKind distinguishes the two flow directions of §3: reads are data→task
+// (consumer) flow, writes are task→data (producer) flow.
+type OpKind uint8
+
+const (
+	// Read is consumer flow (data to task).
+	Read OpKind = iota
+	// Write is producer flow (task to data).
+	Write
+)
+
+func (k OpKind) String() string {
+	if k == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Config controls histogram resolution and spatial sampling.
+type Config struct {
+	// BlocksPerFile caps the number of tracked block locations per file
+	// (the paper's "access resolution"). Must be >= 1.
+	BlocksPerFile int
+	// SampleP and SampleT define the sampling rule H(L) mod P < T.
+	// SampleT >= SampleP (or SampleP == 0) disables sampling.
+	SampleP, SampleT uint64
+	// WriteBlockSize is the initial block size (bytes) for files first seen
+	// via writes, standing in for the paper's "historical information or
+	// user guidance". Must be >= 1.
+	WriteBlockSize int64
+}
+
+// DefaultConfig mirrors the paper's guidance: a modest constant number of
+// locations and no sampling (sampling is opt-in for very large file sets).
+func DefaultConfig() Config {
+	return Config{BlocksPerFile: 64, SampleP: 0, SampleT: 0, WriteBlockSize: 1 << 20}
+}
+
+func (c Config) validate() error {
+	if c.BlocksPerFile < 1 {
+		return fmt.Errorf("blockstats: BlocksPerFile must be >= 1, got %d", c.BlocksPerFile)
+	}
+	if c.WriteBlockSize < 1 {
+		return fmt.Errorf("blockstats: WriteBlockSize must be >= 1, got %d", c.WriteBlockSize)
+	}
+	if c.SampleP != 0 && c.SampleT > c.SampleP {
+		return fmt.Errorf("blockstats: SampleT (%d) must be <= SampleP (%d)", c.SampleT, c.SampleP)
+	}
+	return nil
+}
+
+// samplingRate returns r = T/P, or 1 when sampling is disabled.
+func (c Config) samplingRate() float64 {
+	if c.SampleP == 0 || c.SampleT >= c.SampleP {
+		return 1
+	}
+	return float64(c.SampleT) / float64(c.SampleP)
+}
+
+// sampled reports whether location (file, block) is tracked under the rule
+// H(L) mod P < T.
+func (c Config) sampled(file string, block int64) bool {
+	if c.SampleP == 0 || c.SampleT >= c.SampleP {
+		return true
+	}
+	return stats.HashLocation(file, block)%c.SampleP < c.SampleT
+}
+
+// BlockStat holds the bounded per-location statistics (the paper bounds the
+// count at roughly ten).
+type BlockStat struct {
+	Reads, Writes         uint64
+	ReadBytes, WriteBytes uint64
+	FirstAccess           float64 // virtual seconds
+	LastAccess            float64
+}
+
+// FlowStat is the histogram for one task-file pair: one or two flow relations
+// (producer and/or consumer) plus aggregate statistics.
+type FlowStat struct {
+	Task string
+	File string
+
+	cfg       Config
+	blockSize int64
+	fileSize  int64 // highest byte seen (offset+len), proxy for file size
+
+	// Aggregate counters (exact, not sampled).
+	ReadOps, WriteOps     uint64
+	ReadBytes, WriteBytes uint64
+	ReadTime, WriteTime   float64 // total blocking latency, virtual seconds
+	OpenTime, CloseTime   float64 // first open / last close, virtual seconds
+	Opens, Closes         uint64
+
+	// Consecutive access distance statistics (spatial locality, §4.2).
+	haveLast  bool
+	lastLoc   int64
+	DistSum   float64 // sum of |loc_i - loc_{i-1}| in bytes
+	DistN     uint64
+	ZeroDist  uint64 // consecutive accesses at identical location (temporal locality)
+	SmallDist uint64 // consecutive accesses within one block (spatial locality)
+
+	blocks map[int64]*BlockStat
+}
+
+// NewFlowStat creates the histogram for one task-file pair. fileSize may be 0
+// when unknown (e.g. a file about to be produced by writes).
+func NewFlowStat(task, file string, fileSize int64, cfg Config) (*FlowStat, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	fs := &FlowStat{
+		Task:     task,
+		File:     file,
+		cfg:      cfg,
+		fileSize: fileSize,
+		blocks:   make(map[int64]*BlockStat),
+	}
+	fs.blockSize = cfg.initialBlockSize(fileSize)
+	return fs, nil
+}
+
+// initialBlockSize picks the block size: a ratio of file size for files whose
+// size is known (reads), the historical/user-guided size otherwise (writes).
+func (c Config) initialBlockSize(fileSize int64) int64 {
+	if fileSize > 0 {
+		bs := (fileSize + int64(c.BlocksPerFile) - 1) / int64(c.BlocksPerFile)
+		if bs < 1 {
+			bs = 1
+		}
+		return bs
+	}
+	return c.WriteBlockSize
+}
+
+// BlockSize returns the current block size in bytes.
+func (fs *FlowStat) BlockSize() int64 { return fs.blockSize }
+
+// FileSize returns the largest file extent observed.
+func (fs *FlowStat) FileSize() int64 { return fs.fileSize }
+
+// TrackedBlocks returns the number of locations currently in the histogram.
+func (fs *FlowStat) TrackedBlocks() int { return len(fs.blocks) }
+
+// RecordOpen notes an open at virtual time t.
+func (fs *FlowStat) RecordOpen(t float64) {
+	if fs.Opens == 0 || t < fs.OpenTime {
+		fs.OpenTime = t
+	}
+	fs.Opens++
+}
+
+// RecordClose notes a close at virtual time t.
+func (fs *FlowStat) RecordClose(t float64) {
+	if t > fs.CloseTime {
+		fs.CloseTime = t
+	}
+	fs.Closes++
+}
+
+// RecordAccess records one read or write of n bytes at byte offset off,
+// starting at virtual time t and blocking for dt seconds.
+func (fs *FlowStat) RecordAccess(kind OpKind, off, n int64, t, dt float64) {
+	if n <= 0 {
+		return
+	}
+	end := off + n
+	if end > fs.fileSize {
+		fs.fileSize = end
+	}
+	switch kind {
+	case Read:
+		fs.ReadOps++
+		fs.ReadBytes += uint64(n)
+		fs.ReadTime += dt
+	case Write:
+		fs.WriteOps++
+		fs.WriteBytes += uint64(n)
+		fs.WriteTime += dt
+	}
+
+	// Consecutive access distance (seek distance between successive ops).
+	if fs.haveLast {
+		d := off - fs.lastLoc
+		if d < 0 {
+			d = -d
+		}
+		fs.DistSum += float64(d)
+		fs.DistN++
+		if d == 0 {
+			fs.ZeroDist++
+		}
+		if d < fs.blockSize {
+			fs.SmallDist++
+		}
+	}
+	fs.haveLast = true
+	fs.lastLoc = off + n // next sequential access has distance 0
+
+	fs.rescaleIfNeeded()
+
+	// Per-block histogram, subject to spatial sampling.
+	first := off / fs.blockSize
+	last := (end - 1) / fs.blockSize
+	for b := first; b <= last; b++ {
+		if !fs.cfg.sampled(fs.File, b) {
+			continue
+		}
+		bs := fs.blocks[b]
+		if bs == nil {
+			bs = &BlockStat{FirstAccess: t}
+			fs.blocks[b] = bs
+		}
+		lo := b * fs.blockSize
+		hi := lo + fs.blockSize
+		if lo < off {
+			lo = off
+		}
+		if hi > end {
+			hi = end
+		}
+		bytes := uint64(hi - lo)
+		switch kind {
+		case Read:
+			bs.Reads++
+			bs.ReadBytes += bytes
+		case Write:
+			bs.Writes++
+			bs.WriteBytes += bytes
+		}
+		if t < bs.FirstAccess {
+			bs.FirstAccess = t
+		}
+		if t > bs.LastAccess {
+			bs.LastAccess = t
+		}
+	}
+}
+
+// rescaleIfNeeded doubles the block size and folds histogram bins whenever the
+// observed file extent would need more than BlocksPerFile locations. This is
+// the paper's "adjustable access resolution" for growing (written) files.
+func (fs *FlowStat) rescaleIfNeeded() {
+	for fs.fileSize > fs.blockSize*int64(fs.cfg.BlocksPerFile) {
+		fs.blockSize *= 2
+		folded := make(map[int64]*BlockStat, len(fs.blocks))
+		for b, bs := range fs.blocks {
+			nb := b / 2
+			// A folded location survives only if the sampling rule keeps it
+			// at the new resolution, preserving determinism across rescales.
+			if !fs.cfg.sampled(fs.File, nb) {
+				continue
+			}
+			dst := folded[nb]
+			if dst == nil {
+				cp := *bs
+				folded[nb] = &cp
+				continue
+			}
+			dst.Reads += bs.Reads
+			dst.Writes += bs.Writes
+			dst.ReadBytes += bs.ReadBytes
+			dst.WriteBytes += bs.WriteBytes
+			if bs.FirstAccess < dst.FirstAccess {
+				dst.FirstAccess = bs.FirstAccess
+			}
+			if bs.LastAccess > dst.LastAccess {
+				dst.LastAccess = bs.LastAccess
+			}
+		}
+		fs.blocks = folded
+	}
+}
+
+// Volume returns total (non-unique) bytes moved in the given direction.
+func (fs *FlowStat) Volume(kind OpKind) uint64 {
+	if kind == Read {
+		return fs.ReadBytes
+	}
+	return fs.WriteBytes
+}
+
+// TotalVolume returns read+write bytes.
+func (fs *FlowStat) TotalVolume() uint64 { return fs.ReadBytes + fs.WriteBytes }
+
+// Footprint estimates the unique bytes touched in the given direction from
+// the sampled per-block histogram, scaled by 1/r and capped at the file size.
+func (fs *FlowStat) Footprint(kind OpKind) uint64 {
+	var blocks int64
+	for _, bs := range fs.blocks {
+		if (kind == Read && bs.Reads > 0) || (kind == Write && bs.Writes > 0) {
+			blocks++
+		}
+	}
+	r := fs.cfg.samplingRate()
+	est := int64(math.Round(float64(blocks) / r * float64(fs.blockSize)))
+	if fs.fileSize > 0 && est > fs.fileSize {
+		est = fs.fileSize
+	}
+	return uint64(est)
+}
+
+// TotalFootprint estimates unique bytes touched by either direction.
+func (fs *FlowStat) TotalFootprint() uint64 {
+	var blocks int64
+	for _, bs := range fs.blocks {
+		if bs.Reads > 0 || bs.Writes > 0 {
+			blocks++
+		}
+	}
+	r := fs.cfg.samplingRate()
+	est := int64(math.Round(float64(blocks) / r * float64(fs.blockSize)))
+	if fs.fileSize > 0 && est > fs.fileSize {
+		est = fs.fileSize
+	}
+	return uint64(est)
+}
+
+// ReuseFactor is volume/footprint in the given direction; 1.0 means every
+// byte touched once, >1 indicates reuse (§4.2 "reuse and subsets").
+func (fs *FlowStat) ReuseFactor(kind OpKind) float64 {
+	fp := fs.Footprint(kind)
+	if fp == 0 {
+		return 0
+	}
+	return float64(fs.Volume(kind)) / float64(fp)
+}
+
+// MeanDistance is the mean consecutive access ("seek") distance in bytes.
+func (fs *FlowStat) MeanDistance() float64 {
+	if fs.DistN == 0 {
+		return 0
+	}
+	return fs.DistSum / float64(fs.DistN)
+}
+
+// ZeroDistanceFraction is the fraction of consecutive accesses with distance
+// zero — pure sequential/temporal locality.
+func (fs *FlowStat) ZeroDistanceFraction() float64 {
+	if fs.DistN == 0 {
+		return 0
+	}
+	return float64(fs.ZeroDist) / float64(fs.DistN)
+}
+
+// SmallDistanceFraction is the fraction of consecutive accesses within one
+// block — the paper's spatial-locality indicator (distance < block size).
+func (fs *FlowStat) SmallDistanceFraction() float64 {
+	if fs.DistN == 0 {
+		return 0
+	}
+	return float64(fs.SmallDist) / float64(fs.DistN)
+}
+
+// FileLifetime is the open-to-close lifetime in virtual seconds.
+func (fs *FlowStat) FileLifetime() float64 {
+	if fs.Opens == 0 {
+		return 0
+	}
+	lt := fs.CloseTime - fs.OpenTime
+	if lt < 0 {
+		return 0
+	}
+	return lt
+}
+
+// HotBlocks returns up to n block indices ordered by descending access count,
+// ties broken by index — the candidates for caching (§5.2).
+func (fs *FlowStat) HotBlocks(n int) []int64 {
+	type bc struct {
+		b int64
+		c uint64
+	}
+	all := make([]bc, 0, len(fs.blocks))
+	for b, bs := range fs.blocks {
+		all = append(all, bc{b, uint64(bs.Reads) + uint64(bs.Writes)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].b < all[j].b
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].b
+	}
+	return out
+}
+
+// Block returns the statistics for block b, or nil if untracked.
+func (fs *FlowStat) Block(b int64) *BlockStat { return fs.blocks[b] }
+
+// Blocks returns tracked block indices in ascending order.
+func (fs *FlowStat) Blocks() []int64 {
+	out := make([]int64, 0, len(fs.blocks))
+	for b := range fs.blocks {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (fs *FlowStat) String() string {
+	return fmt.Sprintf("flow{%s<->%s rd=%dB/%dops wr=%dB/%dops fp=%dB blocks=%d}",
+		fs.Task, fs.File, fs.ReadBytes, fs.ReadOps, fs.WriteBytes, fs.WriteOps,
+		fs.TotalFootprint(), len(fs.blocks))
+}

@@ -1,0 +1,418 @@
+// Package cache implements a TAZeR-style multi-level distributed read cache
+// (Suetterlein et al., reproduced here for the Belle II case study, §6.4 and
+// Table 4 of the DataLife paper): task-private DRAM, node-wide DRAM,
+// node-wide SSD, and a cluster-wide filesystem level, in front of a remote
+// origin (the WAN data server).
+//
+// The cache implements sim.ReadPlanner: every read is split block-wise across
+// the first level holding each block, misses fall through to the origin tier,
+// and fetched blocks are promoted into all levels with LRU eviction. Each
+// level's service cost is modelled by a vfs.Tier, so cache hits contend for
+// realistic device bandwidth in the simulator.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+
+	"datalife/internal/sim"
+	"datalife/internal/vfs"
+)
+
+// Scope determines how a level's state is shared.
+type Scope uint8
+
+const (
+	// TaskPrivate keeps separate contents per task.
+	TaskPrivate Scope = iota
+	// NodeWide shares contents among tasks on one node.
+	NodeWide
+	// ClusterWide shares contents across all nodes.
+	ClusterWide
+)
+
+func (s Scope) String() string {
+	switch s {
+	case TaskPrivate:
+		return "task-private"
+	case NodeWide:
+		return "node-wide"
+	default:
+		return "cluster-wide"
+	}
+}
+
+// LevelSpec describes one cache level.
+type LevelSpec struct {
+	Name     string
+	Scope    Scope
+	Capacity int64 // bytes per instance
+	// Device performance. For node-scoped levels a tier is cloned per node
+	// so bandwidth contention stays node-local.
+	LatencyS        float64
+	ReadBW, WriteBW float64
+}
+
+// TAZeRLevels returns the paper's Table 4 configuration.
+func TAZeRLevels() []LevelSpec {
+	return []LevelSpec{
+		{Name: "L1", Scope: TaskPrivate, Capacity: 64 << 20, LatencyS: 2e-7, ReadBW: 12e9, WriteBW: 12e9},
+		{Name: "L2", Scope: NodeWide, Capacity: 16 << 30, LatencyS: 5e-7, ReadBW: 10e9, WriteBW: 10e9},
+		{Name: "L3", Scope: NodeWide, Capacity: 200 << 30, LatencyS: 1e-4, ReadBW: 3e9, WriteBW: 2e9},
+		{Name: "L4", Scope: ClusterWide, Capacity: 512 << 30, LatencyS: 1e-3, ReadBW: 2e9, WriteBW: 1.5e9},
+	}
+}
+
+type blockKey struct {
+	path  string
+	block int64
+}
+
+// instance is one level's state for one scope key (task, node, or cluster).
+type instance struct {
+	cap   int64
+	used  int64
+	lru   *list.List // front = most recent; values are blockKey
+	index map[blockKey]*list.Element
+}
+
+func newInstance(capacity int64) *instance {
+	return &instance{cap: capacity, lru: list.New(), index: make(map[blockKey]*list.Element)}
+}
+
+func (in *instance) has(k blockKey) bool {
+	el, ok := in.index[k]
+	if ok {
+		in.lru.MoveToFront(el)
+	}
+	return ok
+}
+
+func (in *instance) insert(k blockKey, size int64) {
+	if el, ok := in.index[k]; ok {
+		in.lru.MoveToFront(el)
+		return
+	}
+	if size > in.cap {
+		return // block larger than the level; skip
+	}
+	for in.used+size > in.cap && in.lru.Len() > 0 {
+		back := in.lru.Back()
+		bk := back.Value.(blockKey)
+		in.lru.Remove(back)
+		delete(in.index, bk)
+		in.used -= size // uniform block size: safe to subtract one block
+	}
+	in.index[k] = in.lru.PushFront(k)
+	in.used += size
+}
+
+// level binds a spec to its per-scope instances and per-node tiers.
+type level struct {
+	spec      LevelSpec
+	instances map[string]*instance
+	tiers     map[string]*vfs.Tier // key: node (or "" for cluster scope)
+}
+
+// LevelStats reports one level's accounting.
+type LevelStats struct {
+	Name      string
+	Hits      uint64
+	HitBytes  uint64
+	Evictions uint64
+}
+
+// Cache is the multi-level read cache.
+type Cache struct {
+	mu        sync.Mutex
+	levels    []*level
+	blockSize int64
+	hits      map[string]*LevelStats
+	origin    LevelStats // fall-through accounting
+	// readahead is the number of blocks prefetched past a sequential read
+	// (Table 1's "block prefetching" remediation); 0 disables.
+	readahead int
+	// seqEnd tracks each stream's last read end for sequentiality detection.
+	seqEnd map[string]int64
+	// pfEnd tracks each stream's prefetch frontier (exclusive block index),
+	// so refills batch instead of trickling one block per read.
+	pfEnd map[string]int64
+	// PrefetchedBytes counts bytes fetched ahead of demand.
+	prefetchedBytes uint64
+}
+
+// New builds a cache with the given levels and block size.
+func New(levels []LevelSpec, blockSize int64) (*Cache, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("cache: block size must be positive, got %d", blockSize)
+	}
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("cache: need at least one level")
+	}
+	c := &Cache{blockSize: blockSize, hits: make(map[string]*LevelStats),
+		seqEnd: make(map[string]int64), pfEnd: make(map[string]int64)}
+	for _, spec := range levels {
+		if spec.Capacity < blockSize {
+			return nil, fmt.Errorf("cache: level %s capacity %d below block size %d",
+				spec.Name, spec.Capacity, blockSize)
+		}
+		c.levels = append(c.levels, &level{
+			spec:      spec,
+			instances: make(map[string]*instance),
+			tiers:     make(map[string]*vfs.Tier),
+		})
+		c.hits[spec.Name] = &LevelStats{Name: spec.Name}
+	}
+	return c, nil
+}
+
+// NewTAZeR builds the Table 4 cache with a 1 MiB block size.
+func NewTAZeR() *Cache {
+	c, err := New(TAZeRLevels(), 1<<20)
+	if err != nil {
+		panic(err) // static config is valid by construction
+	}
+	return c
+}
+
+// BlockSize returns the cache block size.
+func (c *Cache) BlockSize() int64 { return c.blockSize }
+
+// SetReadahead enables block prefetching: when a stream reads sequentially,
+// the next `blocks` blocks are fetched ahead of demand. Zero disables.
+func (c *Cache) SetReadahead(blocks int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if blocks < 0 {
+		blocks = 0
+	}
+	c.readahead = blocks
+}
+
+// PrefetchedBytes reports bytes fetched ahead of demand so far.
+func (c *Cache) PrefetchedBytes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.prefetchedBytes
+}
+
+// scopeKey returns the instance key for a level given the caller identity.
+func (lv *level) scopeKey(task, node string) string {
+	switch lv.spec.Scope {
+	case TaskPrivate:
+		return task
+	case NodeWide:
+		return node
+	default:
+		return ""
+	}
+}
+
+// tierFor returns (creating on demand) the device tier used to charge time
+// for hits in this level from the given node. Node-scoped and task-scoped
+// levels get one tier per node; cluster scope gets a single shared tier.
+func (lv *level) tierFor(node string) *vfs.Tier {
+	key := node
+	if lv.spec.Scope == ClusterWide {
+		key = ""
+	}
+	t, ok := lv.tiers[key]
+	if !ok {
+		name := "tazer-" + lv.spec.Name
+		if key != "" {
+			name += "@" + key
+		}
+		t = &vfs.Tier{
+			Name:     name,
+			Kind:     vfs.Ramdisk,
+			Node:     key,
+			Shared:   lv.spec.Scope == ClusterWide,
+			LatencyS: lv.spec.LatencyS,
+			ReadBW:   lv.spec.ReadBW,
+			WriteBW:  lv.spec.WriteBW,
+		}
+		lv.tiers[key] = t
+	}
+	return t
+}
+
+// PlanRead implements sim.ReadPlanner: each block of the requested range is
+// served by the first level that holds it, otherwise by the origin tier, and
+// is then promoted into every level. Adjacent blocks served by the same tier
+// coalesce into a single part.
+func (c *Cache) PlanRead(task, node, path string, home *vfs.Tier, off, n int64) []sim.ReadPart {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 {
+		return nil
+	}
+	var parts []sim.ReadPart
+	appendPart := func(tier *vfs.Tier, bytes int64) {
+		// Coalesce adjacent demand parts on the same tier; never fold into a
+		// batched (prefetch) part, whose request accounting differs.
+		if last := len(parts) - 1; last >= 0 && parts[last].Tier == tier && parts[last].Requests == 0 {
+			parts[last].Bytes += bytes
+			return
+		}
+		parts = append(parts, sim.ReadPart{Tier: tier, Bytes: bytes})
+	}
+	first := off / c.blockSize
+	last := (off + n - 1) / c.blockSize
+
+	// Block prefetching: on a sequential continuation, keep a readahead
+	// window ahead of the stream, refilling in batches once the window is
+	// half drained (one round trip per refill, like OS readahead). A stream
+	// qualifies only once it has history — a first read never prefetches.
+	if c.readahead > 0 {
+		key := task + "\x00" + path
+		if prev, seen := c.seqEnd[key]; seen && prev == off {
+			frontier := c.pfEnd[key]
+			if frontier < last+1 {
+				frontier = last + 1
+			}
+			if frontier-(last+1) < int64(c.readahead)/2 {
+				target := last + int64(c.readahead)
+				pf := int64(0)
+				for b := frontier; b <= target; b++ {
+					k := blockKey{path, b}
+					resident := false
+					for _, lv := range c.levels {
+						if lv.instance(lv.scopeKey(task, node)).has(k) {
+							resident = true
+							break
+						}
+					}
+					if !resident {
+						pf += c.blockSize
+					}
+					for _, lv := range c.levels {
+						lv.instance(lv.scopeKey(task, node)).insert(k, c.blockSize)
+					}
+				}
+				if pf > 0 {
+					// One batched request: the round trip is paid once.
+					parts = append(parts, sim.ReadPart{Tier: home, Bytes: pf, Requests: 1})
+					c.prefetchedBytes += uint64(pf)
+				}
+				c.pfEnd[key] = target + 1
+			}
+		} else {
+			delete(c.pfEnd, key) // stream broke; restart the window
+		}
+		c.seqEnd[key] = off + n
+	}
+	remaining := n
+	for b := first; b <= last; b++ {
+		lo := b * c.blockSize
+		hi := lo + c.blockSize
+		if lo < off {
+			lo = off
+		}
+		if hi > off+n {
+			hi = off + n
+		}
+		bytes := hi - lo
+		if bytes > remaining {
+			bytes = remaining
+		}
+		remaining -= bytes
+
+		k := blockKey{path, b}
+		served := false
+		for _, lv := range c.levels {
+			in := lv.instance(lv.scopeKey(task, node))
+			if in.has(k) {
+				st := c.hits[lv.spec.Name]
+				st.Hits++
+				st.HitBytes += uint64(bytes)
+				appendPart(lv.tierFor(node), bytes)
+				served = true
+				break
+			}
+		}
+		if !served {
+			c.origin.Hits++
+			c.origin.HitBytes += uint64(bytes)
+			appendPart(home, bytes)
+		}
+		// Promote into all levels.
+		for _, lv := range c.levels {
+			lv.instance(lv.scopeKey(task, node)).insert(k, c.blockSize)
+		}
+	}
+	return parts
+}
+
+func (lv *level) instance(key string) *instance {
+	in, ok := lv.instances[key]
+	if !ok {
+		in = newInstance(lv.spec.Capacity)
+		lv.instances[key] = in
+	}
+	return in
+}
+
+// Invalidate drops every cached block of path from all levels (needed when a
+// producer overwrites a file).
+func (c *Cache) Invalidate(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, lv := range c.levels {
+		for _, in := range lv.instances {
+			for k, el := range in.index {
+				if k.path == path {
+					in.lru.Remove(el)
+					delete(in.index, k)
+					in.used -= c.blockSize
+				}
+			}
+		}
+	}
+}
+
+// Stats returns per-level hit accounting plus an "origin" pseudo-level for
+// fall-through reads, in level order.
+func (c *Cache) Stats() []LevelStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]LevelStats, 0, len(c.levels)+1)
+	for _, lv := range c.levels {
+		out = append(out, *c.hits[lv.spec.Name])
+	}
+	o := c.origin
+	o.Name = "origin"
+	out = append(out, o)
+	return out
+}
+
+// HitRate returns the byte hit rate across all cache levels.
+func (c *Cache) HitRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var hit, total uint64
+	for _, st := range c.hits {
+		hit += st.HitBytes
+		total += st.HitBytes
+	}
+	total += c.origin.HitBytes
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
+
+// String summarizes the cache state.
+func (c *Cache) String() string {
+	sts := c.Stats()
+	sort.Slice(sts, func(i, j int) bool { return sts[i].Name < sts[j].Name })
+	s := "cache{"
+	for i, st := range sts {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%dB", st.Name, st.HitBytes)
+	}
+	return s + "}"
+}

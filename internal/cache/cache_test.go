@@ -1,0 +1,370 @@
+package cache
+
+import (
+	"testing"
+
+	"datalife/internal/sim"
+	"datalife/internal/vfs"
+)
+
+func testCache(t *testing.T, l1, l2 int64) *Cache {
+	t.Helper()
+	c, err := New([]LevelSpec{
+		{Name: "L1", Scope: TaskPrivate, Capacity: l1, LatencyS: 1e-7, ReadBW: 10e9, WriteBW: 10e9},
+		{Name: "L2", Scope: NodeWide, Capacity: l2, LatencyS: 1e-6, ReadBW: 5e9, WriteBW: 5e9},
+	}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func origin() *vfs.Tier { return vfs.NewWAN("wan", 125e6) }
+
+func sum(parts []sim.ReadPart) int64 {
+	var s int64
+	for _, p := range parts {
+		s += p.Bytes
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 100); err == nil {
+		t.Fatal("no levels accepted")
+	}
+	if _, err := New(TAZeRLevels(), 0); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+	if _, err := New([]LevelSpec{{Name: "x", Capacity: 10}}, 100); err == nil {
+		t.Fatal("capacity below block size accepted")
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := testCache(t, 1000, 10000)
+	o := origin()
+	p1 := c.PlanRead("t1", "n1", "f", o, 0, 500)
+	if sum(p1) != 500 {
+		t.Fatalf("bytes = %d", sum(p1))
+	}
+	if len(p1) != 1 || p1[0].Tier != o {
+		t.Fatalf("cold read should come from origin: %+v", p1)
+	}
+	p2 := c.PlanRead("t1", "n1", "f", o, 0, 500)
+	if len(p2) != 1 || p2[0].Tier == o {
+		t.Fatalf("warm read should hit cache: %+v", p2)
+	}
+	if p2[0].Tier.Name != "tazer-L1@n1" {
+		t.Fatalf("warm read tier = %s, want L1", p2[0].Tier.Name)
+	}
+}
+
+func TestNodeWideSharing(t *testing.T) {
+	c := testCache(t, 1000, 10000)
+	o := origin()
+	c.PlanRead("t1", "n1", "f", o, 0, 500)
+	// Different task, same node: L1 (private) misses, L2 (node) hits.
+	p := c.PlanRead("t2", "n1", "f", o, 0, 500)
+	if len(p) != 1 || p[0].Tier.Name != "tazer-L2@n1" {
+		t.Fatalf("expected L2 hit, got %+v", p)
+	}
+	// Different node: full miss.
+	p = c.PlanRead("t3", "n2", "f", o, 0, 500)
+	if len(p) != 1 || p[0].Tier != o {
+		t.Fatalf("expected origin on other node, got %+v", p)
+	}
+}
+
+func TestClusterWideSharing(t *testing.T) {
+	c, err := New([]LevelSpec{
+		{Name: "L4", Scope: ClusterWide, Capacity: 1 << 20, LatencyS: 1e-3, ReadBW: 2e9, WriteBW: 1e9},
+	}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := origin()
+	c.PlanRead("t1", "n1", "f", o, 0, 300)
+	p := c.PlanRead("t9", "n7", "f", o, 0, 300)
+	if len(p) != 1 || p[0].Tier.Name != "tazer-L4" {
+		t.Fatalf("cluster level should hit across nodes: %+v", p)
+	}
+	if !p[0].Tier.Shared {
+		t.Fatal("cluster tier must be shared")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// L1 holds 3 blocks of 100.
+	c := testCache(t, 300, 300)
+	o := origin()
+	c.PlanRead("t", "n", "f", o, 0, 300)   // blocks 0,1,2 cached
+	c.PlanRead("t", "n", "f", o, 300, 100) // block 3 evicts block 0
+	p := c.PlanRead("t", "n", "f", o, 0, 100)
+	if p[0].Tier != o {
+		t.Fatalf("block 0 should have been evicted: %+v", p)
+	}
+	// Block 3 must still be resident.
+	p = c.PlanRead("t", "n", "f", o, 300, 100)
+	if p[0].Tier == o {
+		t.Fatalf("block 3 evicted unexpectedly: %+v", p)
+	}
+}
+
+func TestLRUTouchOnHit(t *testing.T) {
+	c := testCache(t, 200, 200) // 2 blocks
+	o := origin()
+	c.PlanRead("t", "n", "f", o, 0, 100)   // block 0
+	c.PlanRead("t", "n", "f", o, 100, 100) // block 1
+	c.PlanRead("t", "n", "f", o, 0, 100)   // touch block 0 (now MRU)
+	c.PlanRead("t", "n", "f", o, 200, 100) // block 2 evicts block 1
+	if p := c.PlanRead("t", "n", "f", o, 0, 100); p[0].Tier == o {
+		t.Fatal("block 0 evicted despite recent touch")
+	}
+	if p := c.PlanRead("t", "n", "f", o, 100, 100); p[0].Tier != o {
+		t.Fatal("block 1 should have been evicted")
+	}
+}
+
+func TestPartCoalescing(t *testing.T) {
+	c := testCache(t, 10000, 10000)
+	o := origin()
+	// 10 cold blocks must coalesce into one origin part.
+	p := c.PlanRead("t", "n", "f", o, 0, 1000)
+	if len(p) != 1 || p[0].Bytes != 1000 {
+		t.Fatalf("cold parts = %+v", p)
+	}
+	// Warm the middle only; re-read splits into origin/L1/origin? No:
+	// everything was promoted, so full hit in one part.
+	p = c.PlanRead("t", "n", "f", o, 0, 1000)
+	if len(p) != 1 || p[0].Tier == o {
+		t.Fatalf("warm parts = %+v", p)
+	}
+}
+
+func TestPartialWarmSplit(t *testing.T) {
+	// L1 holds one block (promotions of blocks 0 and 1 will push block 2
+	// out of L1) but L2 holds ten, so block 2 stays warm in L2.
+	c := testCache(t, 100, 1000)
+	o := origin()
+	c.PlanRead("t", "n", "f", o, 200, 100) // cache block 2 only
+	p := c.PlanRead("t", "n", "f", o, 0, 300)
+	// blocks 0,1 cold; block 2 warm in L2 → origin(200) then L2(100).
+	if len(p) != 2 {
+		t.Fatalf("parts = %+v", p)
+	}
+	if p[0].Tier != o || p[0].Bytes != 200 {
+		t.Fatalf("first part = %+v", p[0])
+	}
+	if p[1].Tier.Name != "tazer-L2@n" || p[1].Bytes != 100 {
+		t.Fatalf("second part = %+v (%s)", p[1], p[1].Tier.Name)
+	}
+}
+
+func TestUnalignedRead(t *testing.T) {
+	c := testCache(t, 10000, 10000)
+	o := origin()
+	p := c.PlanRead("t", "n", "f", o, 150, 125)
+	if sum(p) != 125 {
+		t.Fatalf("bytes = %d, want 125", sum(p))
+	}
+}
+
+func TestZeroRead(t *testing.T) {
+	c := testCache(t, 1000, 1000)
+	if p := c.PlanRead("t", "n", "f", origin(), 0, 0); p != nil {
+		t.Fatalf("zero read returned parts: %+v", p)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := testCache(t, 1000, 1000)
+	o := origin()
+	c.PlanRead("t", "n", "f", o, 0, 500)
+	c.PlanRead("t", "n", "g", o, 0, 500)
+	c.Invalidate("f")
+	if p := c.PlanRead("t", "n", "f", o, 0, 100); p[0].Tier != o {
+		t.Fatal("invalidated file still cached")
+	}
+	if p := c.PlanRead("t", "n", "g", o, 0, 100); p[0].Tier == o {
+		t.Fatal("unrelated file was invalidated")
+	}
+}
+
+func TestStatsAndHitRate(t *testing.T) {
+	c := testCache(t, 1000, 1000)
+	o := origin()
+	c.PlanRead("t", "n", "f", o, 0, 500) // 500 origin
+	c.PlanRead("t", "n", "f", o, 0, 500) // 500 L1
+	sts := c.Stats()
+	if len(sts) != 3 { // L1, L2, origin
+		t.Fatalf("stats = %+v", sts)
+	}
+	var l1, orig uint64
+	for _, st := range sts {
+		switch st.Name {
+		case "L1":
+			l1 = st.HitBytes
+		case "origin":
+			orig = st.HitBytes
+		}
+	}
+	if l1 != 500 || orig != 500 {
+		t.Fatalf("l1=%d origin=%d", l1, orig)
+	}
+	if hr := c.HitRate(); hr != 0.5 {
+		t.Fatalf("HitRate = %v", hr)
+	}
+	if c.String() == "" {
+		t.Fatal("empty String")
+	}
+	empty := testCache(t, 1000, 1000)
+	if empty.HitRate() != 0 {
+		t.Fatal("empty hit rate")
+	}
+}
+
+func TestTAZeRPreset(t *testing.T) {
+	c := NewTAZeR()
+	if c.BlockSize() != 1<<20 {
+		t.Fatalf("block size = %d", c.BlockSize())
+	}
+	levels := TAZeRLevels()
+	if len(levels) != 4 || levels[0].Name != "L1" || levels[3].Scope != ClusterWide {
+		t.Fatalf("levels = %+v", levels)
+	}
+	if levels[0].Capacity != 64<<20 || levels[1].Capacity != 16<<30 ||
+		levels[2].Capacity != 200<<30 || levels[3].Capacity != 512<<30 {
+		t.Fatal("Table 4 capacities wrong")
+	}
+}
+
+func TestCacheWithSimEngine(t *testing.T) {
+	// End-to-end: second reader of a remote file must finish much faster
+	// thanks to node-wide caching.
+	fs := vfs.New()
+	wan := origin()
+	cl, err := sim.BuildCluster(fs, sim.ClusterSpec{
+		Name: "c", Nodes: 1, Cores: 2, DefaultTier: "wan",
+		Shared: []*vfs.Tier{wan},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.CreateSized("data.root", "wan", 500<<20); err != nil {
+		t.Fatal(err)
+	}
+	c := NewTAZeR()
+	eng := &sim.Engine{FS: fs, Cluster: cl, Planner: c}
+	res, err := eng.Run(&sim.Workload{Tasks: []*sim.Task{
+		{Name: "first", Script: []sim.Op{sim.Read("data.root", 500<<20, 1<<20)}},
+		{Name: "second", Deps: []string{"first"}, Script: []sim.Op{sim.Read("data.root", 500<<20, 1<<20)}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := res.Tasks["first"].End - res.Tasks["first"].Start
+	d2 := res.Tasks["second"].End - res.Tasks["second"].Start
+	if d2 > d1/10 {
+		t.Fatalf("cached read %.3fs not ≫ faster than cold %.3fs", d2, d1)
+	}
+	if c.HitRate() < 0.45 {
+		t.Fatalf("hit rate = %v", c.HitRate())
+	}
+}
+
+func TestScopeString(t *testing.T) {
+	if TaskPrivate.String() == "" || NodeWide.String() == "" || ClusterWide.String() == "" {
+		t.Fatal("scope strings")
+	}
+}
+
+func TestReadaheadPrefetchesSequential(t *testing.T) {
+	c := testCache(t, 100000, 100000)
+	c.SetReadahead(4)
+	o := origin()
+	// Sequential stream: first read cold; continuation triggers prefetch of
+	// the next 4 blocks, so subsequent reads hit L1.
+	p1 := c.PlanRead("t", "n", "f", o, 0, 100)
+	if sum(p1) != 100 {
+		t.Fatalf("first read bytes = %d (no prefetch without history)", sum(p1))
+	}
+	p2 := c.PlanRead("t", "n", "f", o, 100, 100)
+	// Demand (100, cold) + prefetch of blocks 2..5 (400).
+	if sum(p2) != 500 {
+		t.Fatalf("sequential read fetched %d, want 500 incl. readahead", sum(p2))
+	}
+	if c.PrefetchedBytes() != 400 {
+		t.Fatalf("PrefetchedBytes = %d", c.PrefetchedBytes())
+	}
+	// Blocks 2..5 are now resident: with further refills disabled, every
+	// demand read below hits cache.
+	c.SetReadahead(0)
+	for off := int64(200); off < 600; off += 100 {
+		p := c.PlanRead("t", "n", "f", o, off, 100)
+		for _, part := range p {
+			if part.Tier == o {
+				t.Fatalf("offset %d went to origin despite prefetch", off)
+			}
+		}
+	}
+}
+
+func TestReadaheadIgnoresRandomAccess(t *testing.T) {
+	c := testCache(t, 100000, 100000)
+	c.SetReadahead(4)
+	o := origin()
+	c.PlanRead("t", "n", "f", o, 0, 100)
+	// Non-sequential jump: no prefetch.
+	p := c.PlanRead("t", "n", "f", o, 5000, 100)
+	if sum(p) != 100 {
+		t.Fatalf("random read fetched %d, want 100", sum(p))
+	}
+	if c.PrefetchedBytes() != 0 {
+		t.Fatalf("prefetched on random access: %d", c.PrefetchedBytes())
+	}
+	c.SetReadahead(-3) // clamps to disabled
+	p = c.PlanRead("t", "n", "f", o, 5100, 100)
+	if sum(p) != 100 {
+		t.Fatalf("disabled readahead still prefetched: %d", sum(p))
+	}
+}
+
+func TestReadaheadReducesWANStalls(t *testing.T) {
+	// End-to-end: a chunked sequential reader over a high-latency WAN
+	// finishes faster with prefetching (fewer per-access round trips hit
+	// the origin).
+	run := func(readahead int) float64 {
+		fs := vfs.New()
+		wan := origin()
+		cl, err := sim.BuildCluster(fs, sim.ClusterSpec{
+			Name: "c", Nodes: 1, Cores: 1, DefaultTier: "wan",
+			Shared: []*vfs.Tier{wan},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.CreateSized("remote.dat", "wan", 64<<20); err != nil {
+			t.Fatal(err)
+		}
+		c, err := New(TAZeRLevels(), 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetReadahead(readahead)
+		eng := &sim.Engine{FS: fs, Cluster: cl, Planner: c}
+		var script []sim.Op
+		for off := int64(0); off < 64<<20; off += 1 << 20 {
+			script = append(script, sim.ReadAt("remote.dat", off, 1<<20, 1<<20))
+		}
+		res, err := eng.Run(&sim.Workload{Tasks: []*sim.Task{{Name: "r", Script: script}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	without, with := run(0), run(8)
+	if with >= without {
+		t.Fatalf("readahead did not help: %v vs %v", with, without)
+	}
+}

@@ -1,0 +1,45 @@
+package cache
+
+import (
+	"testing"
+
+	"datalife/internal/vfs"
+)
+
+// FuzzPlanRead checks the cache's planning invariants on arbitrary access
+// streams: delivered bytes always cover the demand, parts are positive, and
+// no panic occurs — with and without readahead.
+func FuzzPlanRead(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, uint8(0))
+	f.Add([]byte{9, 9, 9, 0, 255}, uint8(4))
+	f.Fuzz(func(t *testing.T, accesses []byte, ra uint8) {
+		c, err := New([]LevelSpec{
+			{Name: "L1", Scope: TaskPrivate, Capacity: 1000, LatencyS: 1e-7, ReadBW: 1e9, WriteBW: 1e9},
+			{Name: "L2", Scope: NodeWide, Capacity: 3000, LatencyS: 1e-6, ReadBW: 1e9, WriteBW: 1e9},
+		}, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetReadahead(int(ra % 8))
+		o := vfs.NewWAN("wan", 1e8)
+		for i, a := range accesses {
+			off := int64(a) * 50
+			n := int64(a%7)*40 + 1
+			task := "t" + string(rune('0'+i%3))
+			parts := c.PlanRead(task, "n0", "f", o, off, n)
+			var sum int64
+			for _, p := range parts {
+				if p.Bytes <= 0 {
+					t.Fatalf("non-positive part: %+v", p)
+				}
+				if p.Tier == nil {
+					t.Fatal("nil tier")
+				}
+				sum += p.Bytes
+			}
+			if sum < n {
+				t.Fatalf("planned %d bytes for a %d-byte read", sum, n)
+			}
+		}
+	})
+}

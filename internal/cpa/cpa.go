@@ -1,0 +1,522 @@
+// Package cpa implements the generalized critical path analysis (GCPA) and
+// DFL caterpillar trees of §5.1 of the DataLife paper.
+//
+// A critical path is the longest path in the DFL-DAG under a pluggable
+// property weight; by swapping the property (time, volume, footprint, flow
+// rate, branch/join instances) the path focuses on different bottleneck
+// classes (compute, transfer volume, storage capacity, transfer speed,
+// coordination). The caterpillar tree widens the path to distance-one
+// vertices; the DFL caterpillar additionally pulls in distance-two producer
+// tasks of data leaves so producer-consumer relations are never severed.
+//
+// All algorithms are linear in vertices and edges, matching the paper's
+// efficiency claim.
+package cpa
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"datalife/internal/dfl"
+)
+
+// EdgeWeight scores an edge for GCPA.
+type EdgeWeight func(g *dfl.Graph, e *dfl.Edge) float64
+
+// VertexWeight scores a vertex for GCPA.
+type VertexWeight func(g *dfl.Graph, v *dfl.Vertex) float64
+
+// ByVolume weights edges by flow volume (bytes), the paper's default for
+// DDMD, Belle II and Montage.
+func ByVolume(_ *dfl.Graph, e *dfl.Edge) float64 { return float64(e.Props.Volume) }
+
+// ByFootprint weights edges by unique bytes, surfacing storage-capacity
+// bottlenecks.
+func ByFootprint(_ *dfl.Graph, e *dfl.Edge) float64 { return float64(e.Props.Footprint) }
+
+// ByLatency weights edges by blocking time, surfacing transfer-speed
+// bottlenecks.
+func ByLatency(_ *dfl.Graph, e *dfl.Edge) float64 { return e.Props.Latency }
+
+// ByRateDeficit weights edges by volume divided by achieved rate relative to
+// the graph's best rate — slow flows carrying much data score high.
+func ByRateDeficit(g *dfl.Graph, e *dfl.Edge) float64 {
+	best := 0.0
+	for _, o := range g.Edges() {
+		if r := o.Props.Rate(); r > best {
+			best = r
+		}
+	}
+	r := e.Props.Rate()
+	if best == 0 || r == 0 {
+		return 0
+	}
+	return float64(e.Props.Volume) * (best / r)
+}
+
+// ByTaskTime weights task vertices by lifetime — classic critical path.
+func ByTaskTime(_ *dfl.Graph, v *dfl.Vertex) float64 {
+	if v.ID.Kind == dfl.TaskVertex {
+		return v.Task.Lifetime
+	}
+	return 0
+}
+
+// ByBranchJoin counts branch/join instances: a data vertex with fan-out of
+// two or more (a data branch) or a task vertex with fan-in of two or more (a
+// task join) scores one. This is the weighting the paper uses for the 1000
+// Genomes critical path (Fig. 2a, Fig. 5).
+func ByBranchJoin(g *dfl.Graph, v *dfl.Vertex) float64 {
+	switch v.ID.Kind {
+	case dfl.DataVertex:
+		if g.OutDegree(v.ID) >= 2 {
+			return 1
+		}
+	case dfl.TaskVertex:
+		if g.InDegree(v.ID) >= 2 {
+			return 1
+		}
+	}
+	return 0
+}
+
+// ByTaskFanIn counts task joins only — the paper's weighting for Seismic
+// Cross Correlation (Fig. 2e).
+func ByTaskFanIn(g *dfl.Graph, v *dfl.Vertex) float64 {
+	if v.ID.Kind == dfl.TaskVertex && g.InDegree(v.ID) >= 2 {
+		return 1
+	}
+	return 0
+}
+
+// Zero is the no-op weight for the unused half of a GCPA query.
+func Zero[T any](*dfl.Graph, T) float64 { return 0 }
+
+// ZeroEdge ignores edges.
+func ZeroEdge(*dfl.Graph, *dfl.Edge) float64 { return 0 }
+
+// ZeroVertex ignores vertices.
+func ZeroVertex(*dfl.Graph, *dfl.Vertex) float64 { return 0 }
+
+// Path is a critical (or near-critical) path with its accumulated weight.
+type Path struct {
+	Vertices []dfl.ID
+	Weight   float64
+}
+
+// Contains reports whether id lies on the path.
+func (p Path) Contains(id dfl.ID) bool {
+	for _, v := range p.Vertices {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// CriticalPath computes the maximum-weight source-to-sink path under the
+// given edge and vertex weights via one topological dynamic program — O(V+E).
+// Either weight may be nil to ignore that component.
+func CriticalPath(g *dfl.Graph, ew EdgeWeight, vw VertexWeight) (Path, error) {
+	paths, err := criticalPaths(g, ew, vw, 1)
+	if err != nil {
+		return Path{}, err
+	}
+	if len(paths) == 0 {
+		return Path{}, fmt.Errorf("cpa: empty graph")
+	}
+	return paths[0], nil
+}
+
+// NearCriticalPaths returns up to k maximal paths ranked by weight, one per
+// distinct sink — the paper's "critical and near-critical" caterpillar
+// candidates.
+func NearCriticalPaths(g *dfl.Graph, ew EdgeWeight, vw VertexWeight, k int) ([]Path, error) {
+	return criticalPaths(g, ew, vw, k)
+}
+
+func criticalPaths(g *dfl.Graph, ew EdgeWeight, vw VertexWeight, k int) ([]Path, error) {
+	if ew == nil {
+		ew = ZeroEdge
+	}
+	if vw == nil {
+		vw = ZeroVertex
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("cpa: critical path needs a DAG: %w", err)
+	}
+	if len(order) == 0 {
+		return nil, nil
+	}
+
+	dist := make(map[dfl.ID]float64, len(order))
+	pred := make(map[dfl.ID]dfl.ID, len(order))
+	havePred := make(map[dfl.ID]bool, len(order))
+	for _, id := range order {
+		dist[id] += vw(g, g.Vertex(id)) // own vertex weight; dist may hold best-in so far
+		for _, e := range g.Out(id) {
+			cand := dist[id] + ew(g, e)
+			if cand > dist[e.Dst] || !havePred[e.Dst] && cand >= dist[e.Dst] {
+				dist[e.Dst] = cand
+				pred[e.Dst] = id
+				havePred[e.Dst] = true
+			}
+		}
+	}
+
+	// Rank sinks (no outgoing edges) by accumulated weight.
+	var sinks []dfl.ID
+	for _, id := range order {
+		if g.OutDegree(id) == 0 {
+			sinks = append(sinks, id)
+		}
+	}
+	sort.Slice(sinks, func(i, j int) bool {
+		if dist[sinks[i]] != dist[sinks[j]] {
+			return dist[sinks[i]] > dist[sinks[j]]
+		}
+		return sinks[i].String() < sinks[j].String()
+	})
+	if k > len(sinks) {
+		k = len(sinks)
+	}
+	out := make([]Path, 0, k)
+	for _, s := range sinks[:k] {
+		var rev []dfl.ID
+		for cur := s; ; {
+			rev = append(rev, cur)
+			p, ok := pred[cur]
+			if !ok {
+				break
+			}
+			cur = p
+		}
+		vs := make([]dfl.ID, len(rev))
+		for i, id := range rev {
+			vs[len(rev)-1-i] = id
+		}
+		out = append(out, Path{Vertices: vs, Weight: dist[s]})
+	}
+	return out, nil
+}
+
+// Caterpillar is a DFL caterpillar tree: the spine (critical path), the
+// distance-one legs, and — per the paper's DFL extension — distance-two
+// producer tasks attached to data-vertex legs, so that every data leaf keeps
+// its producer relation.
+type Caterpillar struct {
+	Spine Path
+	// Legs are the distance-one vertices not on the spine, sorted.
+	Legs []dfl.ID
+	// Extended are the distance-two producer tasks added by the DFL rule,
+	// sorted.
+	Extended []dfl.ID
+	members  map[dfl.ID]struct{}
+}
+
+// Contains reports membership of id in the full caterpillar.
+func (c *Caterpillar) Contains(id dfl.ID) bool {
+	_, ok := c.members[id]
+	return ok
+}
+
+// Size returns the number of vertices in the caterpillar.
+func (c *Caterpillar) Size() int { return len(c.members) }
+
+// Members returns all caterpillar vertices, sorted.
+func (c *Caterpillar) Members() []dfl.ID {
+	out := make([]dfl.ID, 0, len(c.members))
+	for id := range c.members {
+		out = append(out, id)
+	}
+	sortIDs(out)
+	return out
+}
+
+// DFLCaterpillar builds the DFL caterpillar tree around a critical path:
+// every vertex within distance one of the spine, plus — when a distance-one
+// vertex is a data vertex — its producer tasks at distance two (§5.1, Fig. 3b:
+// a plain caterpillar would sever those producer/consumer relations because
+// DFL graphs interleave two vertex types).
+func DFLCaterpillar(g *dfl.Graph, spine Path) *Caterpillar {
+	c := &Caterpillar{Spine: spine, members: make(map[dfl.ID]struct{})}
+	onSpine := make(map[dfl.ID]struct{}, len(spine.Vertices))
+	for _, id := range spine.Vertices {
+		onSpine[id] = struct{}{}
+		c.members[id] = struct{}{}
+	}
+	var legs, ext []dfl.ID
+	addLeg := func(id dfl.ID) {
+		if _, dup := c.members[id]; dup {
+			return
+		}
+		c.members[id] = struct{}{}
+		legs = append(legs, id)
+	}
+	for _, id := range spine.Vertices {
+		for _, e := range g.Out(id) {
+			addLeg(e.Dst)
+		}
+		for _, e := range g.In(id) {
+			addLeg(e.Src)
+		}
+	}
+	// DFL extension: data-vertex legs pull in their distance-two producers.
+	for _, leg := range legs {
+		if leg.Kind != dfl.DataVertex {
+			continue
+		}
+		for _, e := range g.In(leg) {
+			if _, dup := c.members[e.Src]; dup {
+				continue
+			}
+			c.members[e.Src] = struct{}{}
+			ext = append(ext, e.Src)
+		}
+	}
+	sortIDs(legs)
+	sortIDs(ext)
+	c.Legs = legs
+	c.Extended = ext
+	return c
+}
+
+// Subgraph extracts the caterpillar's induced subgraph from g, preserving
+// vertex and edge properties. Useful for focused pattern analysis and
+// rendering (Fig. 4).
+func (c *Caterpillar) Subgraph(g *dfl.Graph) *dfl.Graph {
+	sub := dfl.New()
+	for id := range c.members {
+		v := g.Vertex(id)
+		if v == nil {
+			continue
+		}
+		var nv *dfl.Vertex
+		if id.Kind == dfl.TaskVertex {
+			nv = sub.AddTask(id.Name)
+		} else {
+			nv = sub.AddData(id.Name)
+		}
+		*nv = *v
+	}
+	for _, e := range g.Edges() {
+		if c.Contains(e.Src) && c.Contains(e.Dst) {
+			if _, err := sub.AddEdge(e.Src, e.Dst, e.Kind, e.Props); err != nil {
+				panic(err) // directions copied from a valid graph
+			}
+		}
+	}
+	return sub
+}
+
+// BranchJoinCount reports the number of data branches (fan-out >= 2) and task
+// joins (fan-in >= 2) along a path — the statistics quoted for Fig. 5 ("five
+// branches and four joins").
+func BranchJoinCount(g *dfl.Graph, p Path) (branches, joins int) {
+	for _, id := range p.Vertices {
+		switch id.Kind {
+		case dfl.DataVertex:
+			if g.OutDegree(id) >= 2 {
+				branches++
+			}
+		case dfl.TaskVertex:
+			if g.InDegree(id) >= 2 {
+				joins++
+			}
+		}
+	}
+	return
+}
+
+// GroupedBranchJoin counts the workflow-level branches and joins the paper
+// quotes for Fig. 5: a branch is a data vertex consumed by two or more
+// distinct tasks; a join is a task *template* (instances grouped by the given
+// function) any of whose instances has in-degree two or more. With the
+// default grouping, 1000 Genomes chr1 yields the paper's "five branches and
+// four joins" (indiv, merge, freq, mutat).
+func GroupedBranchJoin(g *dfl.Graph, group dfl.GroupFunc) (branches, joins int) {
+	if group == nil {
+		group = dfl.InstanceSuffixGroup
+	}
+	for _, v := range g.DataFiles() {
+		if len(g.Consumers(v.ID)) >= 2 {
+			branches++
+		}
+	}
+	joined := make(map[string]struct{})
+	for _, v := range g.Tasks() {
+		if g.InDegree(v.ID) >= 2 {
+			joined[group(dfl.TaskVertex, v.ID.Name)] = struct{}{}
+		}
+	}
+	return branches, len(joined)
+}
+
+// IsCaterpillarTree verifies the defining property of a caterpillar: all
+// member vertices lie within distance one of the spine, except DFL-extended
+// producers which lie within distance two. Used by tests and as a sanity
+// check on analysis output.
+func (c *Caterpillar) IsCaterpillarTree(g *dfl.Graph) bool {
+	onSpine := make(map[dfl.ID]struct{})
+	for _, id := range c.Spine.Vertices {
+		onSpine[id] = struct{}{}
+	}
+	distOK := func(id dfl.ID, max int) bool {
+		if _, ok := onSpine[id]; ok {
+			return true
+		}
+		// BFS outward from id over undirected adjacency up to max hops.
+		frontier := []dfl.ID{id}
+		seen := map[dfl.ID]struct{}{id: {}}
+		for hop := 0; hop < max; hop++ {
+			var next []dfl.ID
+			for _, u := range frontier {
+				for _, e := range g.Out(u) {
+					if _, ok := onSpine[e.Dst]; ok {
+						return true
+					}
+					if _, v := seen[e.Dst]; !v {
+						seen[e.Dst] = struct{}{}
+						next = append(next, e.Dst)
+					}
+				}
+				for _, e := range g.In(u) {
+					if _, ok := onSpine[e.Src]; ok {
+						return true
+					}
+					if _, v := seen[e.Src]; !v {
+						seen[e.Src] = struct{}{}
+						next = append(next, e.Src)
+					}
+				}
+			}
+			frontier = next
+		}
+		return false
+	}
+	for _, id := range c.Legs {
+		if !distOK(id, 1) {
+			return false
+		}
+	}
+	for _, id := range c.Extended {
+		if !distOK(id, 2) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortIDs(ids []dfl.ID) {
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Kind != ids[j].Kind {
+			return ids[i].Kind < ids[j].Kind
+		}
+		return ids[i].Name < ids[j].Name
+	})
+}
+
+// PathEdges returns the edges along a path, in order. Missing edges (possible
+// only on malformed paths) are skipped.
+func PathEdges(g *dfl.Graph, p Path) []*dfl.Edge {
+	var out []*dfl.Edge
+	for i := 0; i+1 < len(p.Vertices); i++ {
+		if e := g.FindEdge(p.Vertices[i], p.Vertices[i+1]); e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// PathVolume sums edge volumes along a path.
+func PathVolume(g *dfl.Graph, p Path) uint64 {
+	var v uint64
+	for _, e := range PathEdges(g, p) {
+		v += e.Props.Volume
+	}
+	return v
+}
+
+// Slack computes, for every vertex, the difference between the critical-path
+// weight and the weight of the heaviest path through that vertex — zero for
+// critical vertices, positive for vertices with scheduling slack. O(V+E).
+func Slack(g *dfl.Graph, ew EdgeWeight, vw VertexWeight) (map[dfl.ID]float64, error) {
+	if ew == nil {
+		ew = ZeroEdge
+	}
+	if vw == nil {
+		vw = ZeroVertex
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	fwd := make(map[dfl.ID]float64, len(order))
+	for _, id := range order {
+		fwd[id] += vw(g, g.Vertex(id))
+		for _, e := range g.Out(id) {
+			if c := fwd[id] + ew(g, e); c > fwd[e.Dst] {
+				fwd[e.Dst] = c
+			}
+		}
+	}
+	bwd := make(map[dfl.ID]float64, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		for _, e := range g.Out(id) {
+			if c := bwd[e.Dst] + ew(g, e); c > bwd[id] {
+				bwd[id] = c
+			}
+		}
+	}
+	var best float64 = math.Inf(-1)
+	for _, id := range order {
+		if t := fwd[id] + bwd[id]; t > best {
+			best = t
+		}
+	}
+	slack := make(map[dfl.ID]float64, len(order))
+	for _, id := range order {
+		slack[id] = best - (fwd[id] + bwd[id])
+	}
+	return slack, nil
+}
+
+// Bottleneck is one vertex ranked by how tightly it sits on the critical
+// structure: zero slack means it is on a critical path.
+type Bottleneck struct {
+	ID    dfl.ID
+	Slack float64
+}
+
+// Bottlenecks returns the k lowest-slack vertices of the given kind (or all
+// kinds when kind is nil) — the attribution view "which tasks/files gate the
+// workflow", derived from the same O(V+E) pass as Slack.
+func Bottlenecks(g *dfl.Graph, ew EdgeWeight, vw VertexWeight, k int, kind *dfl.VertexKind) ([]Bottleneck, error) {
+	slack, err := Slack(g, ew, vw)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Bottleneck, 0, len(slack))
+	for id, s := range slack {
+		if kind != nil && id.Kind != *kind {
+			continue
+		}
+		out = append(out, Bottleneck{ID: id, Slack: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Slack != out[j].Slack {
+			return out[i].Slack < out[j].Slack
+		}
+		if out[i].ID.Kind != out[j].ID.Kind {
+			return out[i].ID.Kind < out[j].ID.Kind
+		}
+		return out[i].ID.Name < out[j].ID.Name
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out, nil
+}

@@ -1,0 +1,33 @@
+package cpa_test
+
+import (
+	"fmt"
+
+	"datalife/internal/cpa"
+	"datalife/internal/dfl"
+)
+
+// Example runs generalized critical path analysis and builds the DFL
+// caterpillar on a tiny pipeline.
+func Example() {
+	g := dfl.New()
+	g.AddEdge(dfl.TaskID("gen"), dfl.DataID("a"), dfl.Producer, dfl.FlowProps{Volume: 100})
+	g.AddEdge(dfl.DataID("a"), dfl.TaskID("proc"), dfl.Consumer, dfl.FlowProps{Volume: 100})
+	g.AddEdge(dfl.TaskID("proc"), dfl.DataID("b"), dfl.Producer, dfl.FlowProps{Volume: 50})
+	g.AddEdge(dfl.DataID("b"), dfl.TaskID("sink"), dfl.Consumer, dfl.FlowProps{Volume: 50})
+	// A side input whose producer sits two hops off the path: the DFL
+	// caterpillar rule pulls it in.
+	g.AddEdge(dfl.TaskID("cfggen"), dfl.DataID("cfg"), dfl.Producer, dfl.FlowProps{Volume: 1})
+	g.AddEdge(dfl.DataID("cfg"), dfl.TaskID("proc"), dfl.Consumer, dfl.FlowProps{Volume: 1})
+
+	path, _ := cpa.CriticalPath(g, cpa.ByVolume, nil)
+	cat := cpa.DFLCaterpillar(g, path)
+	fmt.Printf("spine length: %d (weight %.0f)\n", len(path.Vertices), path.Weight)
+	fmt.Printf("caterpillar: %d legs, %d extended producers\n",
+		len(cat.Legs), len(cat.Extended))
+	fmt.Printf("includes off-path producer: %v\n", cat.Contains(dfl.TaskID("cfggen")))
+	// Output:
+	// spine length: 5 (weight 300)
+	// caterpillar: 1 legs, 1 extended producers
+	// includes off-path producer: true
+}

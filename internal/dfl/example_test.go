@@ -1,0 +1,46 @@
+package dfl_test
+
+import (
+	"fmt"
+
+	"datalife/internal/dfl"
+)
+
+// ExampleBuild-style walkthrough of the core graph API: construct a small
+// producer→data→consumer lifecycle and read its properties.
+func Example() {
+	g := dfl.New()
+	sim := g.AddTask("sim")
+	sim.Task.Lifetime = 30
+
+	g.AddEdge(dfl.TaskID("sim"), dfl.DataID("out.h5"), dfl.Producer,
+		dfl.FlowProps{Volume: 1 << 30, Footprint: 1 << 30, Latency: 4})
+	g.AddEdge(dfl.DataID("out.h5"), dfl.TaskID("train"), dfl.Consumer,
+		dfl.FlowProps{Volume: 3 << 30, Footprint: 1 << 30, Latency: 12})
+
+	e := g.FindEdge(dfl.DataID("out.h5"), dfl.TaskID("train"))
+	fmt.Printf("vertices=%d edges=%d\n", g.NumVertices(), g.NumEdges())
+	fmt.Printf("train reuse factor: %.1f\n", e.Props.ReuseFactor())
+	fmt.Printf("consumers of out.h5: %d\n", g.UseConcurrency(dfl.DataID("out.h5")))
+	// Output:
+	// vertices=3 edges=2
+	// train reuse factor: 3.0
+	// consumers of out.h5: 1
+}
+
+// ExampleTemplate shows instance aggregation into a lifecycle template.
+func ExampleTemplate() {
+	g := dfl.New()
+	for i := 0; i < 3; i++ {
+		task := dfl.TaskID(fmt.Sprintf("worker#%d", i))
+		g.AddEdge(task, dfl.DataID("results"), dfl.Producer, dfl.FlowProps{Volume: 100})
+	}
+	tpl := dfl.Template(g, nil)
+	v := tpl.Vertex(dfl.TaskID("worker"))
+	fmt.Printf("template instances: %d\n", v.Task.Instances)
+	fmt.Printf("merged edge volume: %d\n",
+		tpl.FindEdge(dfl.TaskID("worker"), dfl.DataID("results")).Props.Volume)
+	// Output:
+	// template instances: 3
+	// merged edge volume: 300
+}

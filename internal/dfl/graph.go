@@ -1,0 +1,401 @@
+// Package dfl implements data flow lifecycle graphs (§4 of the DataLife
+// paper): property graphs whose vertices are tasks and data files and whose
+// directed edges are producer (task→data) and consumer (data→task) flow
+// relations, annotated with lifecycle properties derived from the collector's
+// constant-space histograms.
+//
+// The package provides the DFL-DAG built from one execution, lifecycle
+// template (DFL-T) aggregation that merges instances of the same task, and
+// averaged graphs over multiple runs.
+package dfl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexKind distinguishes the two vertex sets D (data) and T (tasks) of §4.1.
+type VertexKind uint8
+
+const (
+	// TaskVertex is a workflow task instance.
+	TaskVertex VertexKind = iota
+	// DataVertex is a data object (a file, in this paper).
+	DataVertex
+)
+
+func (k VertexKind) String() string {
+	if k == TaskVertex {
+		return "task"
+	}
+	return "data"
+}
+
+// ID uniquely names a vertex. Task and data namespaces are disjoint.
+type ID struct {
+	Kind VertexKind
+	Name string
+}
+
+// TaskID builds the ID of a task vertex.
+func TaskID(name string) ID { return ID{TaskVertex, name} }
+
+// DataID builds the ID of a data vertex.
+func DataID(name string) ID { return ID{DataVertex, name} }
+
+func (id ID) String() string { return id.Kind.String() + ":" + id.Name }
+
+// TaskProps are lifecycle properties of a task vertex (§4.2).
+type TaskProps struct {
+	// Lifetime is the task execution time in seconds.
+	Lifetime float64
+	// ReadOps and WriteOps are total I/O operation counts.
+	ReadOps, WriteOps uint64
+	// InVolume and OutVolume are total consumed/produced bytes.
+	InVolume, OutVolume uint64
+	// ReadLatency and WriteLatency are total blocking seconds.
+	ReadLatency, WriteLatency float64
+	// Instances counts merged task instances (1 in a DFL-DAG, >=1 in a DFL-T).
+	Instances int
+}
+
+// ReadRate is the ratio of read operations to task time (ops/s).
+func (p TaskProps) ReadRate() float64 { return safeDiv(float64(p.ReadOps), p.Lifetime) }
+
+// WriteRate is the ratio of write operations to task time (ops/s).
+func (p TaskProps) WriteRate() float64 { return safeDiv(float64(p.WriteOps), p.Lifetime) }
+
+// DataReadRate is the ratio of read volume to task time (B/s).
+func (p TaskProps) DataReadRate() float64 { return safeDiv(float64(p.InVolume), p.Lifetime) }
+
+// DataWriteRate is the ratio of write volume to task time (B/s).
+func (p TaskProps) DataWriteRate() float64 { return safeDiv(float64(p.OutVolume), p.Lifetime) }
+
+// ReadBlockingFraction is the fraction of task time spent blocked in reads.
+func (p TaskProps) ReadBlockingFraction() float64 { return safeDiv(p.ReadLatency, p.Lifetime) }
+
+// WriteBlockingFraction is the fraction of task time spent blocked in writes.
+func (p TaskProps) WriteBlockingFraction() float64 { return safeDiv(p.WriteLatency, p.Lifetime) }
+
+// DataProps are lifecycle properties of a data vertex (§4.2).
+type DataProps struct {
+	// Size is the file size in bytes.
+	Size int64
+	// Lifetime is the first-open to last-close window in seconds.
+	Lifetime float64
+	// Instances counts merged data instances (for DFL-T grouping).
+	Instances int
+}
+
+// FlowProps annotate one producer or consumer edge.
+type FlowProps struct {
+	// Ops is the number of I/O operations on this flow.
+	Ops uint64
+	// Volume is total (non-unique) bytes moved.
+	Volume uint64
+	// Footprint is unique bytes touched.
+	Footprint uint64
+	// Latency is total blocking time in seconds.
+	Latency float64
+	// MeanDistance is the mean consecutive access distance in bytes.
+	MeanDistance float64
+	// ZeroDistFrac is the fraction of consecutive accesses with distance 0.
+	ZeroDistFrac float64
+	// SmallDistFrac is the fraction with distance below one block.
+	SmallDistFrac float64
+	// Samples counts merged flows (template / multi-run aggregation).
+	Samples int
+}
+
+// ReuseFactor is Volume/Footprint; values > 1 indicate data reuse.
+func (p FlowProps) ReuseFactor() float64 {
+	return safeDiv(float64(p.Volume), float64(p.Footprint))
+}
+
+// Rate is the effective flow rate Volume/Latency in B/s.
+func (p FlowProps) Rate() float64 { return safeDiv(float64(p.Volume), p.Latency) }
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Vertex is one node of the DFL graph.
+type Vertex struct {
+	ID ID
+	// Task holds properties when ID.Kind == TaskVertex.
+	Task TaskProps
+	// Data holds properties when ID.Kind == DataVertex.
+	Data DataProps
+}
+
+// EdgeKind distinguishes the two flow relations of §3.
+type EdgeKind uint8
+
+const (
+	// Consumer is data→task flow (reads).
+	Consumer EdgeKind = iota
+	// Producer is task→data flow (writes).
+	Producer
+)
+
+func (k EdgeKind) String() string {
+	if k == Consumer {
+		return "consumer"
+	}
+	return "producer"
+}
+
+// Edge is one directed flow relation.
+type Edge struct {
+	Src, Dst ID
+	Kind     EdgeKind
+	Props    FlowProps
+}
+
+// Other returns the endpoint that is not id.
+func (e *Edge) Other(id ID) ID {
+	if e.Src == id {
+		return e.Dst
+	}
+	return e.Src
+}
+
+// Graph is a DFL graph: a property graph over task and data vertices. A
+// DFL-DAG (one vertex per task instance) is acyclic by construction; a DFL-T
+// (template) may contain cycles.
+type Graph struct {
+	vertices map[ID]*Vertex
+	out      map[ID][]*Edge
+	in       map[ID][]*Edge
+	edges    []*Edge
+}
+
+// New creates an empty graph.
+func New() *Graph {
+	return &Graph{
+		vertices: make(map[ID]*Vertex),
+		out:      make(map[ID][]*Edge),
+		in:       make(map[ID][]*Edge),
+	}
+}
+
+// AddTask ensures a task vertex exists and returns it.
+func (g *Graph) AddTask(name string) *Vertex { return g.ensure(TaskID(name)) }
+
+// AddData ensures a data vertex exists and returns it.
+func (g *Graph) AddData(name string) *Vertex { return g.ensure(DataID(name)) }
+
+func (g *Graph) ensure(id ID) *Vertex {
+	v := g.vertices[id]
+	if v == nil {
+		v = &Vertex{ID: id}
+		if id.Kind == TaskVertex {
+			v.Task.Instances = 1
+		} else {
+			v.Data.Instances = 1
+		}
+		g.vertices[id] = v
+	}
+	return v
+}
+
+// Vertex returns the vertex with the given ID, or nil.
+func (g *Graph) Vertex(id ID) *Vertex { return g.vertices[id] }
+
+// AddEdge inserts a flow edge after validating that it connects a task and a
+// data vertex in the direction implied by its kind (§4.1's edge set E).
+func (g *Graph) AddEdge(src, dst ID, kind EdgeKind, props FlowProps) (*Edge, error) {
+	switch kind {
+	case Consumer:
+		if src.Kind != DataVertex || dst.Kind != TaskVertex {
+			return nil, fmt.Errorf("dfl: consumer edge must be data→task, got %v→%v", src, dst)
+		}
+	case Producer:
+		if src.Kind != TaskVertex || dst.Kind != DataVertex {
+			return nil, fmt.Errorf("dfl: producer edge must be task→data, got %v→%v", src, dst)
+		}
+	default:
+		return nil, fmt.Errorf("dfl: unknown edge kind %d", kind)
+	}
+	g.ensure(src)
+	g.ensure(dst)
+	e := &Edge{Src: src, Dst: dst, Kind: kind, Props: props}
+	if e.Props.Samples == 0 {
+		e.Props.Samples = 1
+	}
+	g.edges = append(g.edges, e)
+	g.out[src] = append(g.out[src], e)
+	g.in[dst] = append(g.in[dst], e)
+	return e, nil
+}
+
+// FindEdge returns the edge src→dst, or nil.
+func (g *Graph) FindEdge(src, dst ID) *Edge {
+	for _, e := range g.out[src] {
+		if e.Dst == dst {
+			return e
+		}
+	}
+	return nil
+}
+
+// Out returns the outgoing edges of id.
+func (g *Graph) Out(id ID) []*Edge { return g.out[id] }
+
+// In returns the incoming edges of id.
+func (g *Graph) In(id ID) []*Edge { return g.in[id] }
+
+// OutDegree and InDegree report adjacency sizes.
+func (g *Graph) OutDegree(id ID) int { return len(g.out[id]) }
+
+// InDegree reports the number of incoming edges.
+func (g *Graph) InDegree(id ID) int { return len(g.in[id]) }
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.vertices) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Vertices returns all vertices sorted by (kind, name) for determinism.
+func (g *Graph) Vertices() []*Vertex {
+	out := make([]*Vertex, 0, len(g.vertices))
+	for _, v := range g.vertices {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i].ID, out[j].ID) })
+	return out
+}
+
+// Tasks returns all task vertices sorted by name.
+func (g *Graph) Tasks() []*Vertex { return g.byKind(TaskVertex) }
+
+// DataFiles returns all data vertices sorted by name.
+func (g *Graph) DataFiles() []*Vertex { return g.byKind(DataVertex) }
+
+func (g *Graph) byKind(k VertexKind) []*Vertex {
+	var out []*Vertex
+	for _, v := range g.vertices {
+		if v.ID.Kind == k {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Name < out[j].ID.Name })
+	return out
+}
+
+// Edges returns all edges sorted by (src, dst).
+func (g *Graph) Edges() []*Edge {
+	out := make([]*Edge, len(g.edges))
+	copy(out, g.edges)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return less(out[i].Src, out[j].Src)
+		}
+		return less(out[i].Dst, out[j].Dst)
+	})
+	return out
+}
+
+func less(a, b ID) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Name < b.Name
+}
+
+// TopoSort returns the vertices in a topological order, or an error if the
+// graph has a cycle (e.g. a DFL-T with merged loop instances).
+func (g *Graph) TopoSort() ([]ID, error) {
+	indeg := make(map[ID]int, len(g.vertices))
+	for id := range g.vertices {
+		indeg[id] = len(g.in[id])
+	}
+	// Seed queue with sorted zero-indegree vertices for determinism.
+	var queue []ID
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return less(queue[i], queue[j]) })
+	order := make([]ID, 0, len(g.vertices))
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		var freed []ID
+		for _, e := range g.out[id] {
+			indeg[e.Dst]--
+			if indeg[e.Dst] == 0 {
+				freed = append(freed, e.Dst)
+			}
+		}
+		sort.Slice(freed, func(i, j int) bool { return less(freed[i], freed[j]) })
+		queue = append(queue, freed...)
+	}
+	if len(order) != len(g.vertices) {
+		return nil, fmt.Errorf("dfl: graph has a cycle (%d of %d vertices ordered)",
+			len(order), len(g.vertices))
+	}
+	return order, nil
+}
+
+// IsDAG reports whether the graph is acyclic.
+func (g *Graph) IsDAG() bool {
+	_, err := g.TopoSort()
+	return err == nil
+}
+
+// UseConcurrency returns the number of distinct consumer tasks of a data
+// vertex — the §4.2 "use concurrency" access pattern.
+func (g *Graph) UseConcurrency(data ID) int {
+	if data.Kind != DataVertex {
+		return 0
+	}
+	seen := make(map[ID]struct{})
+	for _, e := range g.out[data] {
+		seen[e.Dst] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Producers returns the distinct producer tasks of a data vertex, sorted.
+func (g *Graph) Producers(data ID) []ID {
+	return g.neighborTasks(g.in[data])
+}
+
+// Consumers returns the distinct consumer tasks of a data vertex, sorted.
+func (g *Graph) Consumers(data ID) []ID {
+	return g.neighborTasks(g.out[data])
+}
+
+func (g *Graph) neighborTasks(edges []*Edge) []ID {
+	seen := make(map[ID]struct{})
+	for _, e := range edges {
+		if e.Src.Kind == TaskVertex {
+			seen[e.Src] = struct{}{}
+		}
+		if e.Dst.Kind == TaskVertex {
+			seen[e.Dst] = struct{}{}
+		}
+	}
+	out := make([]ID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// TotalVolume sums edge volumes over the whole graph.
+func (g *Graph) TotalVolume() uint64 {
+	var v uint64
+	for _, e := range g.edges {
+		v += e.Props.Volume
+	}
+	return v
+}

@@ -1,0 +1,253 @@
+package emulator
+
+import (
+	"math"
+	"testing"
+
+	"datalife/internal/workflows"
+)
+
+func smallCampaign() workflows.Belle2Params {
+	p := workflows.DefaultBelle2()
+	p.Tasks = 24
+	p.DatasetsPerTask = 4
+	p.PoolDatasets = 8
+	p.DatasetBytes = 32 << 20
+	p.ComputePerDataset = 0.5
+	return p
+}
+
+func TestScenariosTable3(t *testing.T) {
+	scs := Scenarios()
+	if len(scs) != 6 {
+		t.Fatalf("scenarios = %d", len(scs))
+	}
+	want := []Scenario{
+		{Name: "S1", Regular: false, Ensemble: 0, Filter: 0},
+		{Name: "S2", Regular: true},
+		{Name: "S3", Ensemble: 4},
+		{Name: "S4", Regular: true, Ensemble: 4},
+		{Name: "S5", Regular: true, Filter: 4},
+		{Name: "S6", Regular: true, Ensemble: 4, Filter: 4},
+	}
+	for i, w := range want {
+		got := scs[i]
+		if got.Name != w.Name || got.Regular != w.Regular ||
+			got.Ensemble != w.Ensemble || got.Filter != w.Filter {
+			t.Errorf("scenario %d = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+func TestApplyScenario(t *testing.T) {
+	base := smallCampaign()
+	p := applyScenario(base, Scenario{Regular: true, Filter: 4})
+	if p.Fragmented {
+		t.Error("regular should clear Fragmented")
+	}
+	if p.ReadFraction != base.ReadFraction/4 {
+		t.Errorf("filter fraction = %v", p.ReadFraction)
+	}
+	p = applyScenario(base, Scenario{})
+	if !p.Fragmented || p.ReadFraction != base.ReadFraction {
+		t.Error("empty scenario changed params")
+	}
+}
+
+func TestTAZeRBeatsFTP(t *testing.T) {
+	p := smallCampaign()
+	ftp, err := RunFTP(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tz, c, err := RunTAZeR(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tz.Makespan >= ftp.Makespan {
+		t.Fatalf("TAZeR (%v) not faster than FTP (%v)", tz.Makespan, ftp.Makespan)
+	}
+	// With 24x4 draws over 8 datasets there is massive inter-task reuse the
+	// cache must capture.
+	if c.HitRate() < 0.3 {
+		t.Fatalf("hit rate = %v", c.HitRate())
+	}
+	// The summary must attribute bytes to levels.
+	var lvl uint64
+	for name, b := range tz.LevelBytes {
+		if name != "origin" {
+			lvl += b
+		}
+	}
+	if lvl == 0 {
+		t.Fatal("no cache-level bytes recorded")
+	}
+	if tz.NetworkSeconds <= 0 || tz.ComputeSeconds <= 0 {
+		t.Fatalf("breakdown missing: %+v", tz)
+	}
+}
+
+func TestOptimalIsFastest(t *testing.T) {
+	p := smallCampaign()
+	opt, err := RunOptimal(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tz, _, err := RunTAZeR(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Makespan >= tz.Makespan {
+		t.Fatalf("optimal (%v) not fastest (tazer %v)", opt.Makespan, tz.Makespan)
+	}
+	if opt.NetworkSeconds != 0 {
+		t.Fatalf("optimal should not touch the WAN: %v", opt.NetworkSeconds)
+	}
+}
+
+func TestScenarioSweepShape(t *testing.T) {
+	p := smallCampaign()
+	results, opt, err := ScenarioSweep(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("results = %d", len(results))
+	}
+	s1 := results[0]
+	relOf := make(map[string]float64, 6)
+	for _, r := range results {
+		relOf[r.Name] = Relative(r, s1, opt)
+	}
+	if relOf["S1"] != 1 {
+		t.Fatalf("S1 relative = %v, want 1", relOf["S1"])
+	}
+	// Paper's ordering: ensembles (S3) and filters (S5) improve markedly;
+	// combined (S6) is best.
+	if relOf["S3"] >= relOf["S1"] {
+		t.Errorf("ensembles did not improve: %v", relOf)
+	}
+	if relOf["S5"] >= relOf["S2"] {
+		t.Errorf("filter did not improve: %v", relOf)
+	}
+	if relOf["S6"] > relOf["S3"] || relOf["S6"] > relOf["S5"] {
+		t.Errorf("combined scenario not best: %v", relOf)
+	}
+	// Ensembles mainly cut network read time.
+	if results[2].NetworkSeconds >= results[0].NetworkSeconds {
+		t.Errorf("S3 network %v not below S1 %v",
+			results[2].NetworkSeconds, results[0].NetworkSeconds)
+	}
+	// Conservative emulation: compute constant across scenarios.
+	for _, r := range results[1:] {
+		if r.ComputeSeconds != results[0].ComputeSeconds {
+			t.Errorf("compute varies: %s %v vs %v", r.Name, r.ComputeSeconds, results[0].ComputeSeconds)
+		}
+	}
+}
+
+func TestRelativeDegenerate(t *testing.T) {
+	a := &Result{Makespan: 5}
+	if Relative(a, a, a) != 0 {
+		t.Fatal("degenerate relative should be 0")
+	}
+}
+
+func TestReuseModelBasics(t *testing.T) {
+	m := ReuseModel{Tasks: 240, DrawsPerTask: 16, PoolSize: 240}
+	if got := m.ExpectedConsumers(); got != 16 {
+		t.Fatalf("ExpectedConsumers = %v, want 16", got)
+	}
+	if p := m.ReuseProbability(); p < 0.99 {
+		t.Fatalf("ReuseProbability = %v, want ~1 with 16 expected consumers", p)
+	}
+	if hr := m.ExpectedHitRate(); hr < 0.9 || hr > 1 {
+		t.Fatalf("ExpectedHitRate = %v", hr)
+	}
+	var zero ReuseModel
+	if zero.ReuseProbability() != 0 || zero.ColdFraction() != 0 {
+		t.Fatal("zero model should be all zeros")
+	}
+}
+
+func TestReuseModelMatchesGeneratorEmpirically(t *testing.T) {
+	// The model's expected consumers per dataset should track the empirical
+	// draw counts of the Belle II generator within a reasonable tolerance.
+	p := workflows.DefaultBelle2()
+	p.Tasks, p.DatasetsPerTask, p.PoolDatasets = 120, 8, 60
+	counts := make([]int, p.PoolDatasets)
+	for task := 0; task < p.Tasks; task++ {
+		for _, d := range workflows.Belle2Draws(p, task) {
+			counts[d]++
+		}
+	}
+	var sum float64
+	reused := 0
+	for _, c := range counts {
+		sum += float64(c)
+		if c >= 2 {
+			reused++
+		}
+	}
+	empMean := sum / float64(len(counts))
+	m := ReuseModel{Tasks: p.Tasks, DrawsPerTask: p.DatasetsPerTask, PoolSize: p.PoolDatasets}
+	if want := m.ExpectedConsumers(); math.Abs(empMean-want)/want > 0.1 {
+		t.Fatalf("empirical mean consumers %v vs model %v", empMean, want)
+	}
+	empReuse := float64(reused) / float64(p.PoolDatasets)
+	if want := m.ReuseProbability(); math.Abs(empReuse-want) > 0.1 {
+		t.Fatalf("empirical reuse fraction %v vs model %v", empReuse, want)
+	}
+}
+
+func TestReuseModelPredictsCacheHitRate(t *testing.T) {
+	// With ample cache capacity, the measured TAZeR hit rate should approach
+	// the model's ideal shared-cache hit rate.
+	p := smallCampaign() // 24 tasks x 4 draws over 8 datasets, 32 MB each
+	m := ReuseModel{Tasks: p.Tasks, DrawsPerTask: p.DatasetsPerTask, PoolSize: p.PoolDatasets}
+	_, c, err := RunTAZeR(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(c.HitRate() - m.ExpectedHitRate()); diff > 0.15 {
+		t.Fatalf("measured hit rate %v vs model %v (diff %v)",
+			c.HitRate(), m.ExpectedHitRate(), diff)
+	}
+}
+
+func TestTraceSweepDirectionallyMatchesParametric(t *testing.T) {
+	p := smallCampaign()
+	results, err := TraceSweep(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("results = %d", len(results))
+	}
+	byName := map[string]*Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	// Direction checks mirroring the parametric sweep: filtering (S5) and
+	// the full stack (S6) must beat the captured baseline replay (S1).
+	if byName["trace-S5"].Makespan >= byName["trace-S1"].Makespan {
+		t.Errorf("S5 (%v) not faster than S1 (%v)",
+			byName["trace-S5"].Makespan, byName["trace-S1"].Makespan)
+	}
+	if byName["trace-S6"].Makespan > byName["trace-S5"].Makespan {
+		t.Errorf("S6 (%v) slower than S5 (%v)",
+			byName["trace-S6"].Makespan, byName["trace-S5"].Makespan)
+	}
+	// Ensembles must cut network (origin) bytes via shared node-local reuse.
+	if byName["trace-S3"].NetworkSeconds >= byName["trace-S1"].NetworkSeconds {
+		t.Errorf("S3 network %v not below S1 %v",
+			byName["trace-S3"].NetworkSeconds, byName["trace-S1"].NetworkSeconds)
+	}
+	// Compute held constant across every replay.
+	base := byName["trace-S1"].ComputeSeconds
+	for _, r := range results {
+		if math.Abs(r.ComputeSeconds-base) > 1e-9 {
+			t.Errorf("%s compute drifted: %v vs %v", r.Name, r.ComputeSeconds, base)
+		}
+	}
+}

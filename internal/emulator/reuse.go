@@ -1,0 +1,69 @@
+package emulator
+
+import "math"
+
+// ReuseModel is the statistical reuse estimate the paper cites for Belle II
+// campaigns (§6.4: "Reuse probabilities can be estimated using a statistical
+// model and knowledge of the number of tasks that draw from a set of input
+// files"). With T tasks each drawing K distinct datasets uniformly from a
+// pool of N, the per-dataset draw count is Binomial(T, K/N).
+type ReuseModel struct {
+	// Tasks is the number of drawing tasks (T).
+	Tasks int
+	// DrawsPerTask is the datasets each task draws (K).
+	DrawsPerTask int
+	// PoolSize is the number of datasets (N).
+	PoolSize int
+}
+
+// p returns the per-task probability of drawing a given dataset.
+func (m ReuseModel) p() float64 {
+	if m.PoolSize <= 0 {
+		return 0
+	}
+	p := float64(m.DrawsPerTask) / float64(m.PoolSize)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// ExpectedConsumers is the expected number of tasks drawing one dataset.
+func (m ReuseModel) ExpectedConsumers() float64 {
+	return float64(m.Tasks) * m.p()
+}
+
+// ReuseProbability is the probability that a dataset is drawn by at least
+// two tasks — the chance inter-task reuse exists for it.
+func (m ReuseModel) ReuseProbability() float64 {
+	p := m.p()
+	if p == 0 || m.Tasks == 0 {
+		return 0
+	}
+	q := 1 - p
+	none := math.Pow(q, float64(m.Tasks))
+	one := float64(m.Tasks) * p * math.Pow(q, float64(m.Tasks-1))
+	return 1 - none - one
+}
+
+// ColdFraction is the expected fraction of all draws that are first touches
+// (cold fetches): N * P(drawn at least once) / (T*K). With a shared cache of
+// sufficient capacity, this is the fraction of reads that must go to the
+// origin.
+func (m ReuseModel) ColdFraction() float64 {
+	total := float64(m.Tasks * m.DrawsPerTask)
+	if total == 0 {
+		return 0
+	}
+	p := m.p()
+	touched := float64(m.PoolSize) * (1 - math.Pow(1-p, float64(m.Tasks)))
+	f := touched / total
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// ExpectedHitRate is 1 - ColdFraction: the byte hit rate an ideal shared
+// cache achieves on the campaign.
+func (m ReuseModel) ExpectedHitRate() float64 { return 1 - m.ColdFraction() }

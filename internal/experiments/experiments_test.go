@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"datalife/internal/dfl"
+	"datalife/internal/patterns"
+	"datalife/internal/workflows"
+)
+
+func TestFig2Small(t *testing.T) {
+	dfls, err := Fig2(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dfls) != 5 {
+		t.Fatalf("workflows = %d", len(dfls))
+	}
+	names := []string{"1000genomes", "deepdrivemd", "belle2", "montage", "seismic"}
+	for i, w := range dfls {
+		if w.Name != names[i] {
+			t.Errorf("workflow %d = %s", i, w.Name)
+		}
+		if w.Graph.NumVertices() == 0 || w.Graph.NumEdges() == 0 {
+			t.Errorf("%s: empty graph", w.Name)
+		}
+		if len(w.Critical.Vertices) == 0 {
+			t.Errorf("%s: empty critical path", w.Name)
+		}
+		if w.Caterpillar.Size() < len(w.Critical.Vertices) {
+			t.Errorf("%s: caterpillar smaller than spine", w.Name)
+		}
+		if !w.Caterpillar.IsCaterpillarTree(w.Graph) {
+			t.Errorf("%s: caterpillar invariant violated", w.Name)
+		}
+	}
+	rep := Fig2Report(dfls, true)
+	for _, n := range names {
+		if !strings.Contains(rep, n) {
+			t.Errorf("report missing %s", n)
+		}
+	}
+	rep4 := Fig4Report(dfls)
+	if !strings.Contains(rep4, "caterpillar") {
+		t.Error("fig4 report malformed")
+	}
+}
+
+func TestFig2fSmall(t *testing.T) {
+	ranked, err := Fig2f(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) == 0 {
+		t.Fatal("no relations")
+	}
+	// Train must rank top, as in the paper's Fig. 2f.
+	if ranked[0].Consumer != dfl.TaskID("train#it0") {
+		t.Fatalf("top = %v", ranked[0])
+	}
+	tbl := patterns.Table("fig2f", ranked, 5)
+	if !strings.Contains(tbl, "train") {
+		t.Fatal("table missing train")
+	}
+}
+
+func TestFig3(t *testing.T) {
+	g, p, cat, opps, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsDAG() {
+		t.Fatal("fig3 graph not a DAG")
+	}
+	// Volume spine starts at t1 and runs through the t1..t5 chain (it may
+	// extend past t5 through the splitter outputs).
+	if p.Vertices[0] != dfl.TaskID("t1") || !p.Contains(dfl.TaskID("t5")) {
+		t.Fatalf("spine = %v", p.Vertices)
+	}
+	// DFL extension: t9 (producer of leg d9) must be included.
+	if !cat.Contains(dfl.TaskID("t9")) {
+		t.Fatal("distance-2 producer t9 missing from caterpillar")
+	}
+	// Patterns: t3 aggregates; t5 splits.
+	var agg, split bool
+	for _, o := range opps {
+		for _, v := range o.Vertices {
+			if (o.Kind == patterns.AggregatorPattern || o.Kind == patterns.CompressorAggregator) && v == dfl.TaskID("t3") {
+				agg = true
+			}
+			if o.Kind == patterns.SplitterPattern && v == dfl.TaskID("t5") {
+				split = true
+			}
+		}
+	}
+	if !agg {
+		t.Error("t3 aggregator not detected")
+	}
+	if !split {
+		t.Error("t5 splitter not detected")
+	}
+}
+
+func TestFig5Small(t *testing.T) {
+	g, cat, br, jn, err := Fig5(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br == 0 || jn == 0 {
+		t.Fatalf("branches=%d joins=%d", br, jn)
+	}
+	if cat.Size() == 0 || g.NumVertices() == 0 {
+		t.Fatal("empty outputs")
+	}
+}
+
+func TestFig6Small(t *testing.T) {
+	rows, err := Fig6(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Speedup != 1 {
+		t.Fatalf("baseline speedup = %v", rows[0].Speedup)
+	}
+	// The best configuration must be a staging one.
+	best := rows[0]
+	for _, r := range rows {
+		if r.Makespan < best.Makespan {
+			best = r
+		}
+	}
+	if !best.Config.StageInputs {
+		t.Errorf("best config %s is not a staging config", best.Config.Name)
+	}
+	rep := Fig6Report(rows)
+	if !strings.Contains(rep, "15/bfs") || !strings.Contains(rep, "speedup") {
+		t.Fatalf("report malformed:\n%s", rep)
+	}
+}
+
+func TestFig7Small(t *testing.T) {
+	rows, err := Fig7(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Every Shortened variant must beat every Original variant.
+	var worstShort, bestOrig float64
+	for _, r := range rows {
+		if strings.HasPrefix(r.Config.Name, "Original") {
+			if bestOrig == 0 || r.Makespan < bestOrig {
+				bestOrig = r.Makespan
+			}
+		} else if r.Makespan > worstShort {
+			worstShort = r.Makespan
+		}
+	}
+	if worstShort >= bestOrig {
+		t.Errorf("shortened (%v) not uniformly faster than original (%v)", worstShort, bestOrig)
+	}
+	rep := Fig7Report(rows)
+	if !strings.Contains(rep, "Shortened/bfs+shm") {
+		t.Fatalf("report malformed:\n%s", rep)
+	}
+}
+
+func TestFig8Small(t *testing.T) {
+	d, err := Fig8(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CachingSpeedup <= 1 {
+		t.Fatalf("caching speedup = %v", d.CachingSpeedup)
+	}
+	if d.Relative["S1"] != 1 {
+		t.Fatalf("S1 relative = %v", d.Relative["S1"])
+	}
+	if d.Relative["S6"] >= d.Relative["S1"] {
+		t.Fatalf("S6 not better than S1: %v", d.Relative)
+	}
+	rep := Fig8Report(d)
+	if !strings.Contains(rep, "TAZeR") || !strings.Contains(rep, "S6") {
+		t.Fatalf("report malformed:\n%s", rep)
+	}
+}
+
+func TestTable1Small(t *testing.T) {
+	dfls, err := Fig2(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	census := Table1(dfls)
+	if len(census) != 5 {
+		t.Fatalf("census workflows = %d", len(census))
+	}
+	// DDMD must show intra-task locality (train) and inter-task locality.
+	dd := census["deepdrivemd"]
+	if dd[patterns.IntraTaskLocality] == 0 {
+		t.Error("DDMD intra-task locality missing")
+	}
+	if dd[patterns.InterTaskLocality] == 0 {
+		t.Error("DDMD inter-task locality missing")
+	}
+	// 1000 Genomes must show compressor-aggregators (merge).
+	if census["1000genomes"][patterns.CompressorAggregator] == 0 {
+		t.Error("genomes compressor-aggregator missing")
+	}
+	rep := Table1Report(census, dfls)
+	if !strings.Contains(rep, "inter-task-locality") {
+		t.Fatalf("report malformed:\n%s", rep)
+	}
+}
+
+func TestSweepDDMD(t *testing.T) {
+	points, err := SweepDDMD([]int{2, 4, 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i, pt := range points {
+		// DAG grows with the parameter; the template stays near-constant
+		// (sim instances collapse) — the point of DFL-T generalization.
+		if pt.Template.NumVertices() >= pt.Averaged.NumVertices() && pt.Param > 1 {
+			t.Errorf("n=%d: template (%d) not smaller than DAG (%d)",
+				pt.Param, pt.Template.NumVertices(), pt.Averaged.NumVertices())
+		}
+		if i > 0 {
+			prev := points[i-1]
+			if pt.AggVolume <= prev.AggVolume {
+				t.Errorf("agg volume not growing: %d -> %d", prev.AggVolume, pt.AggVolume)
+			}
+			if pt.Averaged.NumVertices() <= prev.Averaged.NumVertices() {
+				t.Errorf("DAG not growing with parameter")
+			}
+			// Template vertex count is invariant across the sweep.
+			if pt.Template.NumVertices() != prev.Template.NumVertices() {
+				t.Errorf("template shape changed: %d vs %d",
+					pt.Template.NumVertices(), prev.Template.NumVertices())
+			}
+		}
+	}
+	rep := SweepReport(points)
+	if !strings.Contains(rep, "simTasks") {
+		t.Fatalf("report malformed:\n%s", rep)
+	}
+}
+
+func TestSeismicWhatIf(t *testing.T) {
+	p := smallSeismic()
+	rows, err := SeismicWhatIf(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	multi, composed := rows[0], rows[1]
+	if multi.Variant != SeismicMultiStage || composed.Variant != SeismicComposed {
+		t.Fatalf("variant order: %v %v", multi.Variant, composed.Variant)
+	}
+	// Composition reduces data movement (no window intermediates) and task
+	// count — the §6.1 prediction.
+	if composed.BytesMoved >= multi.BytesMoved {
+		t.Errorf("composed moved %d bytes, multi %d — expected less",
+			composed.BytesMoved, multi.BytesMoved)
+	}
+	if composed.Tasks >= multi.Tasks {
+		t.Errorf("composed tasks %d not fewer than %d", composed.Tasks, multi.Tasks)
+	}
+	rep := SeismicWhatIfReport(rows)
+	if !strings.Contains(rep, "composed") {
+		t.Fatalf("report malformed:\n%s", rep)
+	}
+}
+
+func smallSeismic() workflows.SeismicParams {
+	p := workflows.DefaultSeismic()
+	p.Stations, p.GroupSize, p.SignalBytes = 12, 4, 8<<20
+	p.XcorrCompute, p.FinalCompute = 1, 0.5
+	return p
+}
+
+func TestMontageScaling(t *testing.T) {
+	p := workflows.DefaultMontage()
+	// Enough images that every node count in the sweep is still
+	// core-constrained (24 project tasks over 8/16/32 cores).
+	p.Images = 24
+	p.ProjectCompute, p.DiffCompute, p.FitCompute, p.AddCompute = 4, 1, 1, 2
+	rows, err := MontageScaling(p, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Makespan must shrink with nodes, efficiency stay reasonable, and the
+	// I/O share stay low throughout (the "room to parallelize" claim).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Makespan >= rows[i-1].Makespan {
+			t.Errorf("no speedup at %d nodes: %v vs %v",
+				rows[i].Nodes, rows[i].Makespan, rows[i-1].Makespan)
+		}
+	}
+	for _, r := range rows {
+		if r.IOShare > 0.4 {
+			t.Errorf("n=%d: I/O share %.2f too high for compute-bound claim",
+				r.Nodes, r.IOShare)
+		}
+	}
+	if rows[1].Efficiency < 0.6 {
+		t.Errorf("2-node efficiency %.2f too low", rows[1].Efficiency)
+	}
+	rep := MontageScalingReport(rows)
+	if !strings.Contains(rep, "efficiency") {
+		t.Fatalf("report malformed:\n%s", rep)
+	}
+}

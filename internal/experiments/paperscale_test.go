@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// Paper-scale golden tests: these pin the headline reproduction numbers the
+// README and EXPERIMENTS.md quote. They are the repository's core claim, so
+// they run in the normal suite (Fig. 6/7 take ~1 s each); the Belle II sweep
+// is the slow one and hides behind -short.
+
+func TestPaperScaleFig6Headlines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	rows, err := Fig6(Paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) Fig6Row {
+		for _, r := range rows {
+			if r.Config.Name == name {
+				return r
+			}
+		}
+		t.Fatalf("config %s missing", name)
+		return Fig6Row{}
+	}
+	// 10 nodes beats 15 (paper: same direction).
+	if get("10/bfs").Makespan >= get("15/bfs").Makespan {
+		t.Error("10/bfs not faster than 15/bfs")
+	}
+	// Local intermediates improve stage 4 by ~2-3x (paper: up to 2.8x).
+	s4bfs := get("10/bfs").Stages["stage4-freq-mutat"]
+	s4shm := get("10/bfs+shm").Stages["stage4-freq-mutat"]
+	if ratio := s4bfs / s4shm; ratio < 1.8 || ratio > 4 {
+		t.Errorf("stage-4 +shm ratio = %.2f, want ~2.6 (paper: up to 2.8)", ratio)
+	}
+	// Overall best speedup lands in the paper's order of magnitude (15x).
+	best := 0.0
+	for _, r := range rows {
+		if r.Speedup > best {
+			best = r.Speedup
+		}
+	}
+	if best < 10 || best > 40 {
+		t.Errorf("overall speedup = %.1fx, want 10-40x (paper: 15x)", best)
+	}
+}
+
+func TestPaperScaleFig7Headlines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	rows, err := Fig7(Paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Config.Name] = r.Makespan
+	}
+	// Same-tier Shortened-vs-Original speedup ~1.9x (paper: up to 1.9x).
+	ratio := byName["Original/bfs"] / byName["Shortened/bfs"]
+	if ratio < 1.6 || ratio > 2.2 {
+		t.Errorf("Shortened speedup = %.2fx, want ~1.9x", ratio)
+	}
+	// Tier ordering within Shortened: nfs >= bfs >= bfs+shm.
+	if byName["Shortened/bfs"] > byName["Shortened/nfs"] ||
+		byName["Shortened/bfs+shm"] > byName["Shortened/bfs"] {
+		t.Errorf("Shortened tier ordering wrong: %v", byName)
+	}
+}
+
+func TestPaperScaleFig8Headlines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale Belle II sweep (~20s)")
+	}
+	d, err := Fig8(Paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Caching speedup in the paper's neighbourhood (10.0x).
+	if d.CachingSpeedup < 5 || d.CachingSpeedup > 16 {
+		t.Errorf("caching speedup = %.1fx, want 5-16x (paper: 10x)", d.CachingSpeedup)
+	}
+	// Scenario improvements within generous bands of the paper's 6/65/67/95/100.
+	checks := []struct {
+		name     string
+		lo, hi   float64 // improvement percentage band
+		paperPct float64
+	}{
+		{"S2", 3, 35, 6},
+		{"S3", 45, 80, 65},
+		{"S4", 50, 85, 67},
+		{"S5", 80, 100, 95},
+		{"S6", 85, 100, 100},
+	}
+	for _, c := range checks {
+		imp := 100 * (1 - d.Relative[c.name])
+		if imp < c.lo || imp > c.hi {
+			t.Errorf("%s improvement = %.0f%%, want %v-%v%% (paper: %.0f%%)",
+				c.name, imp, c.lo, c.hi, c.paperPct)
+		}
+	}
+	// Monotone ordering S1 >= S2 >= ... >= S6 in relative time.
+	order := []string{"S1", "S2", "S3", "S4", "S5", "S6"}
+	for i := 1; i < len(order); i++ {
+		if d.Relative[order[i]] > d.Relative[order[i-1]]+1e-9 {
+			t.Errorf("relative times not monotone at %s: %v", order[i], d.Relative)
+		}
+	}
+}

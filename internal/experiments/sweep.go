@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"datalife/internal/dfl"
+	"datalife/internal/workflows"
+)
+
+// Sweep implements §2's graph generalization: "We generalize either DFL-DAGs
+// or DFL-Ts by varying a key input parameter and forming averaged graphs
+// from several executions." SweepDDMD varies the simulation-task count,
+// executes each point several times, averages the per-point runs
+// (dfl.AverageRuns), and reduces each averaged DAG to its template for
+// cross-point comparison.
+type SweepPoint struct {
+	// Param is the varied key parameter (DDMD: simulation tasks).
+	Param int
+	// Averaged is the run-averaged DFL-DAG at this point.
+	Averaged *dfl.Graph
+	// Template is the corresponding lifecycle template (DFL-T).
+	Template *dfl.Graph
+	// TrainVolume and AggVolume summarize how the headline flows scale.
+	TrainVolume, AggVolume uint64
+}
+
+// SweepDDMD runs DDMD at each simulation-task count, `runs` times per point.
+func SweepDDMD(simTasks []int, runs int) ([]SweepPoint, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	var out []SweepPoint
+	for _, n := range simTasks {
+		p := workflows.DefaultDDMD()
+		p.SimTasks = n
+		p.SimOutBytes = 16 << 20 // sweep at reduced size; shape is the target
+		p.SimCompute, p.AggCompute, p.TrainCompute, p.LofCompute = 2, 0.5, 4, 1
+
+		var gs []*dfl.Graph
+		for r := 0; r < runs; r++ {
+			// The workload is deterministic, so per-run graphs are identical
+			// in structure — exactly the precondition AverageRuns needs.
+			g, _, err := workflows.RunAndCollect(workflows.DDMD(p, 0),
+				workflows.RunOptions{Nodes: 2, Cores: 32})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sweep n=%d run=%d: %w", n, r, err)
+			}
+			gs = append(gs, g)
+		}
+		avg, err := dfl.AverageRuns(gs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep n=%d: %w", n, err)
+		}
+		// Group task instances by suffix AND parallel data instances
+		// (md.itI.J.h5 → md.h5), so the template's shape is invariant in the
+		// parameter — the property that makes DFL-Ts comparable across sweep
+		// points (§2).
+		group := func(kind dfl.VertexKind, name string) string {
+			if kind == dfl.TaskVertex {
+				return dfl.InstanceSuffixGroup(kind, name)
+			}
+			if strings.HasPrefix(name, "md.it") && strings.HasSuffix(name, ".h5") {
+				return "md.h5"
+			}
+			return name
+		}
+		pt := SweepPoint{Param: n, Averaged: avg, Template: dfl.Template(avg, group)}
+		if e := avg.FindEdge(dfl.DataID("combined.it0.h5"), dfl.TaskID("train#it0")); e != nil {
+			pt.TrainVolume = e.Props.Volume
+		}
+		if e := avg.FindEdge(dfl.TaskID("aggregate#it0"), dfl.DataID("combined.it0.h5")); e != nil {
+			pt.AggVolume = e.Props.Volume
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// SweepReport renders the sweep as a table: how the key flows and the
+// template shape evolve with the parameter.
+func SweepReport(points []SweepPoint) string {
+	var b strings.Builder
+	b.WriteString("DFL generalization sweep (DDMD, varying simulation tasks)\n")
+	fmt.Fprintf(&b, "%8s %10s %10s %14s %14s %8s\n",
+		"simTasks", "DAG |V|", "DFL-T |V|", "agg vol (B)", "train vol (B)", "reuse")
+	for _, pt := range points {
+		reuse := 0.0
+		if pt.AggVolume > 0 {
+			reuse = float64(pt.TrainVolume) / float64(pt.AggVolume)
+		}
+		fmt.Fprintf(&b, "%8d %10d %10d %14d %14d %8.2f\n",
+			pt.Param, pt.Averaged.NumVertices(), pt.Template.NumVertices(),
+			pt.AggVolume, pt.TrainVolume, reuse)
+	}
+	return b.String()
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"datalife/internal/sim"
+	"datalife/internal/vfs"
+	"datalife/internal/workflows"
+)
+
+// The paper's §6.1 identifies two further opportunities it reasons about but
+// does not evaluate. This file carries both through to execution:
+//
+//   - Seismic Cross Correlation: "a multi-stage aggregation could introduce
+//     more task and flow parallelism ... reducing the stages with task
+//     composition would reduce data movement and increase locality." We run
+//     both recompositions and compare.
+//   - Montage: "there is room to parallelize or accelerate tasks without
+//     overburdening flow resources." We sweep node counts and verify compute
+//     scales while flow resources stay uncontended.
+
+// SeismicVariant selects the recomposition.
+type SeismicVariant uint8
+
+const (
+	// SeismicMultiStage is the original two-level aggregation.
+	SeismicMultiStage SeismicVariant = iota
+	// SeismicComposed folds windowing into the correlation aggregators
+	// (task composition: fewer stages, fewer intermediate files, less
+	// movement, more locality).
+	SeismicComposed
+)
+
+func (v SeismicVariant) String() string {
+	if v == SeismicMultiStage {
+		return "multi-stage"
+	}
+	return "composed"
+}
+
+// BuildSeismicVariant constructs the chosen recomposition of the Seismic
+// workflow. The composed variant merges each window task into its group's
+// xcorr task: signals are read directly by the aggregator and the window
+// intermediates never exist.
+func BuildSeismicVariant(p workflows.SeismicParams, v SeismicVariant) *workflows.Spec {
+	if v == SeismicMultiStage {
+		return workflows.Seismic(p)
+	}
+	s := &workflows.Spec{Name: "seismic-composed", Workload: &sim.Workload{Name: "seismic-composed"}}
+	sig := func(i int) string { return fmt.Sprintf("signals/st-%03d.sac", i) }
+	xo := func(g int) string { return fmt.Sprintf("xcorr/x-%02d.dat", g) }
+	groups := (p.Stations + p.GroupSize - 1) / p.GroupSize
+	for i := 0; i < p.Stations; i++ {
+		s.Inputs = append(s.Inputs, workflows.InputFile{Path: sig(i), Size: p.SignalBytes})
+	}
+	var xNames []string
+	for g := 0; g < groups; g++ {
+		lo, hi := g*p.GroupSize, (g+1)*p.GroupSize
+		if hi > p.Stations {
+			hi = p.Stations
+		}
+		script := []sim.Op{}
+		for i := lo; i < hi; i++ {
+			script = append(script,
+				sim.Open(sig(i)), sim.Read(sig(i), p.SignalBytes, 2<<20), sim.Close(sig(i)))
+		}
+		// Composition: windowing compute joins the correlation compute; the
+		// window intermediates are never written or re-read.
+		script = append(script,
+			sim.Compute(2*float64(hi-lo)+p.XcorrCompute),
+			sim.Open(xo(g)),
+			sim.Write(xo(g), p.SignalBytes/4*int64(hi-lo), 2<<20),
+			sim.Close(xo(g)))
+		name := fmt.Sprintf("xcorr#%02d", g)
+		xNames = append(xNames, name)
+		s.Workload.Tasks = append(s.Workload.Tasks, &sim.Task{
+			Name: name, Stage: "xcorr", Script: script,
+		})
+	}
+	final := []sim.Op{}
+	var inBytes int64
+	for g := 0; g < groups; g++ {
+		n := p.GroupSize
+		if (g+1)*p.GroupSize > p.Stations {
+			n = p.Stations - g*p.GroupSize
+		}
+		sz := p.SignalBytes / 4 * int64(n)
+		inBytes += sz
+		final = append(final,
+			sim.Open(xo(g)), sim.Read(xo(g), sz, 2<<20), sim.Close(xo(g)))
+	}
+	final = append(final,
+		sim.Compute(p.FinalCompute),
+		sim.Open("xcorr-all.tar.gz"),
+		sim.Write("xcorr-all.tar.gz", inBytes/5, 2<<20),
+		sim.Close("xcorr-all.tar.gz"))
+	s.Workload.Tasks = append(s.Workload.Tasks, &sim.Task{
+		Name: "compress", Stage: "compress", Deps: xNames, Script: final,
+	})
+	return s
+}
+
+// SeismicWhatIfRow is one variant's outcome.
+type SeismicWhatIfRow struct {
+	Variant    SeismicVariant
+	Makespan   float64
+	BytesMoved uint64
+	Tasks      int
+}
+
+// SeismicWhatIf runs both recompositions on the same cluster and returns the
+// comparison (the §6.1 trade-off made concrete).
+func SeismicWhatIf(p workflows.SeismicParams, nodes int) ([]SeismicWhatIfRow, error) {
+	var rows []SeismicWhatIfRow
+	for _, v := range []SeismicVariant{SeismicMultiStage, SeismicComposed} {
+		spec := BuildSeismicVariant(p, v)
+		fs := vfs.New()
+		cl, err := sim.BuildCluster(fs, sim.ClusterSpec{
+			Name: "c", Nodes: nodes, Cores: 24, DefaultTier: "nfs",
+			Shared: []*vfs.Tier{vfs.NewNFS("nfs")},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := spec.Seed(fs, "nfs"); err != nil {
+			return nil, err
+		}
+		eng := &sim.Engine{FS: fs, Cluster: cl}
+		res, err := eng.Run(spec.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seismic %s: %w", v, err)
+		}
+		var moved uint64
+		for _, b := range res.TierBytes {
+			moved += b
+		}
+		rows = append(rows, SeismicWhatIfRow{Variant: v, Makespan: res.Makespan,
+			BytesMoved: moved, Tasks: len(spec.Workload.Tasks)})
+	}
+	return rows, nil
+}
+
+// SeismicWhatIfReport renders the comparison.
+func SeismicWhatIfReport(rows []SeismicWhatIfRow) string {
+	var b strings.Builder
+	b.WriteString("Seismic recomposition what-if (§6.1 trade-off)\n")
+	fmt.Fprintf(&b, "%-12s %8s %10s %14s\n", "variant", "tasks", "time(s)", "bytes moved")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8d %10.1f %14d\n", r.Variant, r.Tasks, r.Makespan, r.BytesMoved)
+	}
+	return b.String()
+}
+
+// MontageScalingRow is one node count's outcome.
+type MontageScalingRow struct {
+	Nodes      int
+	Makespan   float64
+	Efficiency float64 // speedup / nodes relative to 1 node
+	// IOShare is the fraction of tier-blocking time over total task time —
+	// must stay low for the paper's "room to parallelize" claim to hold.
+	IOShare float64
+}
+
+// MontageScaling sweeps node counts for Montage, verifying compute scales
+// while flow resources stay unconstrained.
+func MontageScaling(p workflows.MontageParams, nodeCounts []int) ([]MontageScalingRow, error) {
+	var rows []MontageScalingRow
+	var base float64
+	for _, n := range nodeCounts {
+		spec := workflows.Montage(p)
+		fs := vfs.New()
+		cl, err := sim.BuildCluster(fs, sim.ClusterSpec{
+			Name: "c", Nodes: n, Cores: 8, DefaultTier: "nfs",
+			Shared: []*vfs.Tier{vfs.NewNFS("nfs")},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := spec.Seed(fs, "nfs"); err != nil {
+			return nil, err
+		}
+		eng := &sim.Engine{FS: fs, Cluster: cl}
+		res, err := eng.Run(spec.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: montage n=%d: %w", n, err)
+		}
+		if base == 0 {
+			base = res.Makespan
+		}
+		var ioTime float64
+		for _, s := range res.TierTime {
+			ioTime += s
+		}
+		row := MontageScalingRow{Nodes: n, Makespan: res.Makespan}
+		row.Efficiency = (base / res.Makespan) / (float64(n) / float64(nodeCounts[0]))
+		if denom := ioTime + res.ComputeTime; denom > 0 {
+			row.IOShare = ioTime / denom
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// MontageScalingReport renders the sweep.
+func MontageScalingReport(rows []MontageScalingRow) string {
+	var b strings.Builder
+	b.WriteString("Montage parallelism headroom (§6.1)\n")
+	fmt.Fprintf(&b, "%6s %10s %12s %10s\n", "nodes", "time(s)", "efficiency", "I/O share")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %10.1f %11.0f%% %9.0f%%\n",
+			r.Nodes, r.Makespan, 100*r.Efficiency, 100*r.IOShare)
+	}
+	return b.String()
+}

@@ -1,0 +1,219 @@
+// Package export serializes DFL graphs and analysis results for downstream
+// tooling: Graphviz DOT for structure, JSON for property graphs (the paper's
+// artifact stores measurements as per-task-file records), and CSV for ranked
+// tables.
+package export
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"datalife/internal/cpa"
+	"datalife/internal/dfl"
+	"datalife/internal/patterns"
+)
+
+// DOT renders the graph in Graphviz format: tasks as red ellipses, data as
+// blue boxes, edges scaled by a volume-proportional pen width, and critical
+// path members outlined in purple.
+func DOT(g *dfl.Graph, critical cpa.Path) string {
+	onPath := make(map[dfl.ID]bool, len(critical.Vertices))
+	for _, id := range critical.Vertices {
+		onPath[id] = true
+	}
+	var maxVol uint64 = 1
+	for _, e := range g.Edges() {
+		if e.Props.Volume > maxVol {
+			maxVol = e.Props.Volume
+		}
+	}
+	var b strings.Builder
+	b.WriteString("digraph dfl {\n  rankdir=LR;\n")
+	for _, v := range g.Vertices() {
+		shape, color := "box", "#2e86c1"
+		if v.ID.Kind == dfl.TaskVertex {
+			shape, color = "ellipse", "#c0392b"
+		}
+		pen := ""
+		if onPath[v.ID] {
+			pen = ` penwidth=3 color="#8e44ad"`
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s style=filled fillcolor=%q%s];\n",
+			v.ID.String(), shape, color, pen)
+	}
+	for _, e := range g.Edges() {
+		w := 1 + 4*float64(e.Props.Volume)/float64(maxVol)
+		color := "#777777"
+		if onPath[e.Src] && onPath[e.Dst] {
+			color = "#8e44ad"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [penwidth=%.1f color=%q label=%q];\n",
+			e.Src.String(), e.Dst.String(), w, color, byteLabel(e.Props.Volume))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func byteLabel(v uint64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(v)/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(v)/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(v)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", v)
+	}
+}
+
+// jsonVertex and jsonEdge are the stable JSON schema.
+type jsonVertex struct {
+	Kind string         `json:"kind"`
+	Name string         `json:"name"`
+	Task *dfl.TaskProps `json:"task,omitempty"`
+	Data *dfl.DataProps `json:"data,omitempty"`
+}
+
+type jsonEdge struct {
+	Src   string        `json:"src"`
+	Dst   string        `json:"dst"`
+	Kind  string        `json:"kind"`
+	Props dfl.FlowProps `json:"props"`
+}
+
+type jsonGraph struct {
+	Vertices []jsonVertex `json:"vertices"`
+	Edges    []jsonEdge   `json:"edges"`
+}
+
+// JSON writes the property graph as a stable JSON document.
+func JSON(w io.Writer, g *dfl.Graph) error {
+	doc := jsonGraph{}
+	for _, v := range g.Vertices() {
+		jv := jsonVertex{Kind: v.ID.Kind.String(), Name: v.ID.Name}
+		if v.ID.Kind == dfl.TaskVertex {
+			t := v.Task
+			jv.Task = &t
+		} else {
+			d := v.Data
+			jv.Data = &d
+		}
+		doc.Vertices = append(doc.Vertices, jv)
+	}
+	for _, e := range g.Edges() {
+		doc.Edges = append(doc.Edges, jsonEdge{
+			Src: e.Src.String(), Dst: e.Dst.String(),
+			Kind: e.Kind.String(), Props: e.Props,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON reconstructs a graph from the JSON schema written by JSON.
+func ReadJSON(r io.Reader) (*dfl.Graph, error) {
+	var doc jsonGraph
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("export: decoding graph: %w", err)
+	}
+	g := dfl.New()
+	for _, jv := range doc.Vertices {
+		switch jv.Kind {
+		case "task":
+			v := g.AddTask(jv.Name)
+			if jv.Task != nil {
+				v.Task = *jv.Task
+			}
+		case "data":
+			v := g.AddData(jv.Name)
+			if jv.Data != nil {
+				v.Data = *jv.Data
+			}
+		default:
+			return nil, fmt.Errorf("export: unknown vertex kind %q", jv.Kind)
+		}
+	}
+	for _, je := range doc.Edges {
+		src, err := parseID(je.Src)
+		if err != nil {
+			return nil, err
+		}
+		dst, err := parseID(je.Dst)
+		if err != nil {
+			return nil, err
+		}
+		var kind dfl.EdgeKind
+		switch je.Kind {
+		case "consumer":
+			kind = dfl.Consumer
+		case "producer":
+			kind = dfl.Producer
+		default:
+			return nil, fmt.Errorf("export: unknown edge kind %q", je.Kind)
+		}
+		if _, err := g.AddEdge(src, dst, kind, je.Props); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func parseID(s string) (dfl.ID, error) {
+	switch {
+	case strings.HasPrefix(s, "task:"):
+		return dfl.TaskID(strings.TrimPrefix(s, "task:")), nil
+	case strings.HasPrefix(s, "data:"):
+		return dfl.DataID(strings.TrimPrefix(s, "data:")), nil
+	default:
+		return dfl.ID{}, fmt.Errorf("export: malformed vertex id %q", s)
+	}
+}
+
+// RankingCSV writes ranked entities as CSV with a header row.
+func RankingCSV(w io.Writer, entities []patterns.Entity) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rank", "kind", "producer", "data", "consumer", "value", "detail"}); err != nil {
+		return err
+	}
+	for i, e := range entities {
+		rec := []string{
+			fmt.Sprintf("%d", i+1), e.Kind.String(),
+			e.Producer.Name, e.Data.Name, e.Consumer.Name,
+			fmt.Sprintf("%g", e.Value), e.Detail,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// OpportunitiesCSV writes detected opportunities as CSV.
+func OpportunitiesCSV(w io.Writer, opps []patterns.Opportunity) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rank", "pattern", "severity", "vertices", "detail", "must_validate", "remediation"}); err != nil {
+		return err
+	}
+	for i, o := range opps {
+		names := make([]string, len(o.Vertices))
+		for j, v := range o.Vertices {
+			names[j] = v.Name
+		}
+		rec := []string{
+			fmt.Sprintf("%d", i+1), o.Kind.String(),
+			fmt.Sprintf("%g", o.Severity), strings.Join(names, ";"),
+			o.Detail, fmt.Sprintf("%t", o.MustValidate), o.Remediation,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,142 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"datalife/internal/cpa"
+	"datalife/internal/dfl"
+	"datalife/internal/patterns"
+)
+
+func sample(t *testing.T) *dfl.Graph {
+	t.Helper()
+	g := dfl.New()
+	tv := g.AddTask("producer")
+	tv.Task.Lifetime = 12.5
+	dv := g.AddData("out.dat")
+	dv.Data.Size = 1 << 20
+	if _, err := g.AddEdge(dfl.TaskID("producer"), dfl.DataID("out.dat"), dfl.Producer,
+		dfl.FlowProps{Volume: 1 << 20, Footprint: 1 << 20, Ops: 16, Latency: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(dfl.DataID("out.dat"), dfl.TaskID("consumer"), dfl.Consumer,
+		dfl.FlowProps{Volume: 2 << 20, Footprint: 1 << 20, Ops: 32, Latency: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDOT(t *testing.T) {
+	g := sample(t)
+	p, err := cpa.CriticalPath(g, cpa.ByVolume, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := DOT(g, p)
+	if !strings.HasPrefix(dot, "digraph dfl {") {
+		t.Fatal("not a digraph")
+	}
+	for _, want := range []string{"task:producer", "data:out.dat", "ellipse", "box", "->", "#8e44ad"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestByteLabel(t *testing.T) {
+	cases := map[uint64]string{
+		512:     "512B",
+		2 << 10: "2.0KB",
+		3 << 20: "3.0MB",
+		5 << 30: "5.0GB",
+	}
+	for v, want := range cases {
+		if got := byteLabel(v); got != want {
+			t.Errorf("byteLabel(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := sample(t)
+	var buf bytes.Buffer
+	if err := JSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %dV/%dE vs %dV/%dE",
+			g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	v := g2.Vertex(dfl.TaskID("producer"))
+	if v == nil || v.Task.Lifetime != 12.5 {
+		t.Fatalf("task props lost: %+v", v)
+	}
+	d := g2.Vertex(dfl.DataID("out.dat"))
+	if d == nil || d.Data.Size != 1<<20 {
+		t.Fatalf("data props lost: %+v", d)
+	}
+	e := g2.FindEdge(dfl.DataID("out.dat"), dfl.TaskID("consumer"))
+	if e == nil || e.Props.Volume != 2<<20 || e.Props.Latency != 1.5 {
+		t.Fatalf("edge props lost: %+v", e)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("bad json accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"vertices":[{"kind":"alien","name":"x"}]}`)); err == nil {
+		t.Error("bad vertex kind accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"edges":[{"src":"nope","dst":"task:t","kind":"producer"}]}`)); err == nil {
+		t.Error("bad id accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"edges":[{"src":"task:t","dst":"data:d","kind":"sideways"}]}`)); err == nil {
+		t.Error("bad edge kind accepted")
+	}
+}
+
+func TestRankingCSV(t *testing.T) {
+	g := sample(t)
+	ranked := patterns.RankProducerConsumerByVolume(g)
+	var buf bytes.Buffer
+	if err := RankingCSV(&buf, ranked); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(ranked)+1 {
+		t.Fatalf("rows = %d", len(recs))
+	}
+	if recs[0][0] != "rank" || recs[1][1] != "producer-consumer" {
+		t.Fatalf("header/row wrong: %v", recs[:2])
+	}
+}
+
+func TestOpportunitiesCSV(t *testing.T) {
+	g := sample(t)
+	opps := patterns.Analyze(g, nil, patterns.Config{})
+	var buf bytes.Buffer
+	if err := OpportunitiesCSV(&buf, opps); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(opps)+1 {
+		t.Fatalf("rows = %d, opps = %d", len(recs), len(opps))
+	}
+	if recs[0][6] != "remediation" {
+		t.Fatalf("header = %v", recs[0])
+	}
+}

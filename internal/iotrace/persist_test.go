@@ -1,0 +1,90 @@
+package iotrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func collectSample(t *testing.T) *Collector {
+	t.Helper()
+	e := newEnv(t)
+	e.col.TaskStarted("w", 0)
+	tr := e.tracer("w")
+	h, err := tr.Open("data.bin", WRONLY|CREATE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		h.Write(1000)
+	}
+	h.Close()
+	e.col.TaskEnded("w", e.clk.Now())
+	e.col.TaskStarted("r", e.clk.Now())
+	rd := e.tracer("r")
+	rh, err := rd.Open("data.bin", RDONLY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh.Read(4000) // partial footprint
+	rh.Close()
+	e.col.TaskEnded("r", e.clk.Now())
+	return e.col
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	col := collectSample(t)
+	var buf bytes.Buffer
+	if err := col.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Config.BlocksPerFile != col.Config().BlocksPerFile {
+		t.Fatal("config lost")
+	}
+	if len(st.Tasks) != 2 || len(st.Flows) != 2 {
+		t.Fatalf("tasks=%d flows=%d", len(st.Tasks), len(st.Flows))
+	}
+	var reader *SavedFlow
+	for i := range st.Flows {
+		if st.Flows[i].Task == "r" {
+			reader = &st.Flows[i]
+		}
+	}
+	if reader == nil {
+		t.Fatal("reader flow missing")
+	}
+	if reader.ReadBytes != 4000 || reader.ReadOps != 1 {
+		t.Fatalf("reader: %+v", reader)
+	}
+	if reader.ReadFootprint == 0 || reader.FileSize != 8000 {
+		t.Fatalf("reader derived fields: %+v", reader)
+	}
+	// Lifetimes survive.
+	if st.Tasks[0].Lifetime() <= 0 {
+		t.Fatal("task lifetime lost")
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	if _, err := LoadJSON(strings.NewReader("{broken")); err == nil {
+		t.Fatal("bad json accepted")
+	}
+}
+
+func TestSaveIsDeterministic(t *testing.T) {
+	col := collectSample(t)
+	var a, b bytes.Buffer
+	if err := col.SaveJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.SaveJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("serialization not deterministic")
+	}
+}

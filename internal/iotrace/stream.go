@@ -1,0 +1,191 @@
+package iotrace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Stream is the C-stdio half of the shim (the paper intercepts "POSIX and C
+// I/O, which includes all variants of open, close, read, write, fseek").
+// Like a FILE*, it wraps a Handle with a user-space buffer: small
+// application reads and writes coalesce into buffer-sized accesses on the
+// underlying descriptor, which is exactly the granularity the collector
+// observes on real stdio programs.
+type Stream struct {
+	h       *Handle
+	bufSize int64
+	// read buffer window [bufOff, bufOff+bufLen) of the file.
+	bufOff, bufLen int64
+	// position of the application cursor within the file.
+	pos int64
+	// pending buffered write bytes (appended at wOff).
+	wPending int64
+	wOff     int64
+	writing  bool
+	closed   bool
+}
+
+// DefaultStreamBuffer matches common stdio BUFSIZ ballparks.
+const DefaultStreamBuffer = 64 << 10
+
+// FOpen opens path in the given mode ("r", "w", "a", "r+", "w+", "a+"),
+// mirroring fopen semantics.
+func (tr *Tracer) FOpen(path, mode string) (*Stream, error) {
+	var flags OpenFlag
+	switch mode {
+	case "r":
+		flags = RDONLY
+	case "w":
+		flags = WRONLY | CREATE | TRUNC
+	case "a":
+		flags = WRONLY | CREATE | APPEND
+	case "r+":
+		flags = RDWR
+	case "w+":
+		flags = RDWR | CREATE | TRUNC
+	case "a+":
+		flags = RDWR | CREATE | APPEND
+	default:
+		return nil, fmt.Errorf("iotrace: fopen mode %q", mode)
+	}
+	h, err := tr.Open(path, flags)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{h: h, bufSize: DefaultStreamBuffer}, nil
+}
+
+// SetBuffer adjusts the stdio buffer size (setvbuf); must be a positive
+// value and should be called before any I/O.
+func (s *Stream) SetBuffer(n int64) error {
+	if n <= 0 {
+		return fmt.Errorf("iotrace: buffer size must be positive, got %d", n)
+	}
+	if err := s.Flush(); err != nil && err != ErrClosed {
+		return err
+	}
+	s.bufSize = n
+	s.bufOff, s.bufLen = 0, 0
+	return nil
+}
+
+// Read consumes up to n bytes through the buffer, issuing buffer-sized
+// descriptor reads on misses (fread).
+func (s *Stream) Read(n int64) (int64, error) {
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("iotrace: negative read %d", n)
+	}
+	if err := s.Flush(); err != nil {
+		return 0, err
+	}
+	var got int64
+	for got < n {
+		// Serve from the buffer window when possible.
+		if s.pos >= s.bufOff && s.pos < s.bufOff+s.bufLen {
+			avail := s.bufOff + s.bufLen - s.pos
+			take := n - got
+			if take > avail {
+				take = avail
+			}
+			s.pos += take
+			got += take
+			continue
+		}
+		// Refill: one buffer-sized read at the cursor.
+		if _, err := s.h.Seek(s.pos, SeekSet); err != nil {
+			return got, err
+		}
+		rn, err := s.h.Read(s.bufSize)
+		if rn > 0 {
+			s.bufOff, s.bufLen = s.pos, rn
+		}
+		if err == io.EOF {
+			if got == 0 {
+				return 0, io.EOF
+			}
+			return got, nil
+		}
+		if err != nil {
+			return got, err
+		}
+	}
+	return got, nil
+}
+
+// Write buffers n bytes, flushing full buffers to the descriptor (fwrite).
+func (s *Stream) Write(n int64) (int64, error) {
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("iotrace: negative write %d", n)
+	}
+	if !s.writing {
+		s.writing = true
+		s.wOff = s.pos
+		s.wPending = 0
+	}
+	s.pos += n
+	s.wPending += n
+	for s.wPending >= s.bufSize {
+		if _, err := s.h.Pwrite(s.wOff, s.bufSize); err != nil {
+			return 0, err
+		}
+		s.wOff += s.bufSize
+		s.wPending -= s.bufSize
+	}
+	return n, nil
+}
+
+// Flush drains pending buffered writes (fflush).
+func (s *Stream) Flush() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.writing || s.wPending == 0 {
+		s.writing = false
+		return nil
+	}
+	if _, err := s.h.Pwrite(s.wOff, s.wPending); err != nil {
+		return err
+	}
+	s.wOff += s.wPending
+	s.wPending = 0
+	s.writing = false
+	return nil
+}
+
+// Seek repositions the cursor (fseek), flushing pending writes and
+// invalidating the read buffer when leaving its window.
+func (s *Stream) Seek(off int64, whence int) (int64, error) {
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if err := s.Flush(); err != nil {
+		return 0, err
+	}
+	n, err := s.h.Seek(off, whence)
+	if err != nil {
+		return 0, err
+	}
+	s.pos = n
+	return n, nil
+}
+
+// Tell returns the cursor position (ftell).
+func (s *Stream) Tell() int64 { return s.pos }
+
+// Close flushes and closes the stream (fclose).
+func (s *Stream) Close() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.Flush(); err != nil && err != ErrClosed {
+		return err
+	}
+	s.closed = true
+	return s.h.Close()
+}

@@ -1,0 +1,493 @@
+package patterns
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"datalife/internal/cpa"
+	"datalife/internal/dfl"
+)
+
+// Kind enumerates the opportunity patterns of Table 1 plus the task-relation
+// and composition patterns of §5.3–5.4.
+type Kind uint8
+
+const (
+	// DataVolume: tasks read/write large data volumes.
+	DataVolume Kind = iota
+	// MismatchedRate: producer and consumer data rates differ enough to stall.
+	MismatchedRate
+	// DataNonUse: data not used by any consumer, in whole or in part.
+	DataNonUse
+	// IntraTaskLocality: spatio-temporal access locality within a file.
+	IntraTaskLocality
+	// InterTaskLocality: the same data is used by multiple tasks or instances.
+	InterTaskLocality
+	// CriticalFlow: a flow on the caterpillar that causes stalling.
+	CriticalFlow
+	// ParallelismTradeoff: consumer in-degree implies concurrent producers.
+	ParallelismTradeoff
+	// AggregatorPattern: task fan-in combining similar-size inputs (§5.3).
+	AggregatorPattern
+	// CompressorAggregator: an aggregator whose output is smaller than its
+	// inputs (§5.3).
+	CompressorAggregator
+	// SplitterPattern: task fan-out scattering one input to many outputs (§5.4).
+	SplitterPattern
+	// AggregatorThenRegular: an aggregator followed by a single regular
+	// consumer (§5.4) — a coalescing/co-scheduling candidate.
+	AggregatorThenRegular
+)
+
+var kindNames = [...]string{
+	"data-volume", "mismatched-rate", "data-non-use", "intra-task-locality",
+	"inter-task-locality", "critical-flow", "parallelism-tradeoff",
+	"aggregator", "compressor-aggregator", "splitter", "aggregator-then-regular",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// remediations mirrors Table 1's remediation column.
+var remediations = map[Kind]string{
+	DataVolume:            "pair tasks & storage resources; write buffering; anticipatory data movement",
+	MismatchedRate:        "pair tasks & flow resources; adjust data generation rate; data filtering/compression",
+	DataNonUse:            "selective movement (on-demand caching); data filtering",
+	IntraTaskLocality:     "caching (hints, biased policies); block prefetching",
+	InterTaskLocality:     "caching; co-scheduling; data retention and placement",
+	CriticalFlow:          "bias resources for critical flows; anticipatory movement; change task-data synchronization",
+	ParallelismTradeoff:   "coordinate parallelism, task placement, and data flow resources",
+	AggregatorPattern:     "pipeline aggregation across links/storage; evaluate serialization overhead",
+	CompressorAggregator:  "assign to resource that benefits downstream flows; reconsider compression vs serialization",
+	SplitterPattern:       "co-schedule splitter with consumers; partition-aware placement",
+	AggregatorThenRegular: "coalesce or co-schedule the aggregator and its consumer",
+}
+
+// Opportunity is one identified remediation candidate.
+type Opportunity struct {
+	Kind Kind
+	// Vertices lists the involved vertices (entity).
+	Vertices []dfl.ID
+	// Severity ranks opportunities; higher means more promising.
+	Severity float64
+	// Detail explains the match.
+	Detail string
+	// Remediation suggests Table 1 strategies.
+	Remediation string
+	// MustValidate marks patterns the paper requires a human to confirm.
+	MustValidate bool
+}
+
+func (o Opportunity) String() string {
+	names := make([]string, len(o.Vertices))
+	for i, v := range o.Vertices {
+		names[i] = v.Name
+	}
+	v := ""
+	if o.MustValidate {
+		v = " [Must validate]"
+	}
+	return fmt.Sprintf("%-22s sev=%.4g %v: %s%s", o.Kind, o.Severity, names, o.Detail, v)
+}
+
+// Config tunes detector thresholds. Zero values select defaults.
+type Config struct {
+	// VolumeFraction flags flows whose volume exceeds this fraction of the
+	// total graph volume (default 0.10).
+	VolumeFraction float64
+	// RateMismatchFactor flags producer/consumer rate ratios beyond this
+	// factor (default 3).
+	RateMismatchFactor float64
+	// NonUseFraction flags consumers whose footprint is below this fraction
+	// of the file size (default 0.9).
+	NonUseFraction float64
+	// LocalityFraction flags flows whose zero- or small-distance fraction
+	// exceeds this value (default 0.5).
+	LocalityFraction float64
+	// ReuseThreshold flags flows with volume/footprint above this (default 1.5).
+	ReuseThreshold float64
+	// AggregatorCV is the maximum coefficient of variation for "similar
+	// size" aggregator inputs (default 1.0).
+	AggregatorCV float64
+	// CompressRatio is the output/input ratio under which an aggregator is a
+	// compressor (default 0.8).
+	CompressRatio float64
+	// ParallelismInDegree is the consumer in-degree that triggers the
+	// trade-off pattern (default 4).
+	ParallelismInDegree int
+}
+
+func (c Config) withDefaults() Config {
+	if c.VolumeFraction == 0 {
+		c.VolumeFraction = 0.10
+	}
+	if c.RateMismatchFactor == 0 {
+		c.RateMismatchFactor = 3
+	}
+	if c.NonUseFraction == 0 {
+		c.NonUseFraction = 0.9
+	}
+	if c.LocalityFraction == 0 {
+		c.LocalityFraction = 0.5
+	}
+	if c.ReuseThreshold == 0 {
+		c.ReuseThreshold = 1.5
+	}
+	if c.AggregatorCV == 0 {
+		c.AggregatorCV = 1.0
+	}
+	if c.CompressRatio == 0 {
+		c.CompressRatio = 0.8
+	}
+	if c.ParallelismInDegree == 0 {
+		c.ParallelismInDegree = 4
+	}
+	return c
+}
+
+// Analyze runs every Table 1 detector over the graph. When cat is non-nil the
+// search is narrowed to the caterpillar tree (§5.1); otherwise the whole
+// graph is scanned. Results are ranked by severity.
+func Analyze(g *dfl.Graph, cat *cpa.Caterpillar, cfg Config) []Opportunity {
+	cfg = cfg.withDefaults()
+	inScope := func(id dfl.ID) bool { return cat == nil || cat.Contains(id) }
+
+	var out []Opportunity
+	out = append(out, detectDataVolume(g, inScope, cfg)...)
+	out = append(out, detectMismatchedRate(g, inScope, cfg)...)
+	out = append(out, detectDataNonUse(g, inScope, cfg)...)
+	out = append(out, detectIntraTaskLocality(g, inScope, cfg)...)
+	out = append(out, detectInterTaskLocality(g, inScope, cfg)...)
+	out = append(out, detectCriticalFlow(g, cat)...)
+	out = append(out, detectParallelismTradeoff(g, inScope, cfg)...)
+	out = append(out, detectTaskCompositions(g, inScope, cfg)...)
+
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Severity != out[j].Severity {
+			return out[i].Severity > out[j].Severity
+		}
+		return out[i].String() < out[j].String()
+	})
+	return out
+}
+
+func newOpp(k Kind, sev float64, detail string, mustValidate bool, vs ...dfl.ID) Opportunity {
+	return Opportunity{Kind: k, Vertices: vs, Severity: sev, Detail: detail,
+		Remediation: remediations[k], MustValidate: mustValidate}
+}
+
+// detectDataVolume flags flows whose volume exceeds a fraction of total flow
+// (Table 1 row 1: volumes exceeding storage or network ability).
+func detectDataVolume(g *dfl.Graph, inScope func(dfl.ID) bool, cfg Config) []Opportunity {
+	total := g.TotalVolume()
+	if total == 0 {
+		return nil
+	}
+	thresh := uint64(float64(total) * cfg.VolumeFraction)
+	var out []Opportunity
+	for _, e := range g.Edges() {
+		if !inScope(e.Src) || !inScope(e.Dst) {
+			continue
+		}
+		if e.Props.Volume > thresh {
+			out = append(out, newOpp(DataVolume, float64(e.Props.Volume),
+				fmt.Sprintf("flow carries %d B (%.0f%% of workflow volume)",
+					e.Props.Volume, 100*float64(e.Props.Volume)/float64(total)),
+				false, e.Src, e.Dst))
+		}
+	}
+	return out
+}
+
+// detectMismatchedRate compares producer vs consumer data rates per data
+// vertex (Table 1 row 2).
+func detectMismatchedRate(g *dfl.Graph, inScope func(dfl.ID) bool, cfg Config) []Opportunity {
+	var out []Opportunity
+	for _, v := range g.DataFiles() {
+		if !inScope(v.ID) {
+			continue
+		}
+		var inRate, outRate float64
+		for _, e := range g.In(v.ID) {
+			inRate += e.Props.Rate()
+		}
+		for _, e := range g.Out(v.ID) {
+			outRate += e.Props.Rate()
+		}
+		if inRate == 0 || outRate == 0 {
+			continue
+		}
+		ratio := inRate / outRate
+		if ratio < 1 {
+			ratio = 1 / ratio
+		}
+		if ratio >= cfg.RateMismatchFactor {
+			vol := float64(0)
+			for _, e := range g.Out(v.ID) {
+				vol += float64(e.Props.Volume)
+			}
+			out = append(out, newOpp(MismatchedRate, vol*math.Log2(ratio),
+				fmt.Sprintf("producer rate %.3g B/s vs consumer rate %.3g B/s (%.1fx)",
+					inRate, outRate, ratio),
+				false, v.ID))
+		}
+	}
+	return out
+}
+
+// detectDataNonUse finds (a) data leaf vertices with producers but no
+// consumers and (b) consumer flows whose footprint is well below the file
+// size (Table 1 row 3).
+func detectDataNonUse(g *dfl.Graph, inScope func(dfl.ID) bool, cfg Config) []Opportunity {
+	var out []Opportunity
+	for _, v := range g.DataFiles() {
+		if !inScope(v.ID) {
+			continue
+		}
+		if g.InDegree(v.ID) > 0 && g.OutDegree(v.ID) == 0 {
+			out = append(out, newOpp(DataNonUse, float64(v.Data.Size),
+				fmt.Sprintf("produced (%d B) but never consumed", v.Data.Size),
+				false, v.ID))
+			continue
+		}
+		for _, e := range g.Out(v.ID) {
+			if v.Data.Size <= 0 {
+				continue
+			}
+			frac := float64(e.Props.Footprint) / float64(v.Data.Size)
+			if frac < cfg.NonUseFraction {
+				unused := float64(v.Data.Size) - float64(e.Props.Footprint)
+				out = append(out, newOpp(DataNonUse, unused,
+					fmt.Sprintf("consumer %s touches %.0f%% of %d B file",
+						e.Dst.Name, 100*frac, v.Data.Size),
+					false, v.ID, e.Dst))
+			}
+		}
+	}
+	return out
+}
+
+// detectIntraTaskLocality flags consumer flows with strong spatial locality
+// (small consecutive access distances) or temporal reuse (Table 1 row 4).
+func detectIntraTaskLocality(g *dfl.Graph, inScope func(dfl.ID) bool, cfg Config) []Opportunity {
+	var out []Opportunity
+	for _, e := range g.Edges() {
+		if e.Kind != dfl.Consumer || !inScope(e.Src) || !inScope(e.Dst) {
+			continue
+		}
+		spatial := e.Props.SmallDistFrac >= cfg.LocalityFraction
+		reuse := e.Props.ReuseFactor() >= cfg.ReuseThreshold
+		if !spatial && !reuse {
+			continue
+		}
+		kinds := ""
+		if spatial {
+			kinds = fmt.Sprintf("spatial locality (%.0f%% accesses < block; %.0f%% distance-0)",
+				100*e.Props.SmallDistFrac, 100*e.Props.ZeroDistFrac)
+		}
+		if reuse {
+			if kinds != "" {
+				kinds += "; "
+			}
+			kinds += fmt.Sprintf("intra-task reuse %.1fx", e.Props.ReuseFactor())
+		}
+		out = append(out, newOpp(IntraTaskLocality,
+			float64(e.Props.Volume)*math.Max(e.Props.SmallDistFrac, e.Props.ReuseFactor()-1),
+			kinds, false, e.Src, e.Dst))
+	}
+	return out
+}
+
+// detectInterTaskLocality flags data consumed by multiple distinct tasks
+// (Table 1 row 5: case 1/3 — multiple consumers share one file — and case 2
+// — instances of the same task template access the same data, e.g. control
+// loops).
+func detectInterTaskLocality(g *dfl.Graph, inScope func(dfl.ID) bool, cfg Config) []Opportunity {
+	var out []Opportunity
+	for _, v := range g.DataFiles() {
+		if !inScope(v.ID) {
+			continue
+		}
+		consumers := g.Consumers(v.ID)
+		if len(consumers) < 2 {
+			continue
+		}
+		var vol float64
+		for _, e := range g.Out(v.ID) {
+			vol += float64(e.Props.Volume)
+		}
+		// Case 2: if the consumers are instances of one task template, the
+		// reuse recurs across instances (loop iterations) — data retention
+		// is the remediation; otherwise it is plain multi-consumer sharing.
+		templates := make(map[string]int)
+		for _, c := range consumers {
+			templates[dfl.InstanceSuffixGroup(dfl.TaskVertex, c.Name)]++
+		}
+		loopTemplate := ""
+		for tpl, n := range templates {
+			if n >= 2 {
+				loopTemplate = tpl
+				break
+			}
+		}
+		detail := fmt.Sprintf("%d consumers share this data (%.4g B total read)",
+			len(consumers), vol)
+		if loopTemplate != "" {
+			detail += fmt.Sprintf("; %d are instances of task %q (loop reuse — retain data across iterations)",
+				templates[loopTemplate], loopTemplate)
+		}
+		vs := append([]dfl.ID{v.ID}, consumers...)
+		out = append(out, newOpp(InterTaskLocality, vol*float64(len(consumers)-1),
+			detail, false, vs...))
+	}
+	return out
+}
+
+// detectCriticalFlow flags the heaviest-latency flows along the caterpillar
+// spine (Table 1 row 6). These require validation when the remediation
+// relaxes synchronization.
+func detectCriticalFlow(g *dfl.Graph, cat *cpa.Caterpillar) []Opportunity {
+	if cat == nil {
+		return nil
+	}
+	edges := cpa.PathEdges(g, cat.Spine)
+	var total float64
+	for _, e := range edges {
+		total += e.Props.Latency
+	}
+	if total == 0 {
+		return nil
+	}
+	var out []Opportunity
+	for _, e := range edges {
+		share := e.Props.Latency / total
+		if share < 0.25 {
+			continue
+		}
+		out = append(out, newOpp(CriticalFlow, e.Props.Latency,
+			fmt.Sprintf("flow blocks %.3gs (%.0f%% of spine latency)",
+				e.Props.Latency, 100*share), true, e.Src, e.Dst))
+	}
+	return out
+}
+
+// detectParallelismTradeoff flags consumer tasks whose in-degree implies many
+// concurrently-executing producers (Table 1 row 7). Requires validation.
+func detectParallelismTradeoff(g *dfl.Graph, inScope func(dfl.ID) bool, cfg Config) []Opportunity {
+	var out []Opportunity
+	for _, v := range g.Tasks() {
+		if !inScope(v.ID) {
+			continue
+		}
+		in := g.InDegree(v.ID)
+		if in < cfg.ParallelismInDegree {
+			continue
+		}
+		out = append(out, newOpp(ParallelismTradeoff, float64(in),
+			fmt.Sprintf("consumer has in-degree %d (implies %d concurrent producer flows)", in, in),
+			true, v.ID))
+	}
+	return out
+}
+
+// detectTaskCompositions finds the §5.3–5.4 task-relation patterns:
+// aggregators, compressor-aggregators, splitters, and aggregator-then-regular
+// compositions.
+func detectTaskCompositions(g *dfl.Graph, inScope func(dfl.ID) bool, cfg Config) []Opportunity {
+	var out []Opportunity
+	for _, v := range g.Tasks() {
+		if !inScope(v.ID) {
+			continue
+		}
+		in, outd := g.InDegree(v.ID), g.OutDegree(v.ID)
+
+		// Splitter: one input, many outputs.
+		if in <= 1 && outd >= 2 {
+			var vol float64
+			for _, e := range g.Out(v.ID) {
+				vol += float64(e.Props.Volume)
+			}
+			out = append(out, newOpp(SplitterPattern, vol,
+				fmt.Sprintf("scatters into %d outputs", outd), false, v.ID))
+		}
+
+		// Aggregator: many inputs of similar size, combined output(s).
+		if in >= 2 && outd >= 1 {
+			var sizes []float64
+			var inVol float64
+			for _, e := range g.In(v.ID) {
+				sizes = append(sizes, float64(e.Props.Volume))
+				inVol += float64(e.Props.Volume)
+			}
+			if cv := coeffVar(sizes); cv <= cfg.AggregatorCV {
+				var outVol float64
+				for _, e := range g.Out(v.ID) {
+					outVol += float64(e.Props.Volume)
+				}
+				if inVol > 0 && outVol > 0 && outVol/inVol < cfg.CompressRatio {
+					out = append(out, newOpp(CompressorAggregator, inVol,
+						fmt.Sprintf("combines %d inputs (%.4g B) into %.4g B (%.1f%% ratio)",
+							in, inVol, outVol, 100*outVol/inVol), false, v.ID))
+				} else {
+					out = append(out, newOpp(AggregatorPattern, inVol,
+						fmt.Sprintf("combines %d similar inputs (%.4g B, cv=%.2f)",
+							in, inVol, cv), false, v.ID))
+				}
+
+				// Composition: aggregator followed by a regular task (§5.4).
+				for _, pe := range g.Out(v.ID) {
+					for _, ce := range g.Out(pe.Dst) {
+						if Classify(g, ce.Dst) == Regular || g.InDegree(ce.Dst) == 1 {
+							out = append(out, newOpp(AggregatorThenRegular,
+								float64(pe.Props.Volume),
+								fmt.Sprintf("aggregate output %s feeds single consumer %s",
+									pe.Dst.Name, ce.Dst.Name),
+								false, v.ID, pe.Dst, ce.Dst))
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// coeffVar computes the coefficient of variation (stddev/mean).
+func coeffVar(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(xs))) / mean
+}
+
+// Report renders opportunities as a ranked text table (Fig. 1c style).
+func Report(title string, opps []Opportunity, limit int) string {
+	var b []byte
+	b = append(b, title...)
+	b = append(b, '\n')
+	if limit <= 0 || limit > len(opps) {
+		limit = len(opps)
+	}
+	for i := 0; i < limit; i++ {
+		b = append(b, fmt.Sprintf("%2d. %s\n", i+1, opps[i])...)
+	}
+	return string(b)
+}

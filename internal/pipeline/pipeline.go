@@ -1,0 +1,261 @@
+// Package pipeline implements the DeepDriveMD case study (§6.3, Fig. 7 of
+// the DataLife paper): the original synchronous 4-stage pipeline versus the
+// DFL-guided "Shortened" recomposition — aggregation coalesced into the
+// consumers (exploiting data non-use), training moved to an asynchronous
+// outer loop, and inference co-scheduled with the next iteration's
+// simulations in a 2-stage inner loop.
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"datalife/internal/sim"
+	"datalife/internal/vfs"
+	"datalife/internal/workflows"
+)
+
+// Variant selects the pipeline structure.
+type Variant uint8
+
+const (
+	// Original is the synchronous 4-stage pipeline: sim → aggregate →
+	// train → inference, with the next iteration gated on inference.
+	Original Variant = iota
+	// Shortened is the asynchronous recomposition: a 2-stage inner loop
+	// (sim → inference, aggregation coalesced into the readers) with
+	// training in an asynchronous outer loop.
+	Shortened
+)
+
+func (v Variant) String() string {
+	if v == Original {
+		return "Original"
+	}
+	return "Shortened"
+}
+
+// Config is one Fig. 7 configuration.
+type Config struct {
+	Name    string
+	Variant Variant
+	// BaseTier is the shared staging filesystem ("nfs" or "beegfs").
+	BaseTier string
+	// LocalAgg routes simulation outputs to node-local RAM-disk and pins
+	// each iteration's caterpillar segment to one node (only meaningful for
+	// Shortened, where aggregation is localized).
+	LocalAgg bool
+}
+
+// Configs returns the paper's five configurations.
+func Configs() []Config {
+	return []Config{
+		{Name: "Original/nfs", Variant: Original, BaseTier: "nfs"},
+		{Name: "Original/bfs", Variant: Original, BaseTier: "beegfs"},
+		{Name: "Shortened/nfs", Variant: Shortened, BaseTier: "nfs"},
+		{Name: "Shortened/bfs", Variant: Shortened, BaseTier: "beegfs"},
+		{Name: "Shortened/bfs+shm", Variant: Shortened, BaseTier: "beegfs", LocalAgg: true},
+	}
+}
+
+// Build constructs the multi-iteration workload for a variant. File and task
+// names embed the iteration index.
+func Build(p workflows.DDMDParams, iters int, v Variant) *sim.Workload {
+	w := &sim.Workload{Name: "ddmd-" + v.String()}
+	used := int64(float64(p.SimOutBytes) * p.UsedFraction)
+	simOut := func(it, j int) string { return fmt.Sprintf("md.it%d.%d.h5", it, j) }
+	model := func(it int) string { return fmt.Sprintf("model.it%d.pt", it) }
+
+	for it := 0; it < iters; it++ {
+		// Simulations. The inner loop gates on the previous iteration's
+		// last inner stage: inference for both variants (Original also
+		// waits for it transitively through train).
+		var simDeps []string
+		if it > 0 {
+			simDeps = []string{fmt.Sprintf("lof#it%d", it-1)}
+		}
+		var simNames []string
+		for j := 0; j < p.SimTasks; j++ {
+			name := fmt.Sprintf("sim#it%d.%d", it, j)
+			simNames = append(simNames, name)
+			w.Tasks = append(w.Tasks, &sim.Task{
+				Name: name, Stage: "sim", Deps: simDeps,
+				Script: []sim.Op{
+					sim.Compute(p.SimCompute),
+					sim.Open(simOut(it, j)),
+					sim.Write(simOut(it, j), p.SimOutBytes, 8<<20),
+					sim.Close(simOut(it, j)),
+				},
+			})
+		}
+
+		switch v {
+		case Original:
+			// Aggregate whole outputs into one file.
+			agg := fmt.Sprintf("combined.it%d.h5", it)
+			aggBytes := p.SimOutBytes * int64(p.SimTasks)
+			script := []sim.Op{}
+			for j := 0; j < p.SimTasks; j++ {
+				script = append(script,
+					sim.Open(simOut(it, j)),
+					sim.Read(simOut(it, j), p.SimOutBytes, 8<<20),
+					sim.Close(simOut(it, j)))
+			}
+			script = append(script, sim.Compute(p.AggCompute),
+				sim.Open(agg), sim.Write(agg, aggBytes, 8<<20), sim.Close(agg))
+			w.Tasks = append(w.Tasks, &sim.Task{
+				Name: fmt.Sprintf("aggregate#it%d", it), Stage: "aggregate",
+				Deps: simNames, Script: script,
+			})
+
+			usedAgg := int64(float64(aggBytes) * p.UsedFraction)
+			w.Tasks = append(w.Tasks, &sim.Task{
+				Name: fmt.Sprintf("train#it%d", it), Stage: "train",
+				Deps: []string{fmt.Sprintf("aggregate#it%d", it)},
+				Script: []sim.Op{
+					sim.Open(agg),
+					sim.ReadRepeat(agg, usedAgg, 8<<20, p.TrainReuse),
+					sim.Close(agg),
+					sim.Compute(p.TrainCompute),
+					sim.Open(model(it)), sim.Write(model(it), 50<<20, 8<<20), sim.Close(model(it)),
+				},
+			})
+			// Original synchronization: inference waits for training.
+			w.Tasks = append(w.Tasks, &sim.Task{
+				Name: fmt.Sprintf("lof#it%d", it), Stage: "inference",
+				Deps: []string{fmt.Sprintf("aggregate#it%d", it), fmt.Sprintf("train#it%d", it)},
+				Script: []sim.Op{
+					sim.Open(agg), sim.Read(agg, usedAgg, 8<<20), sim.Close(agg),
+					sim.Open(model(it)), sim.Read(model(it), 50<<20, 8<<20), sim.Close(model(it)),
+					sim.Compute(p.LofCompute),
+				},
+			})
+
+		case Shortened:
+			// Aggregation coalesced into the consumers: each reads the used
+			// half of every simulation output directly (no aggregate task,
+			// no duplicate volume, exploiting data non-use).
+			readUsed := func() []sim.Op {
+				var ops []sim.Op
+				for j := 0; j < p.SimTasks; j++ {
+					ops = append(ops,
+						sim.Open(simOut(it, j)),
+						sim.ReadAt(simOut(it, j), 0, used, 8<<20),
+						sim.Close(simOut(it, j)))
+				}
+				return ops
+			}
+			// Inference (inner loop) uses the newest available model; it
+			// does NOT wait for this iteration's training.
+			lofScript := readUsed()
+			if it > 0 {
+				lofScript = append(lofScript,
+					sim.Open(model(it-1)),
+					sim.Read(model(it-1), 50<<20, 8<<20),
+					sim.Close(model(it-1)))
+			}
+			lofScript = append(lofScript, sim.Compute(p.LofCompute))
+			lofDeps := append([]string{}, simNames...)
+			if it > 0 {
+				// The model file must exist before the read.
+				lofDeps = append(lofDeps, fmt.Sprintf("train#it%d", it-1))
+			}
+			w.Tasks = append(w.Tasks, &sim.Task{
+				Name: fmt.Sprintf("lof#it%d", it), Stage: "inference",
+				Deps: lofDeps, Script: lofScript,
+			})
+
+			// Asynchronous outer-loop training: gathers this iteration's
+			// outputs, produces the next model, gates nothing in the inner
+			// loop of iteration it+1 except the model read.
+			trainScript := []sim.Op{}
+			for rep := 0; rep < p.TrainReuse; rep++ {
+				trainScript = append(trainScript, readUsed()...)
+			}
+			trainScript = append(trainScript,
+				sim.Compute(p.TrainCompute),
+				sim.Open(model(it)), sim.Write(model(it), 50<<20, 8<<20), sim.Close(model(it)))
+			w.Tasks = append(w.Tasks, &sim.Task{
+				Name: fmt.Sprintf("train#it%d", it), Stage: "train",
+				Deps: simNames, Script: trainScript,
+			})
+		}
+	}
+	return w
+}
+
+// Result is one configuration's outcome.
+type Result struct {
+	Config   Config
+	Makespan float64
+	// StageSeconds maps stage tags (sim/aggregate/train/inference) to the
+	// total span each stage class occupied.
+	StageSeconds map[string]float64
+	Sim          *sim.Result
+}
+
+// Run executes DDMD for `iters` iterations under a configuration on a
+// 2-node GPU-cluster machine (Table 2), 12 simulation tasks by default.
+func Run(p workflows.DDMDParams, iters int, cfg Config) (*Result, error) {
+	w := Build(p, iters, cfg.Variant)
+	fs := vfs.New()
+	cl, err := sim.BuildCluster(fs, sim.ClusterSpec{
+		Name:        "gpu-cluster",
+		Nodes:       2,
+		Cores:       32,
+		DefaultTier: cfg.BaseTier,
+		Shared:      []*vfs.Tier{vfs.NewNFS("nfs"), vfs.NewBeeGFS("beegfs")},
+		LocalKinds:  []sim.LocalTierSpec{{Kind: "ssd"}, {Kind: "shm"}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.LocalAgg {
+		// Localize each iteration's caterpillar segment: pin iteration i to
+		// node i%2 and write simulation outputs to that node's RAM-disk.
+		for _, t := range w.Tasks {
+			it := iterOf(t.Name)
+			if it < 0 {
+				continue
+			}
+			t.Node = cl.Nodes[it%2].Name
+			// Only simulation outputs (the coalesced "aggregation" data) go
+			// to the RAM-disk; models cross iterations — and therefore may
+			// cross nodes — so they stay on the shared tier.
+			if strings.HasPrefix(t.Name, "sim#") {
+				t.CreateTier = "local:shm"
+			}
+		}
+	}
+	eng := &sim.Engine{FS: fs, Cluster: cl}
+	res, err := eng.Run(w)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: config %s: %w", cfg.Name, err)
+	}
+	out := &Result{Config: cfg, Makespan: res.Makespan, Sim: res,
+		StageSeconds: make(map[string]float64)}
+	for _, s := range res.StageNames() {
+		out.StageSeconds[s] = res.StageDuration(s)
+	}
+	return out, nil
+}
+
+// iterOf extracts the iteration index from task names of the form
+// name#itN[.j]; -1 if absent.
+func iterOf(name string) int {
+	i := 0
+	for ; i+3 < len(name); i++ {
+		if name[i] == '#' && name[i+1] == 'i' && name[i+2] == 't' {
+			n, ok := 0, false
+			for j := i + 3; j < len(name) && name[j] >= '0' && name[j] <= '9'; j++ {
+				n = n*10 + int(name[j]-'0')
+				ok = true
+			}
+			if ok {
+				return n
+			}
+			return -1
+		}
+	}
+	return -1
+}

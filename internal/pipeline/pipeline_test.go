@@ -1,0 +1,156 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"datalife/internal/workflows"
+)
+
+func smallDDMD() workflows.DDMDParams {
+	p := workflows.DefaultDDMD()
+	p.SimOutBytes = 16 << 20
+	p.SimCompute = 3
+	p.AggCompute = 0.5
+	p.TrainCompute = 6
+	p.LofCompute = 2
+	return p
+}
+
+func TestIterOf(t *testing.T) {
+	cases := []struct {
+		name string
+		want int
+	}{
+		{"sim#it0.3", 0},
+		{"train#it4", 4},
+		{"lof#it12", 12},
+		{"aggregate#it2", 2},
+		{"other", -1},
+		{"bad#itx", -1},
+	}
+	for _, c := range cases {
+		if got := iterOf(c.name); got != c.want {
+			t.Errorf("iterOf(%q) = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBuildOriginalStructure(t *testing.T) {
+	p := smallDDMD()
+	w := Build(p, 3, Original)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per iteration: 12 sims + aggregate + train + lof.
+	if n := len(w.Tasks); n != 3*(p.SimTasks+3) {
+		t.Fatalf("tasks = %d", n)
+	}
+	// Original synchronization: lof waits for train; next sims wait for lof.
+	for _, task := range w.Tasks {
+		if strings.HasPrefix(task.Name, "lof#it1") {
+			found := false
+			for _, d := range task.Deps {
+				if d == "train#it1" {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatal("Original lof must depend on train")
+			}
+		}
+		if strings.HasPrefix(task.Name, "sim#it1.") {
+			if len(task.Deps) != 1 || task.Deps[0] != "lof#it0" {
+				t.Fatalf("sim#it1 deps = %v", task.Deps)
+			}
+		}
+	}
+}
+
+func TestBuildShortenedStructure(t *testing.T) {
+	p := smallDDMD()
+	w := Build(p, 3, Shortened)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per iteration: 12 sims + train + lof (no aggregate task).
+	if n := len(w.Tasks); n != 3*(p.SimTasks+2) {
+		t.Fatalf("tasks = %d", n)
+	}
+	for _, task := range w.Tasks {
+		if strings.HasPrefix(task.Name, "aggregate#") {
+			t.Fatal("Shortened must not have an aggregate task")
+		}
+		// Inference must NOT wait for this iteration's training.
+		if strings.HasPrefix(task.Name, "lof#it1") {
+			for _, d := range task.Deps {
+				if d == "train#it1" {
+					t.Fatal("Shortened lof waits for same-iteration train")
+				}
+			}
+		}
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	cfgs := Configs()
+	if len(cfgs) != 5 {
+		t.Fatalf("configs = %d", len(cfgs))
+	}
+	if cfgs[0].Variant != Original || cfgs[4].Variant != Shortened || !cfgs[4].LocalAgg {
+		t.Fatalf("configs = %+v", cfgs)
+	}
+	if Original.String() != "Original" || Shortened.String() != "Shortened" {
+		t.Fatal("variant strings")
+	}
+}
+
+func TestShortenedFasterThanOriginal(t *testing.T) {
+	p := smallDDMD()
+	orig, err := Run(p, 3, Config{Name: "o", Variant: Original, BaseTier: "beegfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := Run(p, 3, Config{Name: "s", Variant: Shortened, BaseTier: "beegfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Makespan >= orig.Makespan {
+		t.Fatalf("Shortened (%v) not faster than Original (%v)",
+			short.Makespan, orig.Makespan)
+	}
+	// Stage accounting exists.
+	if orig.StageSeconds["aggregate"] <= 0 || short.StageSeconds["train"] <= 0 {
+		t.Fatalf("stage breakdowns: orig=%v short=%v", orig.StageSeconds, short.StageSeconds)
+	}
+}
+
+func TestLocalAggPlacement(t *testing.T) {
+	p := smallDDMD()
+	r, err := Run(p, 2, Config{Name: "shm", Variant: Shortened, BaseTier: "beegfs", LocalAgg: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Iterations must land on alternating nodes.
+	n0 := r.Sim.Tasks["sim#it0.0"].Node
+	n1 := r.Sim.Tasks["sim#it1.0"].Node
+	if n0 == n1 {
+		t.Fatalf("iterations not spread: %s vs %s", n0, n1)
+	}
+	if r.Sim.Tasks["lof#it0"].Node != n0 {
+		t.Fatal("lof not co-scheduled with its sims")
+	}
+}
+
+func TestAllConfigsRun(t *testing.T) {
+	p := smallDDMD()
+	for _, cfg := range Configs() {
+		r, err := Run(p, 2, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if r.Makespan <= 0 {
+			t.Fatalf("%s: makespan %v", cfg.Name, r.Makespan)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package report renders a self-contained HTML analysis report for one
+// workflow: execution summary, the Sankey diagram (inline SVG), the ranked
+// opportunity table with Table 1 remediations, and the producer-consumer
+// ranking — the tool-output counterpart of the paper's per-workflow
+// walkthroughs.
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+
+	"datalife/internal/advisor"
+	"datalife/internal/cpa"
+	"datalife/internal/dfl"
+	"datalife/internal/patterns"
+	"datalife/internal/sankey"
+)
+
+// Input bundles everything a report needs.
+type Input struct {
+	Title string
+	Graph *dfl.Graph
+	// Display is the graph to draw (often the DFL template); nil uses Graph.
+	Display *dfl.Graph
+	// Critical highlights this path in the Sankey.
+	Critical cpa.Path
+	// Caterpillar, when non-nil, adds the caterpillar summary.
+	Caterpillar *cpa.Caterpillar
+	// Opportunities and Ranking fill the tables.
+	Opportunities []patterns.Opportunity
+	Ranking       []patterns.Entity
+	// Benefits, when non-empty, adds the what-if savings table.
+	Benefits []patterns.Benefit
+	// Plan, when non-nil, adds the advisor's thread and placement tables.
+	Plan *advisor.Plan
+	// MakespanS annotates the execution time, if known.
+	MakespanS float64
+	// Limit caps table rows (0 = 20).
+	Limit int
+}
+
+const style = `<style>
+body { font-family: -apple-system, "Segoe UI", sans-serif; margin: 2rem auto; max-width: 72rem; color: #222; }
+h1 { border-bottom: 3px solid #8e44ad; padding-bottom: .3rem; }
+h2 { color: #444; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; font-size: .9rem; }
+th, td { border: 1px solid #ddd; padding: .35rem .6rem; text-align: left; }
+th { background: #f4f0f7; }
+tr:nth-child(even) { background: #fafafa; }
+.sev { text-align: right; font-variant-numeric: tabular-nums; }
+.validate { color: #b03a2e; font-weight: 600; }
+.summary { display: flex; gap: 2rem; flex-wrap: wrap; }
+.summary div { background: #f4f0f7; border-radius: .5rem; padding: .8rem 1.2rem; }
+.summary b { display: block; font-size: 1.4rem; }
+svg { max-width: 100%; height: auto; border: 1px solid #eee; }
+</style>`
+
+// Write renders the report as one HTML document.
+func Write(w io.Writer, in Input) error {
+	if in.Graph == nil {
+		return fmt.Errorf("report: nil graph")
+	}
+	display := in.Display
+	if display == nil {
+		display = in.Graph
+	}
+	limit := in.Limit
+	if limit <= 0 {
+		limit = 20
+	}
+	var b strings.Builder
+	title := html.EscapeString(in.Title)
+	fmt.Fprintf(&b, "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>%s</title>%s</head><body>\n", title, style)
+	fmt.Fprintf(&b, "<h1>DataLife report: %s</h1>\n", title)
+
+	// Summary tiles.
+	b.WriteString(`<div class="summary">`)
+	tile := func(label, value string) {
+		fmt.Fprintf(&b, "<div><b>%s</b>%s</div>", html.EscapeString(value), html.EscapeString(label))
+	}
+	tile("tasks", fmt.Sprintf("%d", len(in.Graph.Tasks())))
+	tile("data files", fmt.Sprintf("%d", len(in.Graph.DataFiles())))
+	tile("flow edges", fmt.Sprintf("%d", in.Graph.NumEdges()))
+	tile("total flow", byteString(in.Graph.TotalVolume()))
+	if in.MakespanS > 0 {
+		tile("makespan", fmt.Sprintf("%.1f s", in.MakespanS))
+	}
+	if in.Caterpillar != nil {
+		tile("caterpillar", fmt.Sprintf("%d vertices", in.Caterpillar.Size()))
+	}
+	b.WriteString("</div>\n")
+
+	// Sankey.
+	b.WriteString("<h2>Data flow lifecycle</h2>\n")
+	svg, err := sankey.SVG(display, sankey.Options{Critical: in.Critical})
+	if err != nil {
+		return fmt.Errorf("report: sankey: %w", err)
+	}
+	b.WriteString(svg)
+
+	// Opportunities.
+	if len(in.Opportunities) > 0 {
+		b.WriteString("<h2>Opportunities (ranked)</h2>\n<table><tr><th>#</th><th>pattern</th><th class=sev>severity</th><th>entity</th><th>detail</th><th>remediation</th></tr>\n")
+		n := limit
+		if n > len(in.Opportunities) {
+			n = len(in.Opportunities)
+		}
+		for i, o := range in.Opportunities[:n] {
+			names := make([]string, len(o.Vertices))
+			for j, v := range o.Vertices {
+				names[j] = v.Name
+			}
+			entity := strings.Join(names, ", ")
+			if len(entity) > 90 {
+				entity = entity[:87] + "..."
+			}
+			detail := html.EscapeString(o.Detail)
+			if o.MustValidate {
+				detail += ` <span class="validate">[must validate]</span>`
+			}
+			fmt.Fprintf(&b, "<tr><td>%d</td><td>%s</td><td class=sev>%.4g</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				i+1, html.EscapeString(o.Kind.String()), o.Severity,
+				html.EscapeString(entity),
+				detail, html.EscapeString(o.Remediation))
+		}
+		b.WriteString("</table>\n")
+	}
+
+	// What-if savings.
+	if len(in.Benefits) > 0 {
+		b.WriteString("<h2>What-if savings (first-order)</h2>\n<table><tr><th>#</th><th>pattern</th><th class=sev>saved (s)</th><th>mechanism</th></tr>\n")
+		n := limit
+		if n > len(in.Benefits) {
+			n = len(in.Benefits)
+		}
+		for i, bn := range in.Benefits[:n] {
+			fmt.Fprintf(&b, "<tr><td>%d</td><td>%s</td><td class=sev>%.3g</td><td>%s</td></tr>\n",
+				i+1, html.EscapeString(bn.Kind.String()), bn.SavedSeconds,
+				html.EscapeString(bn.Mechanism))
+		}
+		b.WriteString("</table>\n")
+	}
+
+	// Advisor plan.
+	if in.Plan != nil {
+		b.WriteString("<h2>Advisor plan</h2>\n<table><tr><th>thread</th><th>node</th><th>tasks</th><th class=sev>work (s)</th></tr>\n")
+		for _, th := range in.Plan.Threads {
+			fmt.Fprintf(&b, "<tr><td>%d</td><td>%d</td><td>%d</td><td class=sev>%.3g</td></tr>\n",
+				th.ID, th.Node, len(th.Tasks), th.Work)
+		}
+		b.WriteString("</table>\n<table><tr><th>file</th><th>placement</th><th>why</th></tr>\n")
+		n := limit
+		if n > len(in.Plan.Placements) {
+			n = len(in.Plan.Placements)
+		}
+		for _, fp := range in.Plan.Placements[:n] {
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				html.EscapeString(fp.File.Name), fp.Class, html.EscapeString(fp.Why))
+		}
+		b.WriteString("</table>\n")
+	}
+
+	// Producer-consumer ranking.
+	if len(in.Ranking) > 0 {
+		b.WriteString("<h2>Producer&ndash;consumer relations by volume</h2>\n<table><tr><th>#</th><th>producer</th><th>data</th><th>consumer</th><th class=sev>volume</th></tr>\n")
+		n := limit
+		if n > len(in.Ranking) {
+			n = len(in.Ranking)
+		}
+		for i, e := range in.Ranking[:n] {
+			fmt.Fprintf(&b, "<tr><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td class=sev>%s</td></tr>\n",
+				i+1, html.EscapeString(e.Producer.Name), html.EscapeString(e.Data.Name),
+				html.EscapeString(e.Consumer.Name), byteString(uint64(e.Value)))
+		}
+		b.WriteString("</table>\n")
+	}
+
+	b.WriteString("</body></html>\n")
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+func byteString(v uint64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(v)/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(v)/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(v)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", v)
+	}
+}

@@ -1,0 +1,132 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"datalife/internal/advisor"
+	"datalife/internal/cpa"
+	"datalife/internal/dfl"
+	"datalife/internal/patterns"
+	"datalife/internal/workflows"
+)
+
+func ddmdInput(t *testing.T) Input {
+	t.Helper()
+	p := workflows.DefaultDDMD()
+	p.SimOutBytes = 8 << 20
+	p.SimCompute, p.AggCompute, p.TrainCompute, p.LofCompute = 1, 0.2, 2, 1
+	g, res, err := workflows.RunAndCollect(workflows.DDMD(p, 0), workflows.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := cpa.CriticalPath(g, cpa.ByVolume, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := cpa.DFLCaterpillar(g, path)
+	return Input{
+		Title:         "DDMD <smoke>",
+		Graph:         g,
+		Critical:      path,
+		Caterpillar:   cat,
+		Opportunities: patterns.Analyze(g, cat, patterns.Config{}),
+		Ranking:       patterns.RankProducerConsumerByVolume(g),
+		MakespanS:     res.Makespan,
+	}
+}
+
+func TestWriteHTMLReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, ddmdInput(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"DDMD &lt;smoke&gt;", // escaped title
+		"<svg",
+		"Opportunities",
+		"Producer&ndash;consumer",
+		"caterpillar",
+		"</html>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "DDMD <smoke>") {
+		t.Error("title not escaped")
+	}
+	// Must-validate flags render with the marker class.
+	if strings.Contains(out, "[Must validate]") {
+		t.Error("raw must-validate text leaked instead of styled span")
+	}
+}
+
+func TestWriteNilGraph(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, Input{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestWriteLimitsRows(t *testing.T) {
+	in := ddmdInput(t)
+	in.Limit = 3
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	// 2 tables x up to 3 rows => at most 6 body rows plus 2 header rows.
+	rows := strings.Count(buf.String(), "<tr>")
+	if rows > 8 {
+		t.Fatalf("rows = %d, want <= 8", rows)
+	}
+}
+
+func TestWriteTemplateDisplay(t *testing.T) {
+	in := ddmdInput(t)
+	tpl := dfl.Template(in.Graph, nil)
+	if tpl.IsDAG() {
+		in.Display = tpl
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByteString(t *testing.T) {
+	cases := map[uint64]string{
+		100:     "100 B",
+		2 << 10: "2.00 KB",
+		3 << 20: "3.00 MB",
+		7 << 30: "7.00 GB",
+	}
+	for v, want := range cases {
+		if got := byteString(v); got != want {
+			t.Errorf("byteString(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestWriteWithBenefitsAndPlan(t *testing.T) {
+	in := ddmdInput(t)
+	in.Benefits = patterns.EstimateBenefits(in.Graph, in.Opportunities, patterns.DefaultEnvelope())
+	plan, err := advisor.Advise(in.Graph, advisor.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Plan = plan
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"What-if savings", "Advisor plan", "placement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+// Package sankey renders DFL graphs as Sankey diagrams (§4.4 of the DataLife
+// paper): data flow runs left to right, vertices are rectangles scaled by
+// through-flow, edges are ribbons scaled by a selected property, tasks are
+// red, data is blue, and critical-path edges are purple.
+//
+// Two renderers are provided: SVG for reports and a text renderer for
+// terminals and golden tests.
+package sankey
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"sort"
+	"strings"
+
+	"datalife/internal/cpa"
+	"datalife/internal/dfl"
+)
+
+// Options control layout and rendering.
+type Options struct {
+	// Width and Height of the SVG canvas in pixels.
+	Width, Height float64
+	// Metric selects the edge property for widths; nil means volume.
+	Metric func(e *dfl.Edge) float64
+	// Critical marks the path to highlight in purple; may be zero-valued.
+	Critical cpa.Path
+	// MinEdgePx and MaxNodePx clamp visual extents.
+	MinEdgePx float64
+	// Title is drawn at the top of the SVG.
+	Title string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width == 0 {
+		o.Width = 1200
+	}
+	if o.Height == 0 {
+		o.Height = 640
+	}
+	if o.Metric == nil {
+		o.Metric = func(e *dfl.Edge) float64 { return float64(e.Props.Volume) }
+	}
+	if o.MinEdgePx == 0 {
+		o.MinEdgePx = 1.5
+	}
+	return o
+}
+
+// node is one laid-out vertex.
+type node struct {
+	id      dfl.ID
+	layer   int
+	y, h    float64
+	flow    float64
+	inOff   float64 // running attach offsets for ribbons
+	outOff  float64
+	x, w    float64
+	onSpine bool
+}
+
+// Layout holds the computed diagram geometry, exposed for testing and for
+// alternative renderers.
+type Layout struct {
+	Nodes  map[dfl.ID]*node
+	Layers [][]dfl.ID
+	opts   Options
+	g      *dfl.Graph
+}
+
+// Colors per the paper's convention.
+const (
+	taskColor     = "#c0392b" // red
+	dataColor     = "#2e86c1" // blue
+	edgeColor     = "#b0b0b0"
+	criticalColor = "#8e44ad" // purple
+)
+
+// ComputeLayout assigns layers (longest-path layering so flow runs strictly
+// left to right), orders vertices within layers with a one-pass barycenter
+// heuristic, and sizes nodes by through-flow.
+func ComputeLayout(g *dfl.Graph, opts Options) (*Layout, error) {
+	opts = opts.withDefaults()
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("sankey: %w", err)
+	}
+	l := &Layout{Nodes: make(map[dfl.ID]*node, len(order)), opts: opts, g: g}
+
+	// Longest-path layering.
+	maxLayer := 0
+	for _, id := range order {
+		n := &node{id: id}
+		for _, e := range g.In(id) {
+			if p := l.Nodes[e.Src]; p != nil && p.layer+1 > n.layer {
+				n.layer = p.layer + 1
+			}
+		}
+		if n.layer > maxLayer {
+			maxLayer = n.layer
+		}
+		l.Nodes[id] = n
+	}
+	l.Layers = make([][]dfl.ID, maxLayer+1)
+	for _, id := range order {
+		n := l.Nodes[id]
+		l.Layers[n.layer] = append(l.Layers[n.layer], id)
+	}
+
+	// Flow per node: max(in, out) under the metric, min 1 for visibility.
+	for _, id := range order {
+		var in, out float64
+		for _, e := range g.In(id) {
+			in += opts.Metric(e)
+		}
+		for _, e := range g.Out(id) {
+			out += opts.Metric(e)
+		}
+		l.Nodes[id].flow = math.Max(1, math.Max(in, out))
+	}
+
+	// Barycenter ordering: sort each layer by mean predecessor position.
+	pos := make(map[dfl.ID]int)
+	for li, layer := range l.Layers {
+		if li == 0 {
+			sort.Slice(layer, func(i, j int) bool { return layer[i].String() < layer[j].String() })
+		} else {
+			bary := make(map[dfl.ID]float64, len(layer))
+			for _, id := range layer {
+				var sum float64
+				var cnt int
+				for _, e := range g.In(id) {
+					if p, ok := pos[e.Src]; ok {
+						sum += float64(p)
+						cnt++
+					}
+				}
+				if cnt > 0 {
+					bary[id] = sum / float64(cnt)
+				}
+			}
+			sort.SliceStable(layer, func(i, j int) bool {
+				if bary[layer[i]] != bary[layer[j]] {
+					return bary[layer[i]] < bary[layer[j]]
+				}
+				return layer[i].String() < layer[j].String()
+			})
+		}
+		for i, id := range layer {
+			pos[id] = i
+		}
+	}
+
+	// Vertical geometry: scale flows so each layer fits the canvas.
+	const gap = 8.0
+	usable := opts.Height - 40
+	for _, layer := range l.Layers {
+		var total float64
+		for _, id := range layer {
+			total += l.Nodes[id].flow
+		}
+		scale := (usable - gap*float64(len(layer)+1)) / total
+		if scale < 0 {
+			scale = 0.01
+		}
+		y := 30 + gap
+		for _, id := range layer {
+			n := l.Nodes[id]
+			n.h = math.Max(4, n.flow*scale)
+			n.y = y
+			y += n.h + gap
+		}
+	}
+
+	// Horizontal geometry.
+	nodeW := 14.0
+	span := (opts.Width - 160) / float64(maxLayer+1)
+	for _, n := range l.Nodes {
+		n.x = 40 + float64(n.layer)*span
+		n.w = nodeW
+	}
+
+	// Mark spine membership.
+	for _, id := range opts.Critical.Vertices {
+		if n := l.Nodes[id]; n != nil {
+			n.onSpine = true
+		}
+	}
+	return l, nil
+}
+
+// criticalEdge reports whether (src,dst) is a spine edge of the critical path.
+func (l *Layout) criticalEdge(src, dst dfl.ID) bool {
+	vs := l.opts.Critical.Vertices
+	for i := 0; i+1 < len(vs); i++ {
+		if vs[i] == src && vs[i+1] == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// SVG renders the graph to an SVG document string.
+func SVG(g *dfl.Graph, opts Options) (string, error) {
+	l, err := ComputeLayout(g, opts)
+	if err != nil {
+		return "", err
+	}
+	o := l.opts
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n",
+		o.Width, o.Height, o.Width, o.Height)
+	fmt.Fprintf(&b, `<rect width="%g" height="%g" fill="white"/>`+"\n", o.Width, o.Height)
+	if o.Title != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="20" font-family="sans-serif" font-size="14" fill="#333">%s</text>`+"\n",
+			o.Width/2-float64(len(o.Title))*3.5, html.EscapeString(o.Title))
+	}
+
+	// Edge ribbons first (under nodes). Scale widths within each node by its
+	// height so ribbons tile the node flank.
+	var maxMetric float64
+	for _, e := range g.Edges() {
+		if m := o.Metric(e); m > maxMetric {
+			maxMetric = m
+		}
+	}
+	for _, e := range g.Edges() {
+		src, dst := l.Nodes[e.Src], l.Nodes[e.Dst]
+		if src == nil || dst == nil {
+			continue
+		}
+		m := o.Metric(e)
+		wSrc := ribbonWidth(m, src, l, true)
+		wDst := ribbonWidth(m, dst, l, false)
+		w := math.Max(o.MinEdgePx, math.Min(wSrc, wDst))
+		y1 := src.y + src.outOff + w/2
+		y2 := dst.y + dst.inOff + w/2
+		src.outOff += w
+		dst.inOff += w
+		x1 := src.x + src.w
+		x2 := dst.x
+		mx := (x1 + x2) / 2
+		color, op := edgeColor, 0.55
+		if l.criticalEdge(e.Src, e.Dst) {
+			color, op = criticalColor, 0.8
+		}
+		fmt.Fprintf(&b,
+			`<path d="M %.1f %.1f C %.1f %.1f, %.1f %.1f, %.1f %.1f" stroke="%s" stroke-width="%.1f" fill="none" opacity="%.2f"/>`+"\n",
+			x1, y1, mx, y1, mx, y2, x2, y2, color, w, op)
+	}
+
+	// Nodes.
+	for _, layer := range l.Layers {
+		for _, id := range layer {
+			n := l.Nodes[id]
+			color := dataColor
+			if id.Kind == dfl.TaskVertex {
+				color = taskColor
+			}
+			stroke := "none"
+			if n.onSpine {
+				stroke = criticalColor
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="%s" stroke-width="2"><title>%s (%s, flow %.4g)</title></rect>`+"\n",
+				n.x, n.y, n.w, n.h, color, stroke,
+				html.EscapeString(id.Name), id.Kind, n.flow)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" fill="#222">%s</text>`+"\n",
+				n.x+n.w+3, n.y+n.h/2+3, html.EscapeString(id.Name))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// ribbonWidth scales a metric value into pixels against the node's total
+// attached flow on the relevant side.
+func ribbonWidth(m float64, n *node, l *Layout, outgoing bool) float64 {
+	var total float64
+	if outgoing {
+		for _, e := range l.g.Out(n.id) {
+			total += l.opts.Metric(e)
+		}
+	} else {
+		for _, e := range l.g.In(n.id) {
+			total += l.opts.Metric(e)
+		}
+	}
+	if total <= 0 {
+		return l.opts.MinEdgePx
+	}
+	return n.h * (m / total)
+}
+
+// Text renders a compact left-to-right textual Sankey: one line per edge,
+// ordered by layer, with a bar whose length is proportional to the metric.
+// Critical-path edges are marked with '*'.
+func Text(g *dfl.Graph, opts Options) (string, error) {
+	l, err := ComputeLayout(g, opts)
+	if err != nil {
+		return "", err
+	}
+	o := l.opts
+	var maxM float64
+	for _, e := range g.Edges() {
+		if m := o.Metric(e); m > maxM {
+			maxM = m
+		}
+	}
+	var b strings.Builder
+	if o.Title != "" {
+		fmt.Fprintf(&b, "%s\n", o.Title)
+	}
+	for li, layer := range l.Layers {
+		for _, id := range layer {
+			for _, e := range g.Out(id) {
+				m := o.Metric(e)
+				barLen := 1
+				if maxM > 0 {
+					barLen = 1 + int(29*m/maxM)
+				}
+				mark := " "
+				if l.criticalEdge(e.Src, e.Dst) {
+					mark = "*"
+				}
+				fmt.Fprintf(&b, "L%-2d %s %-28s => %-28s |%-30s %.4g\n",
+					li, mark, label(e.Src), label(e.Dst),
+					strings.Repeat("#", barLen), m)
+			}
+		}
+	}
+	return b.String(), nil
+}
+
+func label(id dfl.ID) string {
+	if id.Kind == dfl.TaskVertex {
+		return "[" + id.Name + "]"
+	}
+	return "(" + id.Name + ")"
+}

@@ -1,0 +1,167 @@
+package sankey
+
+import (
+	"strings"
+	"testing"
+
+	"datalife/internal/cpa"
+	"datalife/internal/dfl"
+)
+
+func pipelineGraph(t *testing.T) *dfl.Graph {
+	t.Helper()
+	g := dfl.New()
+	add := func(src, dst dfl.ID, kind dfl.EdgeKind, vol uint64) {
+		t.Helper()
+		if _, err := g.AddEdge(src, dst, kind, dfl.FlowProps{Volume: vol}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(dfl.TaskID("sim"), dfl.DataID("raw.h5"), dfl.Producer, 1000)
+	add(dfl.DataID("raw.h5"), dfl.TaskID("agg"), dfl.Consumer, 1000)
+	add(dfl.TaskID("agg"), dfl.DataID("combined.h5"), dfl.Producer, 900)
+	add(dfl.DataID("combined.h5"), dfl.TaskID("train"), dfl.Consumer, 2400)
+	add(dfl.DataID("combined.h5"), dfl.TaskID("lof"), dfl.Consumer, 880)
+	return g
+}
+
+func TestComputeLayoutLayers(t *testing.T) {
+	g := pipelineGraph(t)
+	l, err := ComputeLayout(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sim(0) raw(1) agg(2) combined(3) train/lof(4)
+	if len(l.Layers) != 5 {
+		t.Fatalf("layers = %d, want 5", len(l.Layers))
+	}
+	if l.Nodes[dfl.TaskID("sim")].layer != 0 {
+		t.Error("sim layer")
+	}
+	if l.Nodes[dfl.TaskID("train")].layer != 4 || l.Nodes[dfl.TaskID("lof")].layer != 4 {
+		t.Error("consumer layers")
+	}
+	// Layers must strictly increase along each edge.
+	for _, e := range g.Edges() {
+		if l.Nodes[e.Src].layer >= l.Nodes[e.Dst].layer {
+			t.Fatalf("edge %v→%v not left-to-right", e.Src, e.Dst)
+		}
+	}
+}
+
+func TestLayoutNoOverlapWithinLayer(t *testing.T) {
+	g := pipelineGraph(t)
+	l, err := ComputeLayout(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, layer := range l.Layers {
+		for i := 1; i < len(layer); i++ {
+			a, b := l.Nodes[layer[i-1]], l.Nodes[layer[i]]
+			if a.y+a.h > b.y {
+				t.Fatalf("nodes %v and %v overlap", a.id, b.id)
+			}
+		}
+	}
+}
+
+func TestLayoutCycleError(t *testing.T) {
+	g := dfl.New()
+	g.AddEdge(dfl.TaskID("t"), dfl.DataID("d"), dfl.Producer, dfl.FlowProps{})
+	g.AddEdge(dfl.DataID("d"), dfl.TaskID("t"), dfl.Consumer, dfl.FlowProps{})
+	if _, err := ComputeLayout(g, Options{}); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestSVGStructure(t *testing.T) {
+	g := pipelineGraph(t)
+	p, err := cpa.CriticalPath(g, cpa.ByVolume, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := SVG(g, Options{Title: "DDMD <test>", Critical: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// 6 vertices => 6 rects (+1 background).
+	if n := strings.Count(svg, "<rect"); n != 7 {
+		t.Fatalf("rect count = %d, want 7", n)
+	}
+	if n := strings.Count(svg, "<path"); n != 5 {
+		t.Fatalf("path count = %d, want 5 edges", n)
+	}
+	if !strings.Contains(svg, criticalColor) {
+		t.Fatal("critical path not highlighted")
+	}
+	if !strings.Contains(svg, taskColor) || !strings.Contains(svg, dataColor) {
+		t.Fatal("node colors missing")
+	}
+	if !strings.Contains(svg, "<title>") {
+		t.Fatal("node tooltips missing")
+	}
+	// Title must be escaped.
+	if strings.Contains(svg, "DDMD <test>") || !strings.Contains(svg, "DDMD &lt;test&gt;") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestTextRenderer(t *testing.T) {
+	g := pipelineGraph(t)
+	p, _ := cpa.CriticalPath(g, cpa.ByVolume, nil)
+	txt, err := Text(g, Options{Title: "ddmd", Critical: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt, "ddmd") {
+		t.Fatal("missing title")
+	}
+	if strings.Count(txt, "=>") != 5 {
+		t.Fatalf("edge lines = %d:\n%s", strings.Count(txt, "=>"), txt)
+	}
+	if !strings.Contains(txt, "*") {
+		t.Fatal("critical edges not marked")
+	}
+	// Largest flow (train, 2400) must have the longest bar.
+	lines := strings.Split(strings.TrimSpace(txt), "\n")
+	var trainBar, lofBar int
+	for _, ln := range lines {
+		if strings.Contains(ln, "[train]") {
+			trainBar = strings.Count(ln, "#")
+		}
+		if strings.Contains(ln, "[lof]") {
+			lofBar = strings.Count(ln, "#")
+		}
+	}
+	if trainBar <= lofBar {
+		t.Fatalf("bar scaling wrong: train=%d lof=%d", trainBar, lofBar)
+	}
+}
+
+func TestTextEmptyGraph(t *testing.T) {
+	txt, err := Text(dfl.New(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(txt, "=>") {
+		t.Fatal("edges in empty graph")
+	}
+}
+
+func TestNodeScaling(t *testing.T) {
+	g := pipelineGraph(t)
+	l, err := ComputeLayout(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb := l.Nodes[dfl.DataID("combined.h5")]
+	raw := l.Nodes[dfl.DataID("raw.h5")]
+	// combined.h5 carries 3280 out vs raw's 1000 — it must be drawn taller
+	// (different layers, same canvas height, single node per layer here).
+	if comb.flow <= raw.flow {
+		t.Fatalf("flow: combined=%v raw=%v", comb.flow, raw.flow)
+	}
+}

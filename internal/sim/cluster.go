@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"datalife/internal/vfs"
+)
+
+// Node is one compute node.
+type Node struct {
+	Name  string
+	Cores int
+}
+
+// Cluster is a set of nodes plus the naming convention that binds node-local
+// tiers to nodes: a node-local tier of kind K on node N is named "K@N".
+type Cluster struct {
+	Name string
+	// Nodes in stable scheduling order.
+	Nodes []*Node
+	// DefaultTier is the tier reference used for "" / "default".
+	DefaultTier string
+}
+
+// LocalTierName returns the canonical name of a node-local tier.
+func LocalTierName(kind, node string) string { return kind + "@" + node }
+
+// ResolveTier maps a tier reference to a tier:
+//
+//	""/"default"   → the cluster default tier
+//	"local:<kind>" → tier "<kind>@<node>" for the calling node
+//	anything else  → the tier with that exact name
+func (c *Cluster) ResolveTier(fs *vfs.FS, ref, node string) (*vfs.Tier, error) {
+	switch {
+	case ref == "" || ref == "default":
+		return fs.Tier(c.DefaultTier)
+	case strings.HasPrefix(ref, "local:"):
+		kind := strings.TrimPrefix(ref, "local:")
+		return fs.Tier(LocalTierName(kind, node))
+	default:
+		return fs.Tier(ref)
+	}
+}
+
+// ClusterSpec configures BuildCluster.
+type ClusterSpec struct {
+	Name        string
+	Nodes       int
+	Cores       int
+	NodePrefix  string
+	DefaultTier string
+	// Shared tiers to register.
+	Shared []*vfs.Tier
+	// LocalKinds lists node-local tier kinds to create per node
+	// ("ssd", "shm"). Capacities of zero mean unbounded.
+	LocalKinds []LocalTierSpec
+}
+
+// LocalTierSpec describes one node-local tier family.
+type LocalTierSpec struct {
+	Kind     string // "ssd" or "shm"
+	Capacity int64
+}
+
+// BuildCluster creates the cluster, registers all tiers in fs, and returns
+// the cluster. Node names are "<prefix><i>".
+func BuildCluster(fs *vfs.FS, spec ClusterSpec) (*Cluster, error) {
+	if spec.Nodes <= 0 || spec.Cores <= 0 {
+		return nil, fmt.Errorf("sim: cluster needs nodes and cores, got %d/%d", spec.Nodes, spec.Cores)
+	}
+	if spec.NodePrefix == "" {
+		spec.NodePrefix = "node"
+	}
+	c := &Cluster{Name: spec.Name, DefaultTier: spec.DefaultTier}
+	for _, t := range spec.Shared {
+		if err := fs.AddTier(t); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < spec.Nodes; i++ {
+		name := fmt.Sprintf("%s%d", spec.NodePrefix, i)
+		c.Nodes = append(c.Nodes, &Node{Name: name, Cores: spec.Cores})
+		for _, lk := range spec.LocalKinds {
+			var t *vfs.Tier
+			switch lk.Kind {
+			case "ssd":
+				t = vfs.NewSSD(LocalTierName("ssd", name), name)
+			case "shm":
+				t = vfs.NewRamdisk(LocalTierName("shm", name), name)
+			default:
+				return nil, fmt.Errorf("sim: unknown local tier kind %q", lk.Kind)
+			}
+			t.Capacity = lk.Capacity
+			if err := fs.AddTier(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if spec.DefaultTier == "" {
+		return nil, fmt.Errorf("sim: cluster needs a default tier")
+	}
+	if _, err := fs.Tier(spec.DefaultTier); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Presets for the paper's Table 2 machines. Absolute speeds are calibrated
+// commodity values; the case studies depend only on their ordering.
+
+// CPUCluster builds the paper's CPU cluster: 2× SkyLake-class nodes with NFS
+// default, Lustre, node SSD and ramdisk.
+func CPUCluster(fs *vfs.FS, nodes int) (*Cluster, error) {
+	return BuildCluster(fs, ClusterSpec{
+		Name:        "cpu-cluster",
+		Nodes:       nodes,
+		Cores:       24,
+		DefaultTier: "nfs",
+		Shared:      []*vfs.Tier{vfs.NewNFS("nfs"), vfs.NewLustre("lustre")},
+		LocalKinds:  []LocalTierSpec{{Kind: "ssd"}, {Kind: "shm"}},
+	})
+}
+
+// GPUCluster builds the paper's GPU cluster: EPYC-class nodes with NFS
+// default, BeeGFS, node SSD and ramdisk.
+func GPUCluster(fs *vfs.FS, nodes int) (*Cluster, error) {
+	return BuildCluster(fs, ClusterSpec{
+		Name:        "gpu-cluster",
+		Nodes:       nodes,
+		Cores:       32,
+		DefaultTier: "nfs",
+		Shared:      []*vfs.Tier{vfs.NewNFS("nfs"), vfs.NewBeeGFS("beegfs")},
+		LocalKinds:  []LocalTierSpec{{Kind: "ssd"}, {Kind: "shm"}},
+	})
+}
+
+// DataServerTier builds the paper's remote data server reached over a
+// 1 Gb/s WAN (Table 2 row 3). Register it with fs alongside a cluster.
+func DataServerTier() *vfs.Tier {
+	return vfs.NewWAN("dataserver", 125e6) // 1 Gb/s ≈ 125 MB/s
+}

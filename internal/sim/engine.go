@@ -1,0 +1,915 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"datalife/internal/blockstats"
+	"datalife/internal/iotrace"
+	"datalife/internal/stats"
+	"datalife/internal/vfs"
+)
+
+// ReadPart is one leg of a planned read: n bytes served by a tier.
+type ReadPart struct {
+	Tier  *vfs.Tier
+	Bytes int64
+	// Requests, when positive, overrides the number of round trips charged
+	// for this part (per-chunk otherwise). Planners set it to 1 for batched
+	// transfers such as readahead prefetches.
+	Requests int64
+}
+
+// ReadPlanner decides where read bytes come from. Distributed caches
+// implement this to split a read across cache levels and the origin tier.
+type ReadPlanner interface {
+	// PlanRead splits a read of n bytes at offset off of path (whose home
+	// tier is home) into per-tier parts. The parts' bytes must sum to n.
+	PlanRead(task, node, path string, home *vfs.Tier, off, n int64) []ReadPart
+}
+
+// TraceSink receives the executed operation stream: what actually ran, with
+// offsets resolved and durations measured — the input to trace-based
+// emulation (BigFlowSim-style capture).
+type TraceSink interface {
+	// Event reports one completed operation. For compute, path is empty and
+	// off/n are zero. start and dur are virtual seconds.
+	Event(task string, kind OpKind, path string, off, n int64, start, dur float64)
+}
+
+// homePlanner serves every read entirely from the file's home tier.
+type homePlanner struct{}
+
+func (homePlanner) PlanRead(_, _, _ string, home *vfs.Tier, _, n int64) []ReadPart {
+	return []ReadPart{{Tier: home, Bytes: n}}
+}
+
+// Engine runs one workload over a cluster.
+type Engine struct {
+	// FS is the filesystem; seed input files before Run.
+	FS *vfs.FS
+	// Cluster supplies nodes and tier resolution.
+	Cluster *Cluster
+	// Col, when non-nil, receives DataLife measurements for every access.
+	Col *iotrace.Collector
+	// Planner routes reads; nil means home-tier.
+	Planner ReadPlanner
+	// ChunkLatencyEvery charges tier latency once per this many chunk
+	// accesses (default 1). Raising it models latency-hiding pipelining.
+	ChunkLatencyEvery int
+	// Trace, when non-nil, receives every completed operation with resolved
+	// offsets and timing — the capture half of trace-based emulation.
+	Trace TraceSink
+
+	now    float64
+	eq     eventHeap
+	seq    int64
+	flows  map[*vfs.Tier]map[*flow]struct{}
+	meta   map[*vfs.Tier]float64 // metadata server next-free time
+	nodes  map[string]*nodeState
+	tasks  map[string]*taskState
+	ready  []*taskState
+	unfin  int
+	result *Result
+}
+
+type nodeState struct {
+	node      *Node
+	freeCores int
+}
+
+type taskRun uint8
+
+const (
+	tWaiting taskRun = iota
+	tReady
+	tRunning
+	tDone
+)
+
+type taskState struct {
+	task    *Task
+	state   taskRun
+	node    string
+	pc      int
+	deps    int
+	start   float64
+	end     float64
+	offsets map[string]int64
+	// current I/O op progress
+	parts    []ReadPart
+	partIdx  int
+	opStart  float64
+	children []*taskState
+	// staging scratch
+	stageSrc *vfs.Tier
+	// write-buffering state: in-flight async writes and whether the script
+	// has ended and is waiting for them to flush.
+	outstanding int
+	draining    bool
+}
+
+type flow struct {
+	tier    *vfs.Tier
+	write   bool
+	rem     float64 // remaining bytes
+	lastT   float64
+	rate    float64
+	version int64
+	owner   *taskState
+	extra   float64 // fixed post-transfer delay (per-access latency)
+	async   bool    // buffered write: does not block the owner
+	started float64 // issue time, for per-flow tier-time accounting
+}
+
+type evKind uint8
+
+const (
+	evFlowDone evKind = iota
+	evDelayDone
+	evMetaDone
+	evAsyncDone
+)
+
+type event struct {
+	t       float64
+	seq     int64
+	kind    evKind
+	fl      *flow
+	version int64
+	ts      *taskState
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (e *Engine) push(ev *event)       { e.seq++; ev.seq = e.seq; heap.Push(&e.eq, ev) }
+func (e *Engine) at(t float64) float64 { return math.Max(t, e.now) }
+
+// TaskTime records one task's execution window.
+type TaskTime struct {
+	Start, End float64
+	Node       string
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Makespan is the virtual end-to-end time in seconds.
+	Makespan float64
+	// Tasks maps task name to its window.
+	Tasks map[string]TaskTime
+	// Stages maps stage tag to its [min start, max end] span.
+	Stages map[string]TaskTime
+	// TierBytes counts bytes served per tier name (reads + writes).
+	TierBytes map[string]uint64
+	// TierTime accumulates task-blocking seconds per tier name.
+	TierTime map[string]float64
+	// MetaOps counts metadata operations per tier name.
+	MetaOps map[string]uint64
+	// MetaWait accumulates metadata queueing delay per tier name.
+	MetaWait map[string]float64
+	// ComputeTime accumulates task compute seconds across all tasks.
+	ComputeTime float64
+}
+
+// StageDuration returns the duration of a stage tag, or 0.
+func (r *Result) StageDuration(stage string) float64 {
+	s, ok := r.Stages[stage]
+	if !ok {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// StageNames returns stage tags sorted by start time.
+func (r *Result) StageNames() []string {
+	names := make([]string, 0, len(r.Stages))
+	for n := range r.Stages {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		si, sj := r.Stages[names[i]], r.Stages[names[j]]
+		if si.Start != sj.Start {
+			return si.Start < sj.Start
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// Run executes the workload to completion and returns the result.
+func (e *Engine) Run(w *Workload) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if e.FS == nil || e.Cluster == nil {
+		return nil, fmt.Errorf("sim: engine needs FS and Cluster")
+	}
+	if e.Planner == nil {
+		e.Planner = homePlanner{}
+	}
+	if e.ChunkLatencyEvery <= 0 {
+		e.ChunkLatencyEvery = 1
+	}
+	e.now = 0
+	e.eq = nil
+	e.flows = make(map[*vfs.Tier]map[*flow]struct{})
+	e.meta = make(map[*vfs.Tier]float64)
+	e.nodes = make(map[string]*nodeState, len(e.Cluster.Nodes))
+	for _, n := range e.Cluster.Nodes {
+		e.nodes[n.Name] = &nodeState{node: n, freeCores: n.Cores}
+	}
+	e.tasks = make(map[string]*taskState, len(w.Tasks))
+	e.result = &Result{
+		Tasks:     make(map[string]TaskTime),
+		Stages:    make(map[string]TaskTime),
+		TierBytes: make(map[string]uint64),
+		TierTime:  make(map[string]float64),
+		MetaOps:   make(map[string]uint64),
+		MetaWait:  make(map[string]float64),
+	}
+
+	// Build dependency graph.
+	for _, t := range w.Tasks {
+		e.tasks[t.Name] = &taskState{task: t, deps: len(t.Deps), offsets: make(map[string]int64)}
+	}
+	for _, t := range w.Tasks {
+		ts := e.tasks[t.Name]
+		for _, d := range t.Deps {
+			e.tasks[d].children = append(e.tasks[d].children, ts)
+		}
+	}
+	e.unfin = len(w.Tasks)
+	for _, t := range w.Tasks { // preserve submission order for determinism
+		ts := e.tasks[t.Name]
+		if ts.deps == 0 {
+			ts.state = tReady
+			e.ready = append(e.ready, ts)
+		}
+	}
+	e.startReady()
+
+	for e.unfin > 0 {
+		if e.eq.Len() == 0 {
+			return nil, fmt.Errorf("sim: deadlock with %d unfinished tasks (unsatisfiable placement or cyclic deps)", e.unfin)
+		}
+		ev := heap.Pop(&e.eq).(*event)
+		if ev.kind == evFlowDone && ev.version != ev.fl.version {
+			continue // stale reschedule
+		}
+		e.now = ev.t
+		switch ev.kind {
+		case evFlowDone:
+			e.finishFlow(ev.fl)
+		case evDelayDone, evMetaDone:
+			e.step(ev.ts)
+		case evAsyncDone:
+			e.asyncDone(ev.ts)
+		}
+	}
+	e.result.Makespan = e.now
+	return e.result, nil
+}
+
+// startReady launches as many ready tasks as fit on free cores.
+func (e *Engine) startReady() {
+	var rem []*taskState
+	for _, ts := range e.ready {
+		node, ok := e.pickNode(ts.task)
+		if !ok {
+			rem = append(rem, ts)
+			continue
+		}
+		cores := ts.task.Cores
+		if cores <= 0 {
+			cores = 1
+		}
+		e.nodes[node].freeCores -= cores
+		ts.node = node
+		ts.state = tRunning
+		ts.start = e.now
+		if e.Col != nil {
+			e.Col.TaskStarted(ts.task.Name, e.now)
+		}
+		e.step(ts)
+	}
+	e.ready = rem
+}
+
+// pickNode selects the pinned node or the least-loaded node with room.
+func (e *Engine) pickNode(t *Task) (string, bool) {
+	cores := t.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+	if t.Node != "" {
+		ns, ok := e.nodes[t.Node]
+		if !ok {
+			return "", false
+		}
+		return t.Node, ns.freeCores >= cores
+	}
+	best := ""
+	bestFree := -1
+	for _, n := range e.Cluster.Nodes { // stable order
+		ns := e.nodes[n.Name]
+		if ns.freeCores >= cores && ns.freeCores > bestFree {
+			best, bestFree = n.Name, ns.freeCores
+		}
+	}
+	return best, best != ""
+}
+
+// step advances a task's script until it blocks or completes.
+func (e *Engine) step(ts *taskState) {
+	for {
+		// Resume a multi-part I/O op.
+		if ts.parts != nil {
+			if ts.partIdx < len(ts.parts) {
+				e.startPart(ts)
+				return
+			}
+			e.completeIOOp(ts)
+			ts.parts = nil
+			ts.pc++
+			continue
+		}
+		if ts.pc >= len(ts.task.Script) {
+			if ts.outstanding > 0 {
+				// Write-behind flush: the task ends once its buffered
+				// writes drain.
+				ts.draining = true
+				return
+			}
+			e.finishTask(ts)
+			return
+		}
+		op := &ts.task.Script[ts.pc]
+		switch op.Kind {
+		case OpCompute:
+			ts.pc++
+			e.result.ComputeTime += op.Seconds
+			if e.Trace != nil {
+				e.Trace.Event(ts.task.Name, OpCompute, "", 0, 0, e.now, op.Seconds)
+			}
+			e.push(&event{t: e.now + op.Seconds, kind: evDelayDone, ts: ts})
+			return
+		case OpOpen, OpClose, OpDelete:
+			if e.metaOp(ts, op) {
+				return // event scheduled
+			}
+			ts.pc++ // metadata op failed soft (missing file on delete) — skip
+		case OpRead, OpWrite, OpStage:
+			if op.Kind == OpWrite && ts.task.AsyncWrites {
+				if err := e.issueAsyncWrite(ts, op); err != nil {
+					panic(fmt.Sprintf("sim: task %s async write %s: %v",
+						ts.task.Name, op.Path, err))
+				}
+				ts.pc++
+				continue
+			}
+			if err := e.beginIOOp(ts, op); err != nil {
+				// Treat I/O setup errors as fatal: surface via panic with
+				// context, caught by Run callers in tests. Production-grade
+				// alternative would thread errors; keep the engine honest.
+				panic(fmt.Sprintf("sim: task %s op %d (%s %s): %v",
+					ts.task.Name, ts.pc, op.Kind, op.Path, err))
+			}
+			if ts.parts == nil { // zero-byte op, nothing to do
+				ts.pc++
+				continue
+			}
+			e.startPart(ts)
+			return
+		default:
+			panic(fmt.Sprintf("sim: unknown op kind %d", op.Kind))
+		}
+	}
+}
+
+// metaOp performs open/close/delete with metadata-server queueing. Returns
+// true when an event was scheduled.
+func (e *Engine) metaOp(ts *taskState, op *Op) bool {
+	f, err := e.FS.Stat(op.Path)
+	var tier *vfs.Tier
+	if err == nil {
+		tier = f.Tier
+	} else {
+		if op.Kind == OpOpen {
+			// Opening a file that will be created: charge against the
+			// task's create tier.
+			tier, err = e.resolveTier(ts, ts.task.CreateTier)
+			if err != nil {
+				panic(fmt.Sprintf("sim: task %s open %s: %v", ts.task.Name, op.Path, err))
+			}
+		} else {
+			return false // close/delete of missing file: no-op
+		}
+	}
+	if op.Kind == OpDelete {
+		_ = e.FS.Remove(op.Path)
+	}
+	free := e.at(e.meta[tier])
+	wait := free - e.now
+	done := free + tier.MetaOpS
+	// The server queue advances by the per-op occupancy: MetaOpS divided by
+	// the tier's metadata concurrency (latency-dominated servers overlap ops).
+	conc := tier.MetaConcurrency
+	if conc < 1 {
+		conc = 1
+	}
+	e.meta[tier] = free + tier.MetaOpS/float64(conc)
+	e.result.MetaOps[tier.Name]++
+	e.result.MetaWait[tier.Name] += wait
+	if e.Col != nil {
+		switch op.Kind {
+		case OpOpen:
+			e.Col.Flow(ts.task.Name, op.Path, fileSizeOrZero(e.FS, op.Path)).RecordOpen(e.now)
+		case OpClose:
+			e.Col.Flow(ts.task.Name, op.Path, 0).RecordClose(done)
+		}
+	}
+	if e.Trace != nil {
+		e.Trace.Event(ts.task.Name, op.Kind, op.Path, 0, 0, e.now, done-e.now)
+	}
+	ts.pc++
+	e.push(&event{t: done, kind: evMetaDone, ts: ts})
+	return true
+}
+
+func fileSizeOrZero(fs *vfs.FS, path string) int64 {
+	if f, err := fs.Stat(path); err == nil {
+		return f.Size
+	}
+	return 0
+}
+
+// beginIOOp plans the parts of a read/write/stage op.
+func (e *Engine) beginIOOp(ts *taskState, op *Op) error {
+	ts.opStart = e.now
+	ts.partIdx = 0
+	ts.stageSrc = nil
+	switch op.Kind {
+	case OpRead:
+		f, err := e.FS.Stat(op.Path)
+		if err != nil {
+			return err
+		}
+		if !vfs.VisibleFrom(f.Tier, ts.node) {
+			return fmt.Errorf("file on node-local tier %s not visible from node %s", f.Tier.Name, ts.node)
+		}
+		off := op.Offset
+		if off < 0 {
+			off = ts.offsets[op.Path]
+		}
+		n := op.Bytes
+		if off >= f.Size {
+			n = 0
+		} else if off+n > f.Size {
+			n = f.Size - off
+		}
+		rep := op.Repeat
+		if rep < 1 {
+			rep = 1
+		}
+		// Fragmented (strided) access over-fetches: chunk accesses spread
+		// over a Stride-spaced span pull in block-granular data the task
+		// does not use, so the planned transfer covers the spanned range.
+		span := n
+		if op.Pattern == Strided && op.Chunk > 0 && op.Stride > op.Chunk {
+			span = n * op.Stride / op.Chunk
+			if off+span > f.Size {
+				span = f.Size - off
+			}
+		}
+		total := span * int64(rep)
+		if total == 0 {
+			ts.parts = nil
+			return nil
+		}
+		ts.offsets[op.Path] = off + n
+		ts.parts = e.Planner.PlanRead(ts.task.Name, ts.node, op.Path, f.Tier, off, total)
+		var sum int64
+		for _, p := range ts.parts {
+			sum += p.Bytes
+		}
+		// Planners may over-fetch (block granularity, readahead) but never
+		// under-deliver.
+		if sum < total {
+			return fmt.Errorf("planner returned %d bytes for a %d-byte read", sum, total)
+		}
+	case OpWrite:
+		if op.Bytes == 0 {
+			ts.parts = nil
+			return nil
+		}
+		f, err := e.FS.Stat(op.Path)
+		if err != nil {
+			tier, terr := e.resolveTier(ts, ts.task.CreateTier)
+			if terr != nil {
+				return terr
+			}
+			if f, err = e.FS.Create(op.Path, tier.Name); err != nil {
+				return err
+			}
+		}
+		if !vfs.VisibleFrom(f.Tier, ts.node) {
+			return fmt.Errorf("file on node-local tier %s not visible from node %s", f.Tier.Name, ts.node)
+		}
+		ts.parts = []ReadPart{{Tier: f.Tier, Bytes: op.Bytes}}
+	case OpStage:
+		f, err := e.FS.Stat(op.Path)
+		if err != nil {
+			return err
+		}
+		dst, err := e.resolveTier(ts, op.Tier)
+		if err != nil {
+			return err
+		}
+		if f.Tier == dst || f.Size == 0 {
+			ts.parts = nil
+			return nil
+		}
+		// Leg 1: read at source; leg 2 (write at target) is queued behind it.
+		ts.stageSrc = f.Tier
+		ts.parts = []ReadPart{{Tier: f.Tier, Bytes: f.Size}, {Tier: dst, Bytes: f.Size}}
+	}
+	return nil
+}
+
+// startPart launches the current part as a flow on its tier.
+func (e *Engine) startPart(ts *taskState) {
+	op := &ts.task.Script[ts.pc]
+	part := ts.parts[ts.partIdx]
+	write := op.Kind == OpWrite || (op.Kind == OpStage && ts.partIdx == 1)
+
+	// Per-access latency: one tier latency per chunk (or batch of chunks),
+	// unless the planner declared the part a batched transfer.
+	chunk := op.Chunk
+	if chunk <= 0 {
+		chunk = part.Bytes
+	}
+	nAcc := (part.Bytes + chunk - 1) / chunk
+	if part.Requests > 0 {
+		nAcc = part.Requests
+	}
+	batches := (nAcc + int64(e.ChunkLatencyEvery) - 1) / int64(e.ChunkLatencyEvery)
+	extra := float64(batches) * part.Tier.LatencyS
+
+	fl := &flow{
+		tier:    part.Tier,
+		write:   write,
+		rem:     float64(part.Bytes),
+		lastT:   e.now,
+		owner:   ts,
+		extra:   extra,
+		started: e.now,
+	}
+	if e.flows[part.Tier] == nil {
+		e.flows[part.Tier] = make(map[*flow]struct{})
+	}
+	e.flows[part.Tier][fl] = struct{}{}
+	e.result.TierBytes[part.Tier.Name] += uint64(part.Bytes)
+	e.reshare(part.Tier)
+}
+
+// finishFlow settles a completed flow, charges its fixed latency, and either
+// advances to the next part or lets the task continue.
+func (e *Engine) finishFlow(fl *flow) {
+	delete(e.flows[fl.tier], fl)
+	e.reshare(fl.tier)
+	ts := fl.owner
+	e.result.TierTime[fl.tier.Name] += e.now - fl.started
+	if fl.async {
+		if fl.extra > 0 {
+			e.push(&event{t: e.now + fl.extra, kind: evAsyncDone, ts: ts})
+		} else {
+			e.asyncDone(ts)
+		}
+		return
+	}
+	ts.partIdx++
+	if fl.extra > 0 {
+		e.push(&event{t: e.now + fl.extra, kind: evDelayDone, ts: ts})
+		return
+	}
+	e.step(ts)
+}
+
+// issueAsyncWrite starts a buffered (write-behind) flow: the filesystem and
+// collector effects apply immediately — the data is in the buffer — while
+// the tier flow drains in the background and blocks only task completion.
+func (e *Engine) issueAsyncWrite(ts *taskState, op *Op) error {
+	if op.Bytes <= 0 {
+		return nil
+	}
+	f, err := e.FS.Stat(op.Path)
+	if err != nil {
+		tier, terr := e.resolveTier(ts, ts.task.CreateTier)
+		if terr != nil {
+			return terr
+		}
+		if f, err = e.FS.Create(op.Path, tier.Name); err != nil {
+			return err
+		}
+	}
+	if !vfs.VisibleFrom(f.Tier, ts.node) {
+		return fmt.Errorf("file on node-local tier %s not visible from node %s", f.Tier.Name, ts.node)
+	}
+	off := f.Size
+	if op.Offset >= 0 {
+		off = op.Offset
+	}
+	if err := e.FS.Extend(op.Path, off+op.Bytes); err != nil {
+		return err
+	}
+	if e.Col != nil {
+		e.recordWrite(ts, op, off, 0)
+	}
+	if e.Trace != nil {
+		e.Trace.Event(ts.task.Name, OpWrite, op.Path, off, op.Bytes, e.now, 0)
+	}
+	chunk := op.Chunk
+	if chunk <= 0 {
+		chunk = op.Bytes
+	}
+	nAcc := (op.Bytes + chunk - 1) / chunk
+	batches := (nAcc + int64(e.ChunkLatencyEvery) - 1) / int64(e.ChunkLatencyEvery)
+	fl := &flow{
+		tier:    f.Tier,
+		write:   true,
+		rem:     float64(op.Bytes),
+		lastT:   e.now,
+		owner:   ts,
+		extra:   float64(batches) * f.Tier.LatencyS,
+		async:   true,
+		started: e.now,
+	}
+	if e.flows[f.Tier] == nil {
+		e.flows[f.Tier] = make(map[*flow]struct{})
+	}
+	e.flows[f.Tier][fl] = struct{}{}
+	e.result.TierBytes[f.Tier.Name] += uint64(op.Bytes)
+	ts.outstanding++
+	e.reshare(f.Tier)
+	return nil
+}
+
+// asyncDone retires one buffered write; a draining task finishes with its
+// last flush.
+func (e *Engine) asyncDone(ts *taskState) {
+	ts.outstanding--
+	if ts.draining && ts.outstanding == 0 {
+		e.finishTask(ts)
+	}
+}
+
+// reshare recomputes fair-share rates for all flows on a tier and
+// reschedules their completion events. Reads share ReadBW; writes WriteBW.
+func (e *Engine) reshare(tier *vfs.Tier) {
+	set := e.flows[tier]
+	var nr, nw int
+	for fl := range set {
+		if fl.write {
+			nw++
+		} else {
+			nr++
+		}
+	}
+	for fl := range set {
+		// Settle progress at the old rate.
+		fl.rem -= fl.rate * (e.now - fl.lastT)
+		if fl.rem < 0 {
+			fl.rem = 0
+		}
+		fl.lastT = e.now
+		bw := tier.ReadBW
+		n := nr
+		if fl.write {
+			bw, n = tier.WriteBW, nw
+		}
+		if bw <= 0 {
+			bw = 1e12 // effectively instantaneous
+		}
+		// Client-count saturation: shared filesystems degrade past a knee.
+		if tier.DegradeAlpha > 0 && n > tier.DegradeKnee {
+			bw /= 1 + tier.DegradeAlpha*float64(n-tier.DegradeKnee)
+		}
+		fl.rate = bw / float64(n)
+		fl.version++
+		e.push(&event{t: e.now + fl.rem/fl.rate, kind: evFlowDone, fl: fl, version: fl.version})
+	}
+}
+
+// completeIOOp records the finished op into the collector and applies its
+// filesystem effects.
+func (e *Engine) completeIOOp(ts *taskState) {
+	op := &ts.task.Script[ts.pc]
+	dur := e.now - ts.opStart
+	switch op.Kind {
+	case OpRead:
+		if e.Col != nil {
+			e.recordRead(ts, op, dur)
+		}
+		if e.Trace != nil {
+			off, n := e.resolveReadExtent(ts, op)
+			e.Trace.Event(ts.task.Name, OpRead, op.Path, off, n, ts.opStart, dur)
+		}
+	case OpWrite:
+		f, err := e.FS.Stat(op.Path)
+		if err != nil {
+			panic(fmt.Sprintf("sim: write target vanished: %v", err))
+		}
+		off := f.Size
+		if op.Offset >= 0 {
+			off = op.Offset
+		}
+		if err := e.FS.Extend(op.Path, off+op.Bytes); err != nil {
+			panic(fmt.Sprintf("sim: task %s write %s: %v", ts.task.Name, op.Path, err))
+		}
+		if e.Col != nil {
+			e.recordWrite(ts, op, off, dur)
+		}
+		if e.Trace != nil {
+			e.Trace.Event(ts.task.Name, OpWrite, op.Path, off, op.Bytes, ts.opStart, dur)
+		}
+	case OpStage:
+		if _, err := e.FS.Migrate(op.Path, mustTier(e, ts, op.Tier).Name); err != nil {
+			panic(fmt.Sprintf("sim: task %s stage %s: %v", ts.task.Name, op.Path, err))
+		}
+		if e.Trace != nil {
+			sz := fileSizeOrZero(e.FS, op.Path)
+			e.Trace.Event(ts.task.Name, OpStage, op.Path, 0, sz, ts.opStart, dur)
+		}
+	}
+}
+
+// resolveReadExtent recomputes the clamped (offset, length) a read op covered.
+func (e *Engine) resolveReadExtent(ts *taskState, op *Op) (int64, int64) {
+	f, err := e.FS.Stat(op.Path)
+	if err != nil {
+		return 0, 0
+	}
+	off := op.Offset
+	if off < 0 {
+		off = ts.offsets[op.Path] - op.Bytes
+		if off < 0 {
+			off = 0
+		}
+	}
+	n := op.Bytes
+	if off+n > f.Size {
+		n = f.Size - off
+	}
+	if n < 0 {
+		n = 0
+	}
+	return off, n
+}
+
+func mustTier(e *Engine, ts *taskState, ref string) *vfs.Tier {
+	t, err := e.resolveTier(ts, ref)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// recordRead feeds the op's chunk accesses into the collector, spreading
+// their timestamps over the op duration.
+func (e *Engine) recordRead(ts *taskState, op *Op, dur float64) {
+	f, err := e.FS.Stat(op.Path)
+	if err != nil {
+		return
+	}
+	off := op.Offset
+	if off < 0 {
+		off = ts.offsets[op.Path] - op.Bytes
+		if off < 0 {
+			off = 0
+		}
+	}
+	n := op.Bytes
+	if off+n > f.Size {
+		n = f.Size - off
+	}
+	if n <= 0 {
+		return
+	}
+	chunk := op.Chunk
+	if chunk <= 0 {
+		chunk = n
+	}
+	rep := op.Repeat
+	if rep < 1 {
+		rep = 1
+	}
+	nAcc := (n + chunk - 1) / chunk * int64(rep)
+	per := dur / float64(nAcc)
+	fl := e.Col.Flow(ts.task.Name, op.Path, f.Size)
+	i := int64(0)
+	for r := 0; r < rep; r++ {
+		for pos := int64(0); pos < n; pos += chunk {
+			sz := chunk
+			if pos+sz > n {
+				sz = n - pos
+			}
+			loc := off + pos
+			switch op.Pattern {
+			case Strided:
+				if op.Stride > 0 {
+					loc = off + (pos/chunk)*op.Stride
+					if loc+sz > f.Size {
+						loc = f.Size - sz
+					}
+				}
+			case RandomPattern:
+				span := n - sz
+				if span > 0 {
+					loc = off + int64(stats.HashLocation(op.Path, pos/chunk+int64(r)*1e6)%uint64(span))
+				}
+			}
+			fl.RecordAccess(blockstats.Read, loc, sz, ts.opStart+float64(i)*per, per)
+			i++
+		}
+	}
+}
+
+// recordWrite feeds the op's chunk writes into the collector.
+func (e *Engine) recordWrite(ts *taskState, op *Op, off int64, dur float64) {
+	chunk := op.Chunk
+	if chunk <= 0 {
+		chunk = op.Bytes
+	}
+	nAcc := (op.Bytes + chunk - 1) / chunk
+	per := 0.0
+	if nAcc > 0 {
+		per = dur / float64(nAcc)
+	}
+	fl := e.Col.Flow(ts.task.Name, op.Path, 0)
+	i := int64(0)
+	for pos := int64(0); pos < op.Bytes; pos += chunk {
+		sz := chunk
+		if pos+sz > op.Bytes {
+			sz = op.Bytes - pos
+		}
+		fl.RecordAccess(blockstats.Write, off+pos, sz, ts.opStart+float64(i)*per, per)
+		i++
+	}
+}
+
+// finishTask releases the core, updates stage spans, and wakes dependents.
+func (e *Engine) finishTask(ts *taskState) {
+	ts.state = tDone
+	ts.end = e.now
+	cores := ts.task.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+	e.nodes[ts.node].freeCores += cores
+	e.unfin--
+	if e.Col != nil {
+		e.Col.TaskEnded(ts.task.Name, e.now)
+	}
+	e.result.Tasks[ts.task.Name] = TaskTime{Start: ts.start, End: ts.end, Node: ts.node}
+	if tag := ts.task.Stage; tag != "" {
+		s, ok := e.result.Stages[tag]
+		if !ok {
+			s = TaskTime{Start: ts.start, End: ts.end}
+		} else {
+			if ts.start < s.Start {
+				s.Start = ts.start
+			}
+			if ts.end > s.End {
+				s.End = ts.end
+			}
+		}
+		e.result.Stages[tag] = s
+	}
+	for _, c := range ts.children {
+		c.deps--
+		if c.deps == 0 && c.state == tWaiting {
+			c.state = tReady
+			e.ready = append(e.ready, c)
+		}
+	}
+	e.startReady()
+}
+
+// resolveTier maps a tier reference to a concrete tier. References:
+// "" or "default" → the cluster default; "local:<kind>" → the node-local
+// tier of that kind on the task's node; anything else → a tier name.
+func (e *Engine) resolveTier(ts *taskState, ref string) (*vfs.Tier, error) {
+	return e.Cluster.ResolveTier(e.FS, ref, ts.node)
+}

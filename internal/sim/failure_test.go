@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"datalife/internal/vfs"
+)
+
+// expectPanic runs f and asserts it panics with a message containing substr.
+func expectPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", substr)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			if err, isErr := r.(error); isErr {
+				msg = err.Error()
+			}
+		}
+		if !strings.Contains(msg, substr) {
+			t.Fatalf("panic %q does not contain %q", msg, substr)
+		}
+	}()
+	f()
+}
+
+func TestCapacityExhaustionSurfaces(t *testing.T) {
+	// A write that overflows a bounded local tier must fail loudly, not
+	// corrupt accounting.
+	fs := vfs.New()
+	shm := vfs.NewRamdisk("shm@node0", "node0")
+	shm.Capacity = 1 << 20 // 1 MB
+	c, err := BuildCluster(fs, ClusterSpec{
+		Name: "c", Nodes: 1, Cores: 1, DefaultTier: "nfs",
+		Shared: []*vfs.Tier{vfs.NewNFS("nfs")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AddTier(shm); err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{FS: fs, Cluster: c}
+	expectPanic(t, "full", func() {
+		eng.Run(&Workload{Tasks: []*Task{{
+			Name:       "w",
+			CreateTier: "local:shm",
+			Script:     []Op{Write("big", 10<<20, 1<<20)},
+		}}})
+	})
+}
+
+func TestStageCapacityExhaustionSurfaces(t *testing.T) {
+	fs := vfs.New()
+	shm := vfs.NewRamdisk("shm@node0", "node0")
+	shm.Capacity = 1 << 10
+	c, err := BuildCluster(fs, ClusterSpec{
+		Name: "c", Nodes: 1, Cores: 1, DefaultTier: "nfs",
+		Shared: []*vfs.Tier{vfs.NewNFS("nfs")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AddTier(shm); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.CreateSized("input", "nfs", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{FS: fs, Cluster: c}
+	expectPanic(t, "full", func() {
+		eng.Run(&Workload{Tasks: []*Task{{
+			Name:   "s",
+			Script: []Op{Stage("input", "local:shm")},
+		}}})
+	})
+}
+
+// brokenPlanner returns fewer bytes than requested.
+type brokenPlanner struct{}
+
+func (brokenPlanner) PlanRead(_, _, _ string, home *vfs.Tier, _, n int64) []ReadPart {
+	return []ReadPart{{Tier: home, Bytes: n / 2}}
+}
+
+func TestBrokenPlannerDetected(t *testing.T) {
+	fs, c := testCluster(t, 1, 1)
+	if _, err := fs.CreateSized("f", "nfs", 1000); err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{FS: fs, Cluster: c, Planner: brokenPlanner{}}
+	expectPanic(t, "planner", func() {
+		eng.Run(&Workload{Tasks: []*Task{{
+			Name:   "r",
+			Script: []Op{Read("f", 1000, 100)},
+		}}})
+	})
+}
+
+func TestMissingReadTargetSurfaces(t *testing.T) {
+	fs, c := testCluster(t, 1, 1)
+	eng := &Engine{FS: fs, Cluster: c}
+	expectPanic(t, "no such file", func() {
+		eng.Run(&Workload{Tasks: []*Task{{
+			Name:   "r",
+			Script: []Op{Read("ghost", 100, 10)},
+		}}})
+	})
+}
+
+func TestUnknownCreateTierSurfaces(t *testing.T) {
+	fs, c := testCluster(t, 1, 1)
+	eng := &Engine{FS: fs, Cluster: c}
+	expectPanic(t, "tier", func() {
+		eng.Run(&Workload{Tasks: []*Task{{
+			Name:       "w",
+			CreateTier: "local:tape",
+			Script:     []Op{Write("x", 100, 10)},
+		}}})
+	})
+}
+
+func TestQuickMakespanLowerBounds(t *testing.T) {
+	// Properties: the makespan is at least (a) the longest single task's
+	// compute and (b) total compute divided by total cores.
+	f := func(computes []uint8, coresRaw uint8) bool {
+		if len(computes) == 0 || len(computes) > 24 {
+			return true
+		}
+		cores := int(coresRaw%4) + 1
+		fs := vfs.New()
+		c, err := BuildCluster(fs, ClusterSpec{Name: "c", Nodes: 1, Cores: cores,
+			DefaultTier: "nfs", Shared: []*vfs.Tier{vfs.NewNFS("nfs")}})
+		if err != nil {
+			return false
+		}
+		var tasks []*Task
+		var total, longest float64
+		for i, ci := range computes {
+			secs := float64(ci%50) / 10
+			total += secs
+			if secs > longest {
+				longest = secs
+			}
+			tasks = append(tasks, &Task{Name: "t" + itoa(i), Script: []Op{Compute(secs)}})
+		}
+		eng := &Engine{FS: fs, Cluster: c}
+		res, err := eng.Run(&Workload{Tasks: tasks})
+		if err != nil {
+			return false
+		}
+		const eps = 1e-9
+		return res.Makespan+eps >= longest && res.Makespan+eps >= total/float64(cores)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTierBytesConservation(t *testing.T) {
+	// Property: TierBytes accounts exactly for all bytes written plus all
+	// bytes read (reads clamp to file size).
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 || len(sizes) > 16 {
+			return true
+		}
+		fs := vfs.New()
+		c, err := BuildCluster(fs, ClusterSpec{Name: "c", Nodes: 2, Cores: 8,
+			DefaultTier: "nfs", Shared: []*vfs.Tier{vfs.NewNFS("nfs")}})
+		if err != nil {
+			return false
+		}
+		var tasks []*Task
+		var want uint64
+		for i, sz := range sizes {
+			n := int64(sz) + 1
+			want += uint64(2 * n) // written once, read once
+			w := &Task{Name: "w" + itoa(i), Script: []Op{Write("f"+itoa(i), n, 1024)}}
+			r := &Task{Name: "r" + itoa(i), Deps: []string{w.Name},
+				Script: []Op{Read("f"+itoa(i), n, 1024)}}
+			tasks = append(tasks, w, r)
+		}
+		eng := &Engine{FS: fs, Cluster: c}
+		res, err := eng.Run(&Workload{Tasks: tasks})
+		if err != nil {
+			return false
+		}
+		return res.TierBytes["nfs"] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAsyncNeverSlower(t *testing.T) {
+	// Property: enabling write buffering never increases the makespan of a
+	// single compute+write pipeline (it can only overlap).
+	f := func(parts []uint8) bool {
+		if len(parts) == 0 || len(parts) > 10 {
+			return true
+		}
+		run := func(async bool) float64 {
+			fs := vfs.New()
+			c, err := BuildCluster(fs, ClusterSpec{Name: "c", Nodes: 1, Cores: 1,
+				DefaultTier: "nfs", Shared: []*vfs.Tier{vfs.NewNFS("nfs")}})
+			if err != nil {
+				return -1
+			}
+			var script []Op
+			for i, p := range parts {
+				script = append(script,
+					Compute(float64(p%20)/10),
+					Write("f"+itoa(i), int64(p)*100_000+1, 1<<20))
+			}
+			eng := &Engine{FS: fs, Cluster: c}
+			res, err := eng.Run(&Workload{Tasks: []*Task{
+				{Name: "t", AsyncWrites: async, Script: script},
+			}})
+			if err != nil {
+				return -1
+			}
+			return res.Makespan
+		}
+		sync, async := run(false), run(true)
+		return sync >= 0 && async >= 0 && async <= sync+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

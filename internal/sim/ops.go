@@ -1,0 +1,162 @@
+// Package sim is a discrete-event simulator for distributed workflow
+// execution: nodes with cores, tiered storage (package vfs), fair-share
+// bandwidth contention, metadata-server queueing, a dependency-driven
+// scheduler, and optional I/O monitoring (package iotrace).
+//
+// It is the substitute substrate for the paper's clusters (Table 2): case
+// studies replay workflow task graphs against different placement, staging,
+// and caching configurations and compare virtual makespans, reproducing the
+// shapes of Figures 6–8.
+package sim
+
+import "fmt"
+
+// OpKind enumerates script operations.
+type OpKind uint8
+
+const (
+	// OpOpen opens a file (metadata cost; subject to metadata contention).
+	OpOpen OpKind = iota
+	// OpClose closes a file (metadata cost).
+	OpClose
+	// OpRead reads Bytes from Path in Chunk-sized accesses.
+	OpRead
+	// OpWrite appends Bytes to Path in Chunk-sized accesses.
+	OpWrite
+	// OpCompute burns Seconds of CPU time.
+	OpCompute
+	// OpStage copies Path to the tier named by Tier (resolved per node),
+	// charging a read flow at the source and a write flow at the target.
+	OpStage
+	// OpDelete removes Path (metadata cost only).
+	OpDelete
+)
+
+var opKindNames = [...]string{"open", "close", "read", "write", "compute", "stage", "delete"}
+
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("op(%d)", k)
+}
+
+// AccessPattern selects how an OpRead walks the file.
+type AccessPattern uint8
+
+const (
+	// Sequential reads Chunk-sized pieces back to back from Offset.
+	Sequential AccessPattern = iota
+	// Strided jumps Stride bytes between accesses.
+	Strided
+	// RandomPattern visits chunk-aligned locations in a deterministic
+	// pseudo-random order.
+	RandomPattern
+)
+
+// Op is one scripted operation of a task.
+type Op struct {
+	Kind    OpKind
+	Path    string
+	Tier    string // OpStage target tier reference (see ResolveTier)
+	Offset  int64  // starting offset; -1 means the task's running offset
+	Bytes   int64
+	Chunk   int64
+	Seconds float64
+	// Repeat re-reads the same byte range Repeat times in total (>=1),
+	// modelling intra-task reuse such as ML training epochs.
+	Repeat int
+	// Stride for the Strided pattern.
+	Stride  int64
+	Pattern AccessPattern
+}
+
+// Script builders keep workflow generators terse.
+
+// Open returns an open op.
+func Open(path string) Op { return Op{Kind: OpOpen, Path: path} }
+
+// Close returns a close op.
+func Close(path string) Op { return Op{Kind: OpClose, Path: path} }
+
+// Read returns a sequential whole-range read op.
+func Read(path string, bytes, chunk int64) Op {
+	return Op{Kind: OpRead, Path: path, Offset: 0, Bytes: bytes, Chunk: chunk, Repeat: 1}
+}
+
+// ReadAt returns a sequential read op starting at offset.
+func ReadAt(path string, off, bytes, chunk int64) Op {
+	return Op{Kind: OpRead, Path: path, Offset: off, Bytes: bytes, Chunk: chunk, Repeat: 1}
+}
+
+// ReadRepeat returns a read that scans the range `repeat` times (reuse).
+func ReadRepeat(path string, bytes, chunk int64, repeat int) Op {
+	return Op{Kind: OpRead, Path: path, Offset: 0, Bytes: bytes, Chunk: chunk, Repeat: repeat}
+}
+
+// Write returns an appending write op.
+func Write(path string, bytes, chunk int64) Op {
+	return Op{Kind: OpWrite, Path: path, Offset: -1, Bytes: bytes, Chunk: chunk}
+}
+
+// Compute returns a pure-CPU op.
+func Compute(seconds float64) Op { return Op{Kind: OpCompute, Seconds: seconds} }
+
+// Stage returns a staging op copying path to a tier reference.
+func Stage(path, tier string) Op { return Op{Kind: OpStage, Path: path, Tier: tier} }
+
+// Delete returns a delete op.
+func Delete(path string) Op { return Op{Kind: OpDelete, Path: path} }
+
+// Task is one schedulable unit: a named script with dependencies.
+type Task struct {
+	// Name must be unique within a workload.
+	Name string
+	// Deps lists task names that must finish first.
+	Deps []string
+	// Node pins the task to a node; empty lets the scheduler pick the
+	// least-loaded node.
+	Node string
+	// CreateTier is the tier reference for files this task creates
+	// (default "default").
+	CreateTier string
+	// Cores is the CPU cores occupied while running (default 1).
+	Cores int
+	// Stage tags the task for per-stage reporting (Fig. 6/7 breakdowns).
+	Stage string
+	// AsyncWrites enables write buffering (a Table 1 remediation): OpWrite
+	// operations do not block the task; buffered flows drain in the
+	// background and the task completes only after its last write flushes
+	// (write-behind with flush-on-exit semantics).
+	AsyncWrites bool
+	// Script is the operation list, executed in order.
+	Script []Op
+}
+
+// Workload is a set of tasks forming a DAG via Deps.
+type Workload struct {
+	Name  string
+	Tasks []*Task
+}
+
+// Validate checks name uniqueness and dependency closure.
+func (w *Workload) Validate() error {
+	seen := make(map[string]*Task, len(w.Tasks))
+	for _, t := range w.Tasks {
+		if t.Name == "" {
+			return fmt.Errorf("sim: task with empty name")
+		}
+		if seen[t.Name] != nil {
+			return fmt.Errorf("sim: duplicate task %q", t.Name)
+		}
+		seen[t.Name] = t
+	}
+	for _, t := range w.Tasks {
+		for _, d := range t.Deps {
+			if seen[d] == nil {
+				return fmt.Errorf("sim: task %q depends on unknown task %q", t.Name, d)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,567 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"datalife/internal/blockstats"
+	"datalife/internal/iotrace"
+	"datalife/internal/vfs"
+)
+
+func testCluster(t *testing.T, nodes, cores int) (*vfs.FS, *Cluster) {
+	t.Helper()
+	fs := vfs.New()
+	c, err := BuildCluster(fs, ClusterSpec{
+		Name:        "test",
+		Nodes:       nodes,
+		Cores:       cores,
+		DefaultTier: "nfs",
+		Shared:      []*vfs.Tier{vfs.NewNFS("nfs"), vfs.NewBeeGFS("beegfs")},
+		LocalKinds:  []LocalTierSpec{{Kind: "ssd"}, {Kind: "shm"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, c
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	w := &Workload{Tasks: []*Task{{Name: "a"}, {Name: "a"}}}
+	if err := w.Validate(); err == nil {
+		t.Fatal("duplicate task accepted")
+	}
+	w = &Workload{Tasks: []*Task{{Name: ""}}}
+	if err := w.Validate(); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	w = &Workload{Tasks: []*Task{{Name: "a", Deps: []string{"ghost"}}}}
+	if err := w.Validate(); err == nil {
+		t.Fatal("unknown dep accepted")
+	}
+}
+
+func TestComputeOnlyTask(t *testing.T) {
+	fs, c := testCluster(t, 1, 1)
+	eng := &Engine{FS: fs, Cluster: c}
+	res, err := eng.Run(&Workload{Tasks: []*Task{
+		{Name: "t", Script: []Op{Compute(5)}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 5 {
+		t.Fatalf("makespan = %v, want 5", res.Makespan)
+	}
+	tt := res.Tasks["t"]
+	if tt.Start != 0 || tt.End != 5 || tt.Node != "node0" {
+		t.Fatalf("task time = %+v", tt)
+	}
+}
+
+func TestDependencyOrdering(t *testing.T) {
+	fs, c := testCluster(t, 4, 4)
+	eng := &Engine{FS: fs, Cluster: c}
+	res, err := eng.Run(&Workload{Tasks: []*Task{
+		{Name: "a", Script: []Op{Compute(2)}},
+		{Name: "b", Script: []Op{Compute(3)}},
+		{Name: "c", Deps: []string{"a", "b"}, Script: []Op{Compute(1)}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks["c"].Start != 3 { // after the slower dep
+		t.Fatalf("c start = %v, want 3", res.Tasks["c"].Start)
+	}
+	if res.Makespan != 4 {
+		t.Fatalf("makespan = %v, want 4", res.Makespan)
+	}
+}
+
+func TestCoreLimitSerializes(t *testing.T) {
+	fs, c := testCluster(t, 1, 2)
+	eng := &Engine{FS: fs, Cluster: c}
+	var tasks []*Task
+	for i := 0; i < 4; i++ {
+		tasks = append(tasks, &Task{Name: "t" + string(rune('0'+i)), Script: []Op{Compute(1)}})
+	}
+	res, err := eng.Run(&Workload{Tasks: tasks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 one-second tasks on 2 cores => 2 seconds.
+	if res.Makespan != 2 {
+		t.Fatalf("makespan = %v, want 2", res.Makespan)
+	}
+}
+
+func TestWriteCreatesAndReadConsumes(t *testing.T) {
+	fs, c := testCluster(t, 1, 1)
+	eng := &Engine{FS: fs, Cluster: c}
+	res, err := eng.Run(&Workload{Tasks: []*Task{
+		{Name: "w", Script: []Op{Write("a.dat", 1000, 100)}},
+		{Name: "r", Deps: []string{"w"}, Script: []Op{Read("a.dat", 1000, 100)}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Stat("a.dat")
+	if err != nil || f.Size != 1000 {
+		t.Fatalf("file = %v, %v", f, err)
+	}
+	if res.TierBytes["nfs"] != 2000 { // 1000 written + 1000 read
+		t.Fatalf("nfs bytes = %d", res.TierBytes["nfs"])
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("makespan not positive")
+	}
+}
+
+func TestReadClampsToFileSize(t *testing.T) {
+	fs, c := testCluster(t, 1, 1)
+	if _, err := fs.CreateSized("small.dat", "nfs", 100); err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{FS: fs, Cluster: c, Col: iotrace.NewCollector(blockstats.DefaultConfig())}
+	if _, err := eng.Run(&Workload{Tasks: []*Task{
+		{Name: "r", Script: []Op{Read("small.dat", 1000, 50)}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	fl := eng.Col.Flow("r", "small.dat", 0)
+	if fl.ReadBytes != 100 {
+		t.Fatalf("read bytes = %d, want 100 (clamped)", fl.ReadBytes)
+	}
+}
+
+func TestBandwidthContention(t *testing.T) {
+	// Two concurrent readers on one tier should each take ~2x the solo time.
+	fs, c := testCluster(t, 2, 1)
+	if _, err := fs.CreateSized("big.dat", "nfs", 300_000_000); err != nil {
+		t.Fatal(err)
+	}
+	solo := func(n int) float64 {
+		fsn := vfs.New()
+		cn, err := BuildCluster(fsn, ClusterSpec{Name: "t", Nodes: n, Cores: 1,
+			DefaultTier: "nfs", Shared: []*vfs.Tier{vfs.NewNFS("nfs")}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fsn.CreateSized("big.dat", "nfs", 300_000_000); err != nil {
+			t.Fatal(err)
+		}
+		var tasks []*Task
+		for i := 0; i < n; i++ {
+			// One whole-file access keeps per-chunk latency negligible so
+			// the ratio isolates bandwidth sharing.
+			tasks = append(tasks, &Task{Name: "r" + string(rune('0'+i)),
+				Script: []Op{Read("big.dat", 300_000_000, 300_000_000)}})
+		}
+		eng := &Engine{FS: fsn, Cluster: cn}
+		res, err := eng.Run(&Workload{Tasks: tasks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	t1 := solo(1)
+	t2 := solo(2)
+	if ratio := t2 / t1; ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("contention ratio = %v, want ~2 (t1=%v t2=%v)", ratio, t1, t2)
+	}
+	_ = c
+}
+
+func TestLocalTierFasterThanShared(t *testing.T) {
+	fs, c := testCluster(t, 1, 1)
+	if _, err := fs.CreateSized("x.dat", "nfs", 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{FS: fs, Cluster: c}
+	resNFS, err := eng.Run(&Workload{Tasks: []*Task{
+		{Name: "r", Script: []Op{Read("x.dat", 100_000_000, 1<<20)}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, c2 := testCluster(t, 1, 1)
+	if _, err := fs2.CreateSized("x.dat", "nfs", 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	eng2 := &Engine{FS: fs2, Cluster: c2}
+	resStaged, err := eng2.Run(&Workload{Tasks: []*Task{
+		{Name: "stage", Script: []Op{Stage("x.dat", "local:shm")}},
+		{Name: "r", Deps: []string{"stage"}, Node: "node0",
+			Script: []Op{Read("x.dat", 100_000_000, 1<<20)}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reading from ramdisk after staging must beat NFS reads even counting
+	// the staging cost here? Not necessarily for single use — but the read
+	// stage itself must be much faster. Compare read task durations.
+	nfsRead := resNFS.Tasks["r"].End - resNFS.Tasks["r"].Start
+	shmRead := resStaged.Tasks["r"].End - resStaged.Tasks["r"].Start
+	if shmRead >= nfsRead/5 {
+		t.Fatalf("shm read %v not much faster than nfs read %v", shmRead, nfsRead)
+	}
+}
+
+func TestStageMovesFile(t *testing.T) {
+	fs, c := testCluster(t, 2, 1)
+	if _, err := fs.CreateSized("f.dat", "nfs", 1000); err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{FS: fs, Cluster: c}
+	if _, err := eng.Run(&Workload{Tasks: []*Task{
+		{Name: "s", Node: "node1", Script: []Op{Stage("f.dat", "local:ssd")}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Stat("f.dat")
+	if f.Tier.Name != LocalTierName("ssd", "node1") {
+		t.Fatalf("tier = %s", f.Tier.Name)
+	}
+}
+
+func TestNodeLocalVisibilityEnforced(t *testing.T) {
+	fs, c := testCluster(t, 2, 1)
+	if _, err := fs.CreateSized("f.dat", LocalTierName("ssd", "node0"), 1000); err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{FS: fs, Cluster: c}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-node local read did not fail")
+		}
+	}()
+	eng.Run(&Workload{Tasks: []*Task{
+		{Name: "r", Node: "node1", Script: []Op{Read("f.dat", 1000, 100)}},
+	}})
+}
+
+func TestMetadataContention(t *testing.T) {
+	// Many concurrent opens on a shared tier must queue at the metadata
+	// server: total time ~ n * MetaOpS, not MetaOpS.
+	fs, c := testCluster(t, 4, 8)
+	const n = 32
+	var tasks []*Task
+	for i := 0; i < n; i++ {
+		name := "t" + itoa(i)
+		path := "f" + itoa(i)
+		if _, err := fs.CreateSized(path, "nfs", 10); err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, &Task{Name: name, Script: []Op{Open(path), Close(path)}})
+	}
+	eng := &Engine{FS: fs, Cluster: c}
+	res, err := eng.Run(&Workload{Tasks: tasks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfs, _ := fs.Tier("nfs")
+	minSerial := float64(2*n) * nfs.MetaOpS
+	if res.Makespan < minSerial*0.9 {
+		t.Fatalf("makespan %v under serial metadata bound %v", res.Makespan, minSerial)
+	}
+	if res.MetaOps["nfs"] != 2*n {
+		t.Fatalf("MetaOps = %d", res.MetaOps["nfs"])
+	}
+	if res.MetaWait["nfs"] <= 0 {
+		t.Fatal("no metadata queueing recorded")
+	}
+}
+
+func TestCollectorIntegration(t *testing.T) {
+	fs, c := testCluster(t, 1, 2)
+	col := iotrace.NewCollector(blockstats.DefaultConfig())
+	eng := &Engine{FS: fs, Cluster: c, Col: col}
+	_, err := eng.Run(&Workload{Tasks: []*Task{
+		{Name: "w", Script: []Op{Open("d.dat"), Write("d.dat", 1000, 100), Close("d.dat")}},
+		{Name: "r", Deps: []string{"w"}, Script: []Op{Open("d.dat"), ReadRepeat("d.dat", 1000, 100, 3), Close("d.dat")}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.NumFlows() != 2 {
+		t.Fatalf("flows = %d", col.NumFlows())
+	}
+	rf := col.Flow("r", "d.dat", 0)
+	if rf.ReadBytes != 3000 {
+		t.Fatalf("read bytes = %d, want 3000 (3 epochs)", rf.ReadBytes)
+	}
+	if rf.ReadOps != 30 {
+		t.Fatalf("read ops = %d, want 30", rf.ReadOps)
+	}
+	// Reuse factor ~3 from the three epochs.
+	if rfac := rf.ReuseFactor(blockstats.Read); rfac < 2.5 || rfac > 3.5 {
+		t.Fatalf("reuse = %v", rfac)
+	}
+	wt := col.Task("w")
+	if wt == nil || wt.Lifetime() <= 0 {
+		t.Fatal("task lifetime missing")
+	}
+}
+
+func TestStageTagsAndDurations(t *testing.T) {
+	fs, c := testCluster(t, 2, 2)
+	eng := &Engine{FS: fs, Cluster: c}
+	res, err := eng.Run(&Workload{Tasks: []*Task{
+		{Name: "a", Stage: "stage1", Script: []Op{Compute(2)}},
+		{Name: "b", Stage: "stage1", Script: []Op{Compute(3)}},
+		{Name: "c", Stage: "stage2", Deps: []string{"a", "b"}, Script: []Op{Compute(1)}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.StageDuration("stage1"); d != 3 {
+		t.Fatalf("stage1 = %v", d)
+	}
+	if d := res.StageDuration("stage2"); d != 1 {
+		t.Fatalf("stage2 = %v", d)
+	}
+	if d := res.StageDuration("nope"); d != 0 {
+		t.Fatalf("missing stage = %v", d)
+	}
+	names := res.StageNames()
+	if len(names) != 2 || names[0] != "stage1" {
+		t.Fatalf("StageNames = %v", names)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	fs, c := testCluster(t, 1, 1)
+	eng := &Engine{FS: fs, Cluster: c}
+	// Task pinned to a nonexistent node can never start.
+	_, err := eng.Run(&Workload{Tasks: []*Task{
+		{Name: "ghost", Node: "nodeX", Script: []Op{Compute(1)}},
+	}})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestResolveTierRefs(t *testing.T) {
+	fs, c := testCluster(t, 2, 1)
+	def, err := c.ResolveTier(fs, "", "node0")
+	if err != nil || def.Name != "nfs" {
+		t.Fatalf("default = %v, %v", def, err)
+	}
+	shm, err := c.ResolveTier(fs, "local:shm", "node1")
+	if err != nil || shm.Name != "shm@node1" {
+		t.Fatalf("local = %v, %v", shm, err)
+	}
+	if _, err := c.ResolveTier(fs, "local:tape", "node0"); err == nil {
+		t.Fatal("unknown local kind accepted")
+	}
+	named, err := c.ResolveTier(fs, "beegfs", "node0")
+	if err != nil || named.Name != "beegfs" {
+		t.Fatalf("named = %v, %v", named, err)
+	}
+}
+
+func TestBuildClusterValidation(t *testing.T) {
+	fs := vfs.New()
+	if _, err := BuildCluster(fs, ClusterSpec{Nodes: 0, Cores: 1, DefaultTier: "x"}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := BuildCluster(fs, ClusterSpec{Nodes: 1, Cores: 1, DefaultTier: "missing"}); err == nil {
+		t.Fatal("missing default tier accepted")
+	}
+	fs2 := vfs.New()
+	if _, err := BuildCluster(fs2, ClusterSpec{Nodes: 1, Cores: 1, DefaultTier: "nfs",
+		Shared:     []*vfs.Tier{vfs.NewNFS("nfs")},
+		LocalKinds: []LocalTierSpec{{Kind: "floppy"}}}); err == nil {
+		t.Fatal("unknown local kind accepted")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	fs := vfs.New()
+	cpu, err := CPUCluster(fs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cpu.Nodes) != 3 || cpu.Nodes[0].Cores != 24 {
+		t.Fatalf("cpu cluster = %+v", cpu)
+	}
+	if _, err := fs.Tier("lustre"); err != nil {
+		t.Fatal("lustre missing")
+	}
+	fs2 := vfs.New()
+	gpu, err := GPUCluster(fs2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpu.Nodes[0].Cores != 32 {
+		t.Fatalf("gpu cores = %d", gpu.Nodes[0].Cores)
+	}
+	ds := DataServerTier()
+	if ds.Kind != vfs.WAN || ds.ReadBW != 125e6 {
+		t.Fatalf("data server = %+v", ds)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() float64 {
+		fs, c := testCluster(t, 3, 2)
+		var tasks []*Task
+		for i := 0; i < 12; i++ {
+			name := "t" + itoa(i)
+			tasks = append(tasks, &Task{Name: name, Script: []Op{
+				Write("f"+itoa(i), 1_000_000, 1<<16),
+				Compute(0.5),
+				Read("f"+itoa(i), 1_000_000, 1<<16),
+			}})
+		}
+		eng := &Engine{FS: fs, Cluster: c}
+		res, err := eng.Run(&Workload{Tasks: tasks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	a, b := run(), run()
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	for k := OpOpen; k <= OpDelete; k++ {
+		if strings.HasPrefix(k.String(), "op(") {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+func TestBandwidthDegradationKnee(t *testing.T) {
+	// Beyond the knee, aggregate bandwidth shrinks: 8 concurrent readers on
+	// a knee-2 tier must take more than 4x the 2-reader time.
+	mk := func(n int) float64 {
+		fs := vfs.New()
+		tier := vfs.NewNFS("fsx")
+		tier.DegradeKnee = 2
+		tier.DegradeAlpha = 0.5
+		cl, err := BuildCluster(fs, ClusterSpec{Name: "c", Nodes: n, Cores: 1,
+			DefaultTier: "fsx", Shared: []*vfs.Tier{tier}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.CreateSized("f", "fsx", 100_000_000); err != nil {
+			t.Fatal(err)
+		}
+		var tasks []*Task
+		for i := 0; i < n; i++ {
+			tasks = append(tasks, &Task{Name: "r" + itoa(i),
+				Script: []Op{Read("f", 100_000_000, 100_000_000)}})
+		}
+		eng := &Engine{FS: fs, Cluster: cl}
+		res, err := eng.Run(&Workload{Tasks: tasks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	t2, t8 := mk(2), mk(8)
+	if ratio := t8 / t2; ratio < 4.5 {
+		t.Fatalf("degradation ratio = %v, want > 4.5 (t2=%v t8=%v)", ratio, t2, t8)
+	}
+}
+
+func TestAsyncWritesOverlapCompute(t *testing.T) {
+	// A task that writes 100MB to NFS (≈0.5s at 200MB/s) and then computes
+	// 0.5s: synchronous ≈ 1.0s; buffered writes overlap the flush with the
+	// compute ≈ 0.5s.
+	run := func(async bool) float64 {
+		fs, c := testCluster(t, 1, 1)
+		eng := &Engine{FS: fs, Cluster: c}
+		res, err := eng.Run(&Workload{Tasks: []*Task{{
+			Name:        "w",
+			AsyncWrites: async,
+			Script: []Op{
+				Write("out.dat", 100_000_000, 100_000_000),
+				Compute(0.5),
+			},
+		}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	sync, buffered := run(false), run(true)
+	if buffered >= sync*0.75 {
+		t.Fatalf("write buffering ineffective: sync=%.3fs buffered=%.3fs", sync, buffered)
+	}
+	// The buffered run still cannot finish before the flush completes.
+	if buffered < 0.5 {
+		t.Fatalf("buffered run %.3fs finished before flush could complete", buffered)
+	}
+}
+
+func TestAsyncWritesFlushBeforeTaskEnd(t *testing.T) {
+	// Without trailing compute, buffering cannot beat the flush time, and
+	// the file must be fully sized when the dependent starts.
+	fs, c := testCluster(t, 1, 2)
+	eng := &Engine{FS: fs, Cluster: c, Col: iotrace.NewCollector(blockstats.DefaultConfig())}
+	res, err := eng.Run(&Workload{Tasks: []*Task{
+		{Name: "w", AsyncWrites: true, Script: []Op{Write("f", 50_000_000, 1<<20)}},
+		{Name: "r", Deps: []string{"w"}, Script: []Op{Read("f", 50_000_000, 1<<20)}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf := eng.Col.Flow("r", "f", 0)
+	if rf.ReadBytes != 50_000_000 {
+		t.Fatalf("dependent read %d bytes, want full file", rf.ReadBytes)
+	}
+	// Reader must start only after writer's flush completed.
+	if res.Tasks["r"].Start < res.Tasks["w"].End {
+		t.Fatal("reader started before writer drained")
+	}
+	wf := eng.Col.Flow("w", "f", 0)
+	if wf.WriteBytes != 50_000_000 {
+		t.Fatalf("writer recorded %d bytes", wf.WriteBytes)
+	}
+}
+
+func TestAsyncWritesMultipleOutstanding(t *testing.T) {
+	fs, c := testCluster(t, 1, 1)
+	eng := &Engine{FS: fs, Cluster: c}
+	var script []Op
+	for i := 0; i < 5; i++ {
+		script = append(script, Write("f"+itoa(i), 10_000_000, 10_000_000))
+	}
+	script = append(script, Compute(1))
+	res, err := eng.Run(&Workload{Tasks: []*Task{
+		{Name: "w", AsyncWrites: true, Script: script},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		f, err := fs.Stat("f" + itoa(i))
+		if err != nil || f.Size != 10_000_000 {
+			t.Fatalf("file %d: %v %v", i, f, err)
+		}
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("no makespan")
+	}
+}

@@ -1,0 +1,237 @@
+// Package stage implements the 1000 Genomes case study (§6.2, Fig. 6 of the
+// DataLife paper): six staging/distribution configurations that apply the
+// remediations suggested by DFL caterpillar analysis — co-locating each
+// chromosome's caterpillar tree on one node, staging intermediate files to
+// node-local storage, and staging shared inputs to node-local storage.
+package stage
+
+import (
+	"fmt"
+	"strings"
+
+	"datalife/internal/sim"
+	"datalife/internal/vfs"
+	"datalife/internal/workflows"
+)
+
+// Config is one Fig. 6 configuration.
+type Config struct {
+	// Name as in the paper: "15/bfs", "10/bfs", "10/bfs+shm", "10/bfs+ssd",
+	// "10/bfs+shm+staging", "10/bfs+ssd+staging".
+	Name string
+	// Nodes used for scheduling.
+	Nodes int
+	// IntermediateTier is the tier reference for task-created files:
+	// "beegfs", "local:shm", or "local:ssd".
+	IntermediateTier string
+	// StageInputs enables stage 1: copying each node's input files to the
+	// IntermediateTier before compute stages run.
+	StageInputs bool
+	// RoundRobin spreads indiv tasks across all nodes SLURM-style instead of
+	// aligning each chromosome's caterpillar to one node — the original
+	// (pre-DFL) distribution the 15-node baseline uses.
+	RoundRobin bool
+}
+
+// Configs returns the paper's six configurations in presentation order.
+func Configs() []Config {
+	return []Config{
+		{Name: "15/bfs", Nodes: 15, IntermediateTier: "beegfs", RoundRobin: true},
+		{Name: "10/bfs", Nodes: 10, IntermediateTier: "beegfs"},
+		{Name: "10/bfs+shm", Nodes: 10, IntermediateTier: "local:shm"},
+		{Name: "10/bfs+ssd", Nodes: 10, IntermediateTier: "local:ssd"},
+		{Name: "10/bfs+shm+staging", Nodes: 10, IntermediateTier: "local:shm", StageInputs: true},
+		{Name: "10/bfs+ssd+staging", Nodes: 10, IntermediateTier: "local:ssd", StageInputs: true},
+	}
+}
+
+// Result is one configuration's outcome.
+type Result struct {
+	Config   Config
+	Makespan float64
+	// StageSeconds maps the four case-study stages to durations.
+	StageSeconds map[string]float64
+	Sim          *sim.Result
+}
+
+// newCluster builds the GPU-cluster-like machine used by this study (the
+// paper runs it there, CPUs only), with BeeGFS as the default tier.
+func newCluster(nodes int) (*vfs.FS, *sim.Cluster, error) {
+	fs := vfs.New()
+	cl, err := sim.BuildCluster(fs, sim.ClusterSpec{
+		Name:        "gpu-cluster",
+		Nodes:       nodes,
+		Cores:       24,
+		DefaultTier: "beegfs",
+		Shared:      []*vfs.Tier{vfs.NewBeeGFS("beegfs"), vfs.NewNFS("nfs")},
+		LocalKinds:  []sim.LocalTierSpec{{Kind: "ssd"}, {Kind: "shm"}},
+	})
+	return fs, cl, err
+}
+
+// Run executes the 1000 Genomes workflow under one configuration.
+func Run(p workflows.GenomesParams, cfg Config) (*Result, error) {
+	spec := workflows.Genomes(p)
+	fs, cl, err := newCluster(cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.Seed(fs, "beegfs"); err != nil {
+		return nil, err
+	}
+	Plan(spec, cl, p, cfg)
+	eng := &sim.Engine{FS: fs, Cluster: cl}
+	res, err := eng.Run(spec.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("stage: config %s: %w", cfg.Name, err)
+	}
+	out := &Result{Config: cfg, Makespan: res.Makespan, Sim: res,
+		StageSeconds: make(map[string]float64)}
+	for _, s := range res.StageNames() {
+		out.StageSeconds[s] = res.StageDuration(s)
+	}
+	return out, nil
+}
+
+// Plan rewrites the workflow in place for the configuration: it pins each
+// chromosome's caterpillar to one node (DFL insight: caterpillars have
+// internal dependencies but are independent of each other), routes
+// intermediate files to the configured tier, and, when staging, adds stage 1
+// tasks that copy each node's inputs to local storage and rewrites consumer
+// reads to the local copies.
+func Plan(spec *workflows.Spec, cl *sim.Cluster, p workflows.GenomesParams, cfg Config) {
+	nodeOf := func(chromosome int) string {
+		return cl.Nodes[chromosome%len(cl.Nodes)].Name
+	}
+
+	// Place tasks and set intermediate tiers. Round-robin is the original
+	// SLURM-style spread: indiv tasks striped over all nodes, other tasks
+	// left to the least-loaded scheduler. The DFL remediation instead pins
+	// each chromosome's caterpillar tree to one node.
+	indivSeen := 0
+	for _, t := range spec.Workload.Tasks {
+		t.CreateTier = cfg.IntermediateTier
+		if cfg.RoundRobin {
+			if strings.HasPrefix(t.Name, "indiv#") {
+				t.Node = cl.Nodes[indivSeen%len(cl.Nodes)].Name
+				indivSeen++
+			}
+			continue
+		}
+		if c := chromosomeOf(t.Name); c >= 0 {
+			t.Node = nodeOf(c)
+		}
+	}
+	if cfg.RoundRobin && cfg.StageInputs {
+		panic("stage: the RoundRobin+StageInputs combination is not part of the study")
+	}
+
+	if !cfg.StageInputs {
+		return
+	}
+
+	// Stage 1: per node, copy the inputs its chromosomes need to local
+	// storage under a node-specific path, then rewrite reads.
+	needed := make(map[string]map[string]int64) // node -> path -> size
+	sizes := make(map[string]int64, len(spec.Inputs))
+	for _, in := range spec.Inputs {
+		sizes[in.Path] = in.Size
+	}
+	for _, t := range spec.Workload.Tasks {
+		node := t.Node
+		if node == "" {
+			continue
+		}
+		for _, op := range t.Script {
+			if op.Kind == sim.OpRead {
+				if sz, isInput := sizes[op.Path]; isInput {
+					if needed[node] == nil {
+						needed[node] = make(map[string]int64)
+					}
+					needed[node][op.Path] = sz
+				}
+			}
+		}
+	}
+
+	staged := func(node, path string) string { return "staged/" + node + "/" + path }
+	var stageNames []string
+	for _, n := range cl.Nodes {
+		files := needed[n.Name]
+		if len(files) == 0 {
+			continue
+		}
+		task := &sim.Task{
+			Name:       "stage1#" + n.Name,
+			Node:       n.Name,
+			Stage:      "stage1-staging",
+			CreateTier: cfg.IntermediateTier,
+		}
+		// Deterministic file order.
+		for _, in := range spec.Inputs {
+			sz, ok := files[in.Path]
+			if !ok {
+				continue
+			}
+			cp := staged(n.Name, in.Path)
+			task.Script = append(task.Script,
+				sim.Open(in.Path),
+				sim.Read(in.Path, sz, 8<<20),
+				sim.Close(in.Path),
+				sim.Open(cp),
+				sim.Write(cp, sz, 8<<20),
+				sim.Close(cp),
+			)
+		}
+		stageNames = append(stageNames, task.Name)
+		spec.Workload.Tasks = append(spec.Workload.Tasks, task)
+	}
+
+	// Rewrite input reads (and their opens/closes) to the node-local copy,
+	// and gate every task on its node's staging task.
+	for _, t := range spec.Workload.Tasks {
+		if strings.HasPrefix(t.Name, "stage1#") || t.Node == "" {
+			continue
+		}
+		for i := range t.Script {
+			op := &t.Script[i]
+			if _, isInput := sizes[op.Path]; isInput {
+				switch op.Kind {
+				case sim.OpRead, sim.OpOpen, sim.OpClose:
+					op.Path = staged(t.Node, op.Path)
+				}
+			}
+		}
+		dep := "stage1#" + t.Node
+		for _, sn := range stageNames {
+			if sn == dep {
+				t.Deps = append(t.Deps, dep)
+				break
+			}
+		}
+	}
+}
+
+// chromosomeOf extracts the chromosome index (0-based) from a task name of
+// the forms indiv#cN.i, merge#cN, sift#cN, freq#cN.p, mutat#cN.p; -1 if the
+// task is not chromosome-bound.
+func chromosomeOf(name string) int {
+	i := strings.Index(name, "#c")
+	if i < 0 {
+		return -1
+	}
+	rest := name[i+2:]
+	n := 0
+	ok := false
+	for _, r := range rest {
+		if r < '0' || r > '9' {
+			break
+		}
+		n = n*10 + int(r-'0')
+		ok = true
+	}
+	if !ok {
+		return -1
+	}
+	return n - 1
+}

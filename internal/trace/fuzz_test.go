@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"testing"
+
+	"datalife/internal/sim"
+)
+
+// FuzzTransforms checks transform invariants on arbitrary event streams:
+// event counts are preserved, compute durations are untouched, reads never
+// grow under Filter, and Replay always yields a valid workload.
+func FuzzTransforms(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5}, uint8(4), uint8(2))
+	f.Add([]byte{1, 1, 1, 1}, uint8(1), uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, filter, group uint8) {
+		tr := &Trace{}
+		for i, b := range raw {
+			task := "t" + string(rune('0'+int(b)%4))
+			switch b % 5 {
+			case 0:
+				tr.Events = append(tr.Events, Event{Task: task, Kind: sim.OpOpen, Path: "f"})
+			case 1:
+				tr.Events = append(tr.Events, Event{Task: task, Kind: sim.OpRead,
+					Path: "f", Off: int64(i) * 100, Len: int64(b)*10 + 1})
+			case 2:
+				tr.Events = append(tr.Events, Event{Task: task, Kind: sim.OpWrite,
+					Path: "o" + task, Len: int64(b)*10 + 1})
+			case 3:
+				tr.Events = append(tr.Events, Event{Task: task, Kind: sim.OpCompute,
+					Dur: float64(b) / 10})
+			case 4:
+				tr.Events = append(tr.Events, Event{Task: task, Kind: sim.OpClose, Path: "f"})
+			}
+		}
+		compute := func(tt *Trace) float64 {
+			var s float64
+			for _, e := range tt.Events {
+				if e.Kind == sim.OpCompute {
+					s += e.Dur
+				}
+			}
+			return s
+		}
+		base := compute(tr)
+		check := func(out *Trace, volumeMustNotGrow bool) {
+			t.Helper()
+			if len(out.Events) != len(tr.Events) {
+				t.Fatalf("event count changed: %d vs %d", len(out.Events), len(tr.Events))
+			}
+			if got := compute(out); got != base {
+				t.Fatalf("compute changed: %v vs %v", got, base)
+			}
+			// Regroup may change total read volume (members adopt the
+			// leader's accesses); Defragment and Filter must not grow it.
+			if volumeMustNotGrow && out.ReadBytes() > tr.ReadBytes() {
+				t.Fatal("transform grew read volume")
+			}
+			w := Replay(out, ReplayOptions{})
+			if err := w.Validate(); err != nil {
+				t.Fatalf("replay invalid: %v", err)
+			}
+		}
+		check(Defragment(tr), true)
+		check(Filter(tr, int(filter%8)), true)
+		check(Regroup(tr, int(group%5)), false)
+		check(AdjustAll(tr, int(filter%8), int(group%5)), false)
+	})
+}
+
+// AdjustAll is a helper composing all three transforms.
+func AdjustAll(tr *Trace, filter, group int) *Trace {
+	out := Defragment(tr)
+	if filter > 1 {
+		out = Filter(out, filter)
+	}
+	if group > 1 {
+		out = Regroup(out, group)
+	}
+	return out
+}

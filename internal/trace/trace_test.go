@@ -1,0 +1,263 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"datalife/internal/cache"
+	"datalife/internal/sim"
+	"datalife/internal/vfs"
+	"datalife/internal/workflows"
+)
+
+// capture runs a small Belle II campaign with a recorder attached.
+func capture(t *testing.T, frag bool) (*Trace, workflows.Belle2Params) {
+	t.Helper()
+	p := workflows.DefaultBelle2()
+	p.Tasks, p.DatasetsPerTask, p.PoolDatasets = 8, 3, 6
+	p.DatasetBytes = 16 << 20
+	p.ComputePerDataset = 0.5
+	p.Fragmented = frag
+	spec := workflows.Belle2(p)
+	fs := vfs.New()
+	cl, err := sim.BuildCluster(fs, sim.ClusterSpec{
+		Name: "c", Nodes: 2, Cores: 8, DefaultTier: "dataserver",
+		Shared:     []*vfs.Tier{sim.DataServerTier()},
+		LocalKinds: []sim.LocalTierSpec{{Kind: "ssd"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Seed(fs, "dataserver"); err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range spec.Workload.Tasks {
+		task.CreateTier = "local:ssd"
+	}
+	rec := NewRecorder()
+	eng := &sim.Engine{FS: fs, Cluster: cl, Trace: rec}
+	if _, err := eng.Run(spec.Workload); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Trace(), p
+}
+
+func TestCaptureProducesEvents(t *testing.T) {
+	tr, p := capture(t, true)
+	if len(tr.Events) == 0 {
+		t.Fatal("empty trace")
+	}
+	if got := len(tr.Tasks()); got != p.Tasks {
+		t.Fatalf("tasks in trace = %d, want %d", got, p.Tasks)
+	}
+	var opens, reads, computes, writes int
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case sim.OpOpen:
+			opens++
+		case sim.OpRead:
+			reads++
+			if e.Len <= 0 {
+				t.Fatal("read with no length")
+			}
+		case sim.OpCompute:
+			computes++
+			if e.Dur <= 0 {
+				t.Fatal("compute with no duration")
+			}
+		case sim.OpWrite:
+			writes++
+		}
+	}
+	if opens == 0 || reads == 0 || computes == 0 || writes == 0 {
+		t.Fatalf("missing event kinds: o=%d r=%d c=%d w=%d", opens, reads, computes, writes)
+	}
+	// Events arrive in completion order: starts are non-decreasing within a
+	// task.
+	last := make(map[string]float64)
+	for _, e := range tr.Events {
+		if e.Start < last[e.Task] {
+			t.Fatalf("task %s events out of order", e.Task)
+		}
+		last[e.Task] = e.Start
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr, _ := capture(t, true)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.Events) != len(tr.Events) {
+		t.Fatalf("events = %d, want %d", len(tr2.Events), len(tr.Events))
+	}
+	if tr2.Events[0] != tr.Events[0] {
+		t.Fatalf("first event differs: %+v vs %+v", tr2.Events[0], tr.Events[0])
+	}
+	if _, err := Load(strings.NewReader("{oops")); err == nil {
+		t.Fatal("bad trace accepted")
+	}
+}
+
+func TestDefragmentSortsReads(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Task: "t", Kind: sim.OpOpen, Path: "f"},
+		{Task: "t", Kind: sim.OpRead, Path: "f", Off: 3000, Len: 100},
+		{Task: "t", Kind: sim.OpRead, Path: "f", Off: 1000, Len: 100},
+		{Task: "t", Kind: sim.OpRead, Path: "f", Off: 2000, Len: 100},
+		{Task: "t", Kind: sim.OpClose, Path: "f"},
+	}}
+	d := Defragment(tr)
+	offs := []int64{}
+	for _, e := range d.Events {
+		if e.Kind == sim.OpRead {
+			offs = append(offs, e.Off)
+		}
+	}
+	if offs[0] != 1000 || offs[1] != 2000 || offs[2] != 3000 {
+		t.Fatalf("reads not sorted: %v", offs)
+	}
+	// Original untouched.
+	if tr.Events[1].Off != 3000 {
+		t.Fatal("input trace mutated")
+	}
+}
+
+func TestFilterShrinksReads(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Task: "t", Kind: sim.OpRead, Path: "f", Off: 0, Len: 4000},
+		{Task: "t", Kind: sim.OpWrite, Path: "g", Off: 0, Len: 4000},
+	}}
+	f := Filter(tr, 4)
+	if f.Events[0].Len != 1000 {
+		t.Fatalf("read len = %d", f.Events[0].Len)
+	}
+	if f.Events[1].Len != 4000 {
+		t.Fatal("write was filtered")
+	}
+	if Filter(tr, 0).Events[0].Len != 4000 {
+		t.Fatal("factor<1 should be identity")
+	}
+	if tr.ReadBytes() != 4000 {
+		t.Fatalf("ReadBytes = %d", tr.ReadBytes())
+	}
+}
+
+func TestRegroupSharesLeaderInputs(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Task: "a", Kind: sim.OpRead, Path: "d1", Off: 0, Len: 100},
+		{Task: "b", Kind: sim.OpRead, Path: "d2", Off: 0, Len: 100},
+		{Task: "a", Kind: sim.OpCompute, Dur: 1},
+		{Task: "b", Kind: sim.OpCompute, Dur: 2},
+	}}
+	g := Regroup(tr, 2)
+	// b must now read the leader's (a's) input d1; computes untouched.
+	var bReads []string
+	var bCompute float64
+	for _, e := range g.Events {
+		if e.Task == "b" {
+			switch e.Kind {
+			case sim.OpRead:
+				bReads = append(bReads, e.Path)
+			case sim.OpCompute:
+				bCompute = e.Dur
+			}
+		}
+	}
+	if len(bReads) != 1 || bReads[0] != "d1" {
+		t.Fatalf("b reads = %v, want [d1]", bReads)
+	}
+	if bCompute != 2 {
+		t.Fatalf("b compute changed: %v", bCompute)
+	}
+	// Size < 2 is identity.
+	id := Regroup(tr, 1)
+	if id.Events[1].Path != "d2" {
+		t.Fatal("identity regroup changed paths")
+	}
+}
+
+func TestReplayRunsAndPreservesCompute(t *testing.T) {
+	tr, p := capture(t, true)
+	w := Replay(tr, ReplayOptions{})
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Tasks) != p.Tasks {
+		t.Fatalf("replayed tasks = %d", len(w.Tasks))
+	}
+	// Execute the replay on a fresh cluster.
+	fs := vfs.New()
+	cl, err := sim.BuildCluster(fs, sim.ClusterSpec{
+		Name: "c", Nodes: 2, Cores: 8, DefaultTier: "dataserver",
+		Shared:     []*vfs.Tier{sim.DataServerTier()},
+		LocalKinds: []sim.LocalTierSpec{{Kind: "ssd"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.PoolDatasets; i++ {
+		if _, err := fs.CreateSized(workflows.Belle2Dataset(i), "dataserver", p.DatasetBytes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := &sim.Engine{FS: fs, Cluster: cl}
+	res, err := eng.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conservative emulation: replayed compute equals captured compute.
+	var captured float64
+	for _, e := range tr.Events {
+		if e.Kind == sim.OpCompute {
+			captured += e.Dur
+		}
+	}
+	if diff := res.ComputeTime - captured; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("compute drifted: %v vs %v", res.ComputeTime, captured)
+	}
+}
+
+func TestTraceEmulationEndToEnd(t *testing.T) {
+	// The §6.4 methodology on real captured traces: S1 (captured fragmented
+	// trace, replayed) vs S5-style (defragment + 4x filter): the optimized
+	// replay must be much faster under caching.
+	tr, p := capture(t, true)
+
+	runReplay := func(tt *Trace) float64 {
+		w := Replay(tt, ReplayOptions{})
+		fs := vfs.New()
+		cl, err := sim.BuildCluster(fs, sim.ClusterSpec{
+			Name: "c", Nodes: 2, Cores: 8, DefaultTier: "dataserver",
+			Shared:     []*vfs.Tier{sim.DataServerTier()},
+			LocalKinds: []sim.LocalTierSpec{{Kind: "ssd"}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < p.PoolDatasets; i++ {
+			if _, err := fs.CreateSized(workflows.Belle2Dataset(i), "dataserver", p.DatasetBytes); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tz := cache.NewTAZeR()
+		eng := &sim.Engine{FS: fs, Cluster: cl, Planner: tz}
+		res, err := eng.Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+
+	base := runReplay(tr)
+	optimized := runReplay(Filter(Defragment(tr), 4))
+	if optimized >= base {
+		t.Fatalf("optimized replay %v not faster than base %v", optimized, base)
+	}
+}

@@ -1,0 +1,313 @@
+package vfs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newFS(t *testing.T) *FS {
+	t.Helper()
+	fs := New()
+	for _, tier := range []*Tier{
+		NewNFS("nfs"),
+		NewBeeGFS("bfs"),
+		NewSSD("ssd0", "node0"),
+		NewRamdisk("shm0", "node0"),
+	} {
+		if err := fs.AddTier(tier); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fs
+}
+
+func TestAddTierValidation(t *testing.T) {
+	fs := New()
+	if err := fs.AddTier(nil); err == nil {
+		t.Error("nil tier accepted")
+	}
+	if err := fs.AddTier(&Tier{}); err == nil {
+		t.Error("unnamed tier accepted")
+	}
+	if err := fs.AddTier(NewNFS("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AddTier(NewNFS("x")); err == nil {
+		t.Error("duplicate tier accepted")
+	}
+}
+
+func TestCreateStatRemove(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Create("", "nfs"); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := fs.Create("a", "nope"); err == nil {
+		t.Error("unknown tier accepted")
+	}
+	f, err := fs.Create("a", "nfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size != 0 || f.Tier.Name != "nfs" {
+		t.Fatalf("bad file: %+v", f)
+	}
+	got, err := fs.Stat("a")
+	if err != nil || got != f {
+		t.Fatalf("Stat: %v %v", got, err)
+	}
+	if !fs.Exists("a") || fs.Exists("b") {
+		t.Error("Exists wrong")
+	}
+	if err := fs.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("a"); err == nil {
+		t.Error("double remove succeeded")
+	}
+}
+
+func TestCreateSizedCapacity(t *testing.T) {
+	fs := New()
+	tier := NewSSD("ssd", "n0")
+	tier.Capacity = 1000
+	if err := fs.AddTier(tier); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.CreateSized("a", "ssd", 800); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.CreateSized("b", "ssd", 300); err == nil {
+		t.Fatal("capacity overflow not detected")
+	}
+	// The failed create must not leave a phantom file.
+	if fs.Exists("b") {
+		t.Fatal("phantom file after failed CreateSized")
+	}
+	if tier.Used() != 800 {
+		t.Fatalf("Used = %d, want 800", tier.Used())
+	}
+	if err := fs.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if tier.Used() != 0 {
+		t.Fatalf("Used after remove = %d", tier.Used())
+	}
+}
+
+func TestCreateSizedNegative(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.CreateSized("a", "nfs", -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestCreateReplacesAndReleases(t *testing.T) {
+	fs := New()
+	tier := NewNFS("nfs")
+	tier.Capacity = 1000
+	if err := fs.AddTier(tier); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.CreateSized("a", "nfs", 900); err != nil {
+		t.Fatal(err)
+	}
+	// Re-creating "a" must release the old 900 bytes first.
+	if _, err := fs.CreateSized("a", "nfs", 500); err != nil {
+		t.Fatal(err)
+	}
+	if tier.Used() != 500 {
+		t.Fatalf("Used = %d, want 500", tier.Used())
+	}
+}
+
+func TestExtendTruncate(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Create("a", "nfs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Extend("a", 100); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Stat("a")
+	if f.Size != 100 {
+		t.Fatalf("Size = %d", f.Size)
+	}
+	if err := fs.Extend("a", 50); err != nil { // no-op shrink attempt
+		t.Fatal(err)
+	}
+	if f.Size != 100 {
+		t.Fatalf("Extend shrank file to %d", f.Size)
+	}
+	if err := fs.Truncate("a", 30); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size != 30 {
+		t.Fatalf("Size after truncate = %d", f.Size)
+	}
+	if err := fs.Truncate("a", -1); err == nil {
+		t.Error("negative truncate accepted")
+	}
+	if err := fs.Extend("missing", 10); err == nil {
+		t.Error("Extend on missing file succeeded")
+	}
+}
+
+func TestMigrate(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.CreateSized("a", "nfs", 100); err != nil {
+		t.Fatal(err)
+	}
+	n, err := fs.Migrate("a", "ssd0")
+	if err != nil || n != 100 {
+		t.Fatalf("Migrate = %d, %v", n, err)
+	}
+	f, _ := fs.Stat("a")
+	if f.Tier.Name != "ssd0" {
+		t.Fatalf("tier = %s", f.Tier.Name)
+	}
+	// Same-tier migrate is free.
+	n, err = fs.Migrate("a", "ssd0")
+	if err != nil || n != 0 {
+		t.Fatalf("same-tier Migrate = %d, %v", n, err)
+	}
+	nfs, _ := fs.Tier("nfs")
+	ssd, _ := fs.Tier("ssd0")
+	if nfs.Used() != 0 || ssd.Used() != 100 {
+		t.Fatalf("usage: nfs=%d ssd=%d", nfs.Used(), ssd.Used())
+	}
+}
+
+func TestMigrateCapacityFailureLeavesFileInPlace(t *testing.T) {
+	fs := New()
+	src := NewNFS("nfs")
+	dst := NewRamdisk("shm", "n0")
+	dst.Capacity = 10
+	if err := fs.AddTier(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AddTier(dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.CreateSized("a", "nfs", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Migrate("a", "shm"); err == nil {
+		t.Fatal("overflowing migrate succeeded")
+	}
+	f, _ := fs.Stat("a")
+	if f.Tier.Name != "nfs" || src.Used() != 100 || dst.Used() != 0 {
+		t.Fatalf("failed migrate corrupted state: tier=%s src=%d dst=%d",
+			f.Tier.Name, src.Used(), dst.Used())
+	}
+}
+
+func TestVisibleFrom(t *testing.T) {
+	shared := NewNFS("nfs")
+	local := NewSSD("ssd", "node3")
+	if !VisibleFrom(shared, "anything") {
+		t.Error("shared tier not visible")
+	}
+	if !VisibleFrom(local, "node3") {
+		t.Error("local tier not visible from own node")
+	}
+	if VisibleFrom(local, "node4") {
+		t.Error("local tier visible from other node")
+	}
+}
+
+func TestTiersAndFilesSorted(t *testing.T) {
+	fs := newFS(t)
+	for _, p := range []string{"c", "a", "b"} {
+		if _, err := fs.Create(p, "nfs"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files := fs.Files()
+	if len(files) != 3 || files[0].Path != "a" || files[2].Path != "c" {
+		t.Fatalf("Files not sorted: %v", files)
+	}
+	tiers := fs.Tiers()
+	for i := 1; i < len(tiers); i++ {
+		if tiers[i-1].Name > tiers[i].Name {
+			t.Fatalf("Tiers not sorted")
+		}
+	}
+}
+
+func TestTierKindString(t *testing.T) {
+	for k := NFS; k <= WAN; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "tier(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if s := TierKind(99).String(); !strings.HasPrefix(s, "tier(") {
+		t.Errorf("unknown kind string = %q", s)
+	}
+}
+
+func TestConcurrentExtend(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Create("a", "nfs"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(n int64) {
+			defer wg.Done()
+			_ = fs.Extend("a", n*100)
+		}(int64(i + 1))
+	}
+	wg.Wait()
+	f, _ := fs.Stat("a")
+	if f.Size != 1600 {
+		t.Fatalf("Size = %d, want 1600", f.Size)
+	}
+}
+
+func TestQuickUsageNeverNegative(t *testing.T) {
+	// Property: any sequence of create/truncate/remove keeps Used() >= 0 and
+	// equal to the sum of live file sizes.
+	f := func(sizes []uint16) bool {
+		fs := New()
+		tier := NewNFS("t")
+		if fs.AddTier(tier) != nil {
+			return false
+		}
+		var live int64
+		for i, s := range sizes {
+			path := string(rune('a' + i%8))
+			switch i % 3 {
+			case 0:
+				if old, err := fs.Stat(path); err == nil {
+					live -= old.Size
+				}
+				if _, err := fs.CreateSized(path, "t", int64(s)); err != nil {
+					return false
+				}
+				live += int64(s)
+			case 1:
+				if old, err := fs.Stat(path); err == nil {
+					live += int64(s) - old.Size
+					if fs.Truncate(path, int64(s)) != nil {
+						return false
+					}
+				}
+			case 2:
+				if old, err := fs.Stat(path); err == nil {
+					live -= old.Size
+					if fs.Remove(path) != nil {
+						return false
+					}
+				}
+			}
+		}
+		return tier.Used() == live && tier.Used() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package workflows
+
+import (
+	"fmt"
+
+	"datalife/internal/sim"
+)
+
+// GenomesParams configures the 1000 Genomes proxy workflow (§6.2). The
+// defaults match the paper's case-study configuration: problem size 30
+// (30 indiv tasks per chromosome), 10 chromosomes, 7 populations — i.e.
+// 300 indiv, 10 merge, 10 sift, 70 freq and 70 mutat tasks.
+type GenomesParams struct {
+	Chromosomes int
+	IndivPerChr int
+	Populations int
+	// ChrBytes is the size of each chromosome VCF; IndivPerChr tasks each
+	// process a disjoint 1/IndivPerChr chunk (data parallelism, Fig. 2a (1)).
+	ChrBytes int64
+	// ColumnsBytes is the shared columns file consumed whole by every indiv
+	// task (the duplicated, congested branch of Fig. 5 (1)).
+	ColumnsBytes int64
+	// AnnotationBytes is each chromosome's SIFT annotation input.
+	AnnotationBytes int64
+	// Compute seconds per task class (calibrated to make stage 2 dominant,
+	// as in Fig. 6).
+	IndivCompute, MergeCompute, SiftCompute, ConsumerCompute float64
+}
+
+// DefaultGenomes returns the paper's configuration.
+func DefaultGenomes() GenomesParams {
+	return GenomesParams{
+		Chromosomes:     10,
+		IndivPerChr:     30,
+		Populations:     7,
+		ChrBytes:        500 * mb,
+		ColumnsBytes:    800 * mb,
+		AnnotationBytes: 200 * mb,
+		IndivCompute:    2,
+		MergeCompute:    2,
+		SiftCompute:     2,
+		ConsumerCompute: 1,
+	}
+}
+
+// chrFile names a chromosome input (ALL.chrN.250000.vcf in the proxy app).
+func chrFile(c int) string { return fmt.Sprintf("ALL.chr%d.250000.vcf", c+1) }
+
+// annFile names a chromosome's SIFT annotation input.
+func annFile(c int) string { return fmt.Sprintf("ALL.chr%d.annotation.vcf", c+1) }
+
+// Genomes generates the 1000 Genomes workflow. Stage tags follow the case
+// study: stage2 = indiv, stage3 = merge+sift, stage4 = freq+mutat. (Stage 1,
+// input staging, is added by the stage package when a configuration opts in.)
+func Genomes(p GenomesParams) *Spec {
+	s := &Spec{Name: "1000genomes", Workload: &sim.Workload{Name: "1000genomes"}}
+	s.Inputs = append(s.Inputs, InputFile{"columns.txt", p.ColumnsBytes})
+	s.Inputs = append(s.Inputs, InputFile{"populations.txt", 1 * mb})
+
+	for c := 0; c < p.Chromosomes; c++ {
+		s.Inputs = append(s.Inputs,
+			InputFile{chrFile(c), p.ChrBytes},
+			InputFile{annFile(c), p.AnnotationBytes})
+
+		chunk := p.ChrBytes / int64(p.IndivPerChr)
+		outBytes := chunk // each indiv emits a processed tar.gz of its chunk
+		var indivNames []string
+		var indivOuts []string
+		for i := 0; i < p.IndivPerChr; i++ {
+			name := fmt.Sprintf("indiv#c%d.%d", c+1, i)
+			out := fmt.Sprintf("chr%dn-%d-%d.tar.gz", c+1, i, i+1)
+			indivNames = append(indivNames, name)
+			indivOuts = append(indivOuts, out)
+			s.Workload.Tasks = append(s.Workload.Tasks, &sim.Task{
+				Name:  name,
+				Stage: "stage2-indiv",
+				Script: []sim.Op{
+					sim.Open("columns.txt"),
+					sim.Read("columns.txt", p.ColumnsBytes, 4*mb),
+					sim.Close("columns.txt"),
+					sim.Open(chrFile(c)),
+					// Disjoint chunk: single-use data-parallel consumption.
+					sim.ReadAt(chrFile(c), int64(i)*chunk, chunk, 4*mb),
+					sim.Close(chrFile(c)),
+					sim.Compute(p.IndivCompute),
+					sim.Open(out),
+					sim.Write(out, outBytes, 1*mb),
+					sim.Close(out),
+				},
+			})
+		}
+
+		// merge: compressor-aggregator (fan-in of 30 similar inputs, output
+		// ~half their total size).
+		mergeOut := fmt.Sprintf("chr%dn.tar.gz", c+1)
+		mergeScript := []sim.Op{}
+		for _, out := range indivOuts {
+			mergeScript = append(mergeScript,
+				sim.Open(out), sim.Read(out, outBytes, 1*mb), sim.Close(out))
+		}
+		mergeScript = append(mergeScript,
+			sim.Compute(p.MergeCompute),
+			sim.Open(mergeOut),
+			sim.Write(mergeOut, outBytes*int64(p.IndivPerChr)/2, 1*mb),
+			sim.Close(mergeOut),
+		)
+		s.Workload.Tasks = append(s.Workload.Tasks, &sim.Task{
+			Name:   fmt.Sprintf("merge#c%d", c+1),
+			Stage:  "stage3-merge-sift",
+			Deps:   indivNames,
+			Script: mergeScript,
+		})
+
+		// sift: independent of indiv/merge (Fig. 5), co-schedulable.
+		siftOut := fmt.Sprintf("sifted.SIFT.chr%d.txt", c+1)
+		s.Workload.Tasks = append(s.Workload.Tasks, &sim.Task{
+			Name:  fmt.Sprintf("sift#c%d", c+1),
+			Stage: "stage3-merge-sift",
+			Script: []sim.Op{
+				sim.Open(annFile(c)),
+				sim.Read(annFile(c), p.AnnotationBytes, 4*mb),
+				sim.Close(annFile(c)),
+				sim.Compute(p.SiftCompute),
+				sim.Open(siftOut),
+				sim.Write(siftOut, 5*mb, 1*mb),
+				sim.Close(siftOut),
+			},
+		})
+
+		// freq and mutat per population: consumers of merge + sift outputs
+		// (the aggregator-followed-by-splitters composition of §5.4).
+		for pop := 0; pop < p.Populations; pop++ {
+			deps := []string{fmt.Sprintf("merge#c%d", c+1), fmt.Sprintf("sift#c%d", c+1)}
+			consumerScript := func(out string) []sim.Op {
+				return []sim.Op{
+					sim.Open(mergeOut),
+					sim.Read(mergeOut, outBytes*int64(p.IndivPerChr)/2, 1*mb),
+					sim.Close(mergeOut),
+					sim.Open(siftOut),
+					sim.Read(siftOut, 5*mb, 1*mb),
+					sim.Close(siftOut),
+					sim.Open("populations.txt"),
+					sim.Read("populations.txt", 1*mb, 1*mb),
+					sim.Close("populations.txt"),
+					sim.Compute(p.ConsumerCompute),
+					sim.Open(out),
+					sim.Write(out, 2*mb, 1*mb),
+					sim.Close(out),
+				}
+			}
+			s.Workload.Tasks = append(s.Workload.Tasks, &sim.Task{
+				Name:   fmt.Sprintf("freq#c%d.p%d", c+1, pop),
+				Stage:  "stage4-freq-mutat",
+				Deps:   deps,
+				Script: consumerScript(fmt.Sprintf("freq.chr%d.p%d.out", c+1, pop)),
+			})
+			s.Workload.Tasks = append(s.Workload.Tasks, &sim.Task{
+				Name:   fmt.Sprintf("mutat#c%d.p%d", c+1, pop),
+				Stage:  "stage4-freq-mutat",
+				Deps:   deps,
+				Script: consumerScript(fmt.Sprintf("mutat.chr%d.p%d.out", c+1, pop)),
+			})
+		}
+	}
+	return s
+}

@@ -1,0 +1,123 @@
+package workflows
+
+import (
+	"fmt"
+
+	"datalife/internal/sim"
+)
+
+// MontageParams configures the Montage mosaic workflow (§6.1, Fig. 2d): a
+// compute-intensive image pipeline that re-projects many small images
+// through a common frame, computes pairwise overlaps, fits a background
+// model, corrects each image, and adds everything into a mosaic. Effective
+// data rates are low, so there is headroom to parallelize tasks without
+// overloading flow resources.
+type MontageParams struct {
+	Images int
+	// ImageBytes is each input FITS image.
+	ImageBytes int64
+	// ProjectCompute dominates: re-projection is CPU-bound.
+	ProjectCompute float64
+	DiffCompute    float64
+	FitCompute     float64
+	AddCompute     float64
+}
+
+// DefaultMontage returns a modest mosaic (compute-heavy, I/O-light).
+func DefaultMontage() MontageParams {
+	return MontageParams{
+		Images:         20,
+		ImageBytes:     4 * mb,
+		ProjectCompute: 40,
+		DiffCompute:    6,
+		FitCompute:     10,
+		AddCompute:     20,
+	}
+}
+
+// Montage generates the workflow.
+func Montage(p MontageParams) *Spec {
+	s := &Spec{Name: "montage", Workload: &sim.Workload{Name: "montage"}}
+	img := func(i int) string { return fmt.Sprintf("raw/img-%02d.fits", i) }
+	proj := func(i int) string { return fmt.Sprintf("proj/p-%02d.fits", i) }
+	diff := func(i int) string { return fmt.Sprintf("diff/d-%02d.fits", i) }
+	corr := func(i int) string { return fmt.Sprintf("corr/c-%02d.fits", i) }
+
+	for i := 0; i < p.Images; i++ {
+		s.Inputs = append(s.Inputs, InputFile{img(i), p.ImageBytes})
+		s.Workload.Tasks = append(s.Workload.Tasks, &sim.Task{
+			Name:  fmt.Sprintf("mProject#%02d", i),
+			Stage: "project",
+			Script: []sim.Op{
+				sim.Open(img(i)), sim.Read(img(i), p.ImageBytes, 1*mb), sim.Close(img(i)),
+				sim.Compute(p.ProjectCompute),
+				sim.Open(proj(i)), sim.Write(proj(i), p.ImageBytes*2, 1*mb), sim.Close(proj(i)),
+			},
+		})
+	}
+
+	// mDiffFit on adjacent overlapping pairs.
+	var diffNames []string
+	for i := 0; i+1 < p.Images; i++ {
+		name := fmt.Sprintf("mDiffFit#%02d", i)
+		diffNames = append(diffNames, name)
+		s.Workload.Tasks = append(s.Workload.Tasks, &sim.Task{
+			Name:  name,
+			Stage: "diff",
+			Deps:  []string{fmt.Sprintf("mProject#%02d", i), fmt.Sprintf("mProject#%02d", i+1)},
+			Script: []sim.Op{
+				sim.Open(proj(i)), sim.Read(proj(i), p.ImageBytes*2, 1*mb), sim.Close(proj(i)),
+				sim.Open(proj(i + 1)), sim.Read(proj(i+1), p.ImageBytes*2, 1*mb), sim.Close(proj(i + 1)),
+				sim.Compute(p.DiffCompute),
+				sim.Open(diff(i)), sim.Write(diff(i), 256*kb, 256*kb), sim.Close(diff(i)),
+			},
+		})
+	}
+
+	// mConcatFit + mBgModel: aggregator of all small diff fits.
+	fitScript := []sim.Op{}
+	for i := 0; i+1 < p.Images; i++ {
+		fitScript = append(fitScript,
+			sim.Open(diff(i)), sim.Read(diff(i), 256*kb, 256*kb), sim.Close(diff(i)))
+	}
+	fitScript = append(fitScript,
+		sim.Compute(p.FitCompute),
+		sim.Open("fits.tbl"), sim.Write("fits.tbl", 1*mb, 1*mb), sim.Close("fits.tbl"))
+	s.Workload.Tasks = append(s.Workload.Tasks, &sim.Task{
+		Name: "mBgModel", Stage: "bgmodel", Deps: diffNames, Script: fitScript,
+	})
+
+	// mBackground per image: corrections fan out from the model (splitter).
+	var corrNames []string
+	for i := 0; i < p.Images; i++ {
+		name := fmt.Sprintf("mBackground#%02d", i)
+		corrNames = append(corrNames, name)
+		s.Workload.Tasks = append(s.Workload.Tasks, &sim.Task{
+			Name:  name,
+			Stage: "background",
+			Deps:  []string{"mBgModel"},
+			Script: []sim.Op{
+				sim.Open("fits.tbl"), sim.Read("fits.tbl", 1*mb, 1*mb), sim.Close("fits.tbl"),
+				sim.Open(proj(i)), sim.Read(proj(i), p.ImageBytes*2, 1*mb), sim.Close(proj(i)),
+				sim.Compute(p.DiffCompute),
+				sim.Open(corr(i)), sim.Write(corr(i), p.ImageBytes*2, 1*mb), sim.Close(corr(i)),
+			},
+		})
+	}
+
+	// mAdd: final mosaic aggregator.
+	addScript := []sim.Op{}
+	for i := 0; i < p.Images; i++ {
+		addScript = append(addScript,
+			sim.Open(corr(i)), sim.Read(corr(i), p.ImageBytes*2, 1*mb), sim.Close(corr(i)))
+	}
+	addScript = append(addScript,
+		sim.Compute(p.AddCompute),
+		sim.Open("mosaic.fits"),
+		sim.Write("mosaic.fits", p.ImageBytes*int64(p.Images), 4*mb),
+		sim.Close("mosaic.fits"))
+	s.Workload.Tasks = append(s.Workload.Tasks, &sim.Task{
+		Name: "mAdd", Stage: "add", Deps: corrNames, Script: addScript,
+	})
+	return s
+}

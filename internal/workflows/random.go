@@ -1,0 +1,108 @@
+package workflows
+
+import (
+	"fmt"
+
+	"datalife/internal/sim"
+	"datalife/internal/stats"
+)
+
+// RandomParams configures the seeded random workflow generator, used for
+// stress-testing and fuzzing the full measure→analyze pipeline on shapes the
+// five curated workflows don't cover.
+type RandomParams struct {
+	// Seed makes generation deterministic.
+	Seed uint64
+	// Layers and TasksPerLayer set the DAG's shape.
+	Layers, TasksPerLayer int
+	// FanIn is the maximum number of upstream outputs a task consumes.
+	FanIn int
+	// MaxFileBytes bounds generated file sizes (minimum 1 KiB).
+	MaxFileBytes int64
+	// MaxCompute bounds per-task compute seconds.
+	MaxCompute float64
+}
+
+// DefaultRandom returns a moderate stress shape.
+func DefaultRandom(seed uint64) RandomParams {
+	return RandomParams{
+		Seed: seed, Layers: 5, TasksPerLayer: 8, FanIn: 3,
+		MaxFileBytes: 32 << 20, MaxCompute: 2,
+	}
+}
+
+// Random generates a layered random workflow: every task reads up to FanIn
+// outputs of the previous layer (layer 0 reads seeded inputs) and writes one
+// output. The result is always a valid, acyclic, deadlock-free workload, and
+// generation is a pure function of the parameters.
+func Random(p RandomParams) *Spec {
+	if p.Layers < 1 {
+		p.Layers = 1
+	}
+	if p.TasksPerLayer < 1 {
+		p.TasksPerLayer = 1
+	}
+	if p.FanIn < 1 {
+		p.FanIn = 1
+	}
+	if p.MaxFileBytes < 1<<10 {
+		p.MaxFileBytes = 1 << 10
+	}
+	draw := func(tag string, i, j int) float64 {
+		return stats.Rand01(stats.HashString(fmt.Sprintf("rnd:%d:%s:%d:%d", p.Seed, tag, i, j)))
+	}
+	s := &Spec{Name: "random", Workload: &sim.Workload{Name: "random"}}
+	out := func(l, t int) string { return fmt.Sprintf("rnd/l%d.t%d.dat", l, t) }
+
+	// Seed inputs for layer 0.
+	for t := 0; t < p.TasksPerLayer; t++ {
+		size := int64(draw("in", 0, t)*float64(p.MaxFileBytes)) + 1<<10
+		s.Inputs = append(s.Inputs, InputFile{Path: fmt.Sprintf("rnd/in%d.dat", t), Size: size})
+	}
+	sizes := make(map[string]int64)
+	for _, in := range s.Inputs {
+		sizes[in.Path] = in.Size
+	}
+
+	for l := 0; l < p.Layers; l++ {
+		for t := 0; t < p.TasksPerLayer; t++ {
+			task := &sim.Task{
+				Name:  fmt.Sprintf("rnd#l%d.t%d", l, t),
+				Stage: fmt.Sprintf("layer%d", l),
+			}
+			fan := 1 + int(draw("fan", l, t)*float64(p.FanIn))
+			for k := 0; k < fan; k++ {
+				var path string
+				if l == 0 {
+					path = fmt.Sprintf("rnd/in%d.dat", (t+k)%p.TasksPerLayer)
+				} else {
+					up := (t + k*7) % p.TasksPerLayer
+					path = out(l-1, up)
+					task.Deps = appendUnique(task.Deps, fmt.Sprintf("rnd#l%d.t%d", l-1, up))
+				}
+				sz := sizes[path]
+				// Read a deterministic subset (possibly all) of the file.
+				n := int64(draw("rd", l, t*31+k)*float64(sz)) + 1
+				task.Script = append(task.Script,
+					sim.Open(path), sim.Read(path, n, 1<<20), sim.Close(path))
+			}
+			task.Script = append(task.Script, sim.Compute(draw("cpu", l, t)*p.MaxCompute))
+			o := out(l, t)
+			oSize := int64(draw("wr", l, t)*float64(p.MaxFileBytes)) + 1<<10
+			sizes[o] = oSize
+			task.Script = append(task.Script,
+				sim.Open(o), sim.Write(o, oSize, 1<<20), sim.Close(o))
+			s.Workload.Tasks = append(s.Workload.Tasks, task)
+		}
+	}
+	return s
+}
+
+func appendUnique(xs []string, x string) []string {
+	for _, v := range xs {
+		if v == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}

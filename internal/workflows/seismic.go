@@ -1,0 +1,105 @@
+package workflows
+
+import (
+	"fmt"
+
+	"datalife/internal/sim"
+)
+
+// SeismicParams configures the Seismic Cross Correlation workflow (§6.1,
+// Fig. 2e): signals from many stations are cross-correlated, good fits are
+// identified, and everything is compressed into a single file — a multi-stage
+// aggregator whose critical path is dominated by task fan-in (joins).
+type SeismicParams struct {
+	Stations int
+	// GroupSize stations feed each first-level correlation aggregator.
+	GroupSize int
+	// SignalBytes per station.
+	SignalBytes  int64
+	XcorrCompute float64
+	FinalCompute float64
+}
+
+// DefaultSeismic returns a 60-station configuration with two aggregation
+// stages.
+func DefaultSeismic() SeismicParams {
+	return SeismicParams{
+		Stations:     60,
+		GroupSize:    10,
+		SignalBytes:  50 * mb,
+		XcorrCompute: 15,
+		FinalCompute: 10,
+	}
+}
+
+// Seismic generates the workflow.
+func Seismic(p SeismicParams) *Spec {
+	s := &Spec{Name: "seismic", Workload: &sim.Workload{Name: "seismic"}}
+	sig := func(i int) string { return fmt.Sprintf("signals/st-%03d.sac", i) }
+	win := func(i int) string { return fmt.Sprintf("windows/w-%03d.dat", i) }
+	xo := func(g int) string { return fmt.Sprintf("xcorr/x-%02d.dat", g) }
+
+	// Per-station windowing tasks.
+	for i := 0; i < p.Stations; i++ {
+		s.Inputs = append(s.Inputs, InputFile{sig(i), p.SignalBytes})
+		s.Workload.Tasks = append(s.Workload.Tasks, &sim.Task{
+			Name:  fmt.Sprintf("window#%03d", i),
+			Stage: "window",
+			Script: []sim.Op{
+				sim.Open(sig(i)), sim.Read(sig(i), p.SignalBytes, 2*mb), sim.Close(sig(i)),
+				sim.Compute(2),
+				sim.Open(win(i)), sim.Write(win(i), p.SignalBytes/2, 2*mb), sim.Close(win(i)),
+			},
+		})
+	}
+
+	// First-level cross-correlation aggregators (task fan-in).
+	groups := (p.Stations + p.GroupSize - 1) / p.GroupSize
+	var xNames []string
+	for g := 0; g < groups; g++ {
+		lo, hi := g*p.GroupSize, (g+1)*p.GroupSize
+		if hi > p.Stations {
+			hi = p.Stations
+		}
+		var deps []string
+		script := []sim.Op{}
+		for i := lo; i < hi; i++ {
+			deps = append(deps, fmt.Sprintf("window#%03d", i))
+			script = append(script,
+				sim.Open(win(i)), sim.Read(win(i), p.SignalBytes/2, 2*mb), sim.Close(win(i)))
+		}
+		script = append(script,
+			sim.Compute(p.XcorrCompute),
+			sim.Open(xo(g)),
+			sim.Write(xo(g), p.SignalBytes/4*int64(hi-lo), 2*mb),
+			sim.Close(xo(g)))
+		name := fmt.Sprintf("xcorr#%02d", g)
+		xNames = append(xNames, name)
+		s.Workload.Tasks = append(s.Workload.Tasks, &sim.Task{
+			Name: name, Stage: "xcorr", Deps: deps, Script: script,
+		})
+	}
+
+	// Final compressor-aggregator: one output file much smaller than inputs.
+	final := []sim.Op{}
+	var inBytes int64
+	for g := 0; g < groups; g++ {
+		n := p.GroupSize
+		if (g+1)*p.GroupSize > p.Stations {
+			n = p.Stations - g*p.GroupSize
+		}
+		sz := p.SignalBytes / 4 * int64(n)
+		inBytes += sz
+		final = append(final,
+			sim.Open(xo(g)), sim.Read(xo(g), sz, 2*mb), sim.Close(xo(g)))
+	}
+	final = append(final,
+		sim.Compute(p.FinalCompute),
+		sim.Open("xcorr-all.tar.gz"),
+		sim.Write("xcorr-all.tar.gz", inBytes/5, 2*mb),
+		sim.Close("xcorr-all.tar.gz"))
+	s.Workload.Tasks = append(s.Workload.Tasks, &sim.Task{
+		Name: "compress", Stage: "compress", Deps: xNames, Script: final,
+	})
+	return s
+}

@@ -1,0 +1,58 @@
+// Package workflows provides faithful synthetic generators for the five
+// scientific workflows the DataLife paper evaluates (§6.1, Fig. 2):
+// 1000 Genomes, DeepDriveMD, Belle II Monte Carlo, Montage, and Seismic
+// Cross Correlation.
+//
+// Each generator emits a sim.Workload (task DAG plus per-task I/O scripts)
+// and a seeding function for its input files. The scripts reproduce the data
+// flow geometry the paper reports — fan-out of shared inputs, aggregators,
+// compressor-aggregators, intra-task reuse, partial footprints, spatial
+// locality — so that DFL measurement, analysis, and the case studies observe
+// the same patterns the authors observed on the real applications.
+package workflows
+
+import (
+	"fmt"
+
+	"datalife/internal/sim"
+	"datalife/internal/vfs"
+)
+
+// Spec bundles a generated workload with its input seeding.
+type Spec struct {
+	Name     string
+	Workload *sim.Workload
+	// Inputs lists (path, size) pairs to create before running.
+	Inputs []InputFile
+}
+
+// InputFile is one pre-existing input.
+type InputFile struct {
+	Path string
+	Size int64
+}
+
+// Seed creates the spec's inputs on the named tier.
+func (s *Spec) Seed(fs *vfs.FS, tier string) error {
+	for _, in := range s.Inputs {
+		if _, err := fs.CreateSized(in.Path, tier, in.Size); err != nil {
+			return fmt.Errorf("workflows: seeding %s: %w", in.Path, err)
+		}
+	}
+	return nil
+}
+
+// TotalInputBytes sums the seeded input sizes.
+func (s *Spec) TotalInputBytes() int64 {
+	var t int64
+	for _, in := range s.Inputs {
+		t += in.Size
+	}
+	return t
+}
+
+const (
+	kb = int64(1) << 10
+	mb = int64(1) << 20
+	gb = int64(1) << 30
+)
