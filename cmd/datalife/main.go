@@ -8,8 +8,13 @@
 //	datalife [-workflow NAME] [-weight volume|latency|branchjoin|fanin]
 //	         [-top N] [-svg FILE] [-html FILE] [-dot FILE] [-json FILE]
 //	         [-csv FILE] [-advise] [-nodes N] [-sankey] [-template]
+//	datalife vet [-workflow all|NAME] [-load FILE]
 //
 // Workflows: genomes, ddmd, belle2, montage, seismic.
+//
+// The vet subcommand statically validates workflow DAG definitions (and,
+// with -load, a saved measurement database's DFL graph) against the §4.1
+// invariants without executing anything; it exits non-zero on violations.
 package main
 
 import (
@@ -38,6 +43,13 @@ type options struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		if err := runVet(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "datalife: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var o options
 	flag.StringVar(&o.workflow, "workflow", "ddmd", "workflow: genomes, ddmd, belle2, montage, seismic, random")
 	flag.StringVar(&o.weight, "weight", "volume", "critical-path weight: volume, latency, branchjoin, fanin")

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"datalife/internal/analysis/dflcheck"
+	"datalife/internal/blockstats"
+	"datalife/internal/dfl"
+	"datalife/internal/iotrace"
+)
+
+// vetWorkflows lists the built-in workflow names `datalife vet` checks with
+// -workflow all.
+var vetWorkflows = []string{"genomes", "ddmd", "belle2", "montage", "seismic", "random"}
+
+// runVet implements the `datalife vet` subcommand: it statically validates
+// workflow DAG definitions and, with -load, a saved measurement database's
+// DFL graph, without executing anything. A non-nil error (and a non-zero
+// process exit) means at least one invariant is breached.
+func runVet(args []string) error {
+	fs := flag.NewFlagSet("datalife vet", flag.ExitOnError)
+	workflow := fs.String("workflow", "all", "workflow to validate: all, or one of genomes, ddmd, belle2, montage, seismic, random")
+	loadState := fs.String("load", "", "also validate the DFL graph of a measurement database saved with -save")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	names := vetWorkflows
+	if *workflow != "all" {
+		names = []string{*workflow}
+	}
+
+	failures := 0
+	report := func(subject string, vs []dfl.Violation) {
+		if len(vs) == 0 {
+			fmt.Printf("ok\t%s\n", subject)
+			return
+		}
+		for _, v := range vs {
+			fmt.Printf("%s: %s\n", subject, v)
+			if v.Severity == dfl.Error {
+				failures++
+			}
+		}
+	}
+
+	report("histogram config", dflcheck.CheckConfig(blockstats.DefaultConfig()))
+	for _, name := range names {
+		spec, err := buildSpec(name)
+		if err != nil {
+			return err
+		}
+		report("workflow "+name, dflcheck.CheckSpec(spec))
+	}
+
+	if *loadState != "" {
+		f, err := os.Open(*loadState)
+		if err != nil {
+			return err
+		}
+		st, err := iotrace.LoadJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		g := dfl.BuildSaved(st)
+		// Print warnings too; only errors count as failures.
+		report("graph "+*loadState, g.Validate())
+	}
+
+	if failures > 0 {
+		return fmt.Errorf("vet: %d invariant violation(s)", failures)
+	}
+	return nil
+}

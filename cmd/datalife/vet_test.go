@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"datalife/internal/workflows"
+)
+
+func TestRunVetAllBuiltins(t *testing.T) {
+	if err := runVet(nil); err != nil {
+		t.Fatalf("vet over built-in workflows failed: %v", err)
+	}
+	if err := runVet([]string{"-workflow", "ddmd"}); err != nil {
+		t.Fatalf("vet -workflow ddmd failed: %v", err)
+	}
+	if err := runVet([]string{"-workflow", "fortran"}); err == nil {
+		t.Fatal("unknown workflow accepted")
+	}
+}
+
+func TestRunVetLoadedState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a workflow to produce a state file")
+	}
+	dir := t.TempDir()
+	state := filepath.Join(dir, "state.json")
+
+	spec := workflows.DDMD(workflows.DefaultDDMD(), 0)
+	col, _, err := workflows.RunCollector(spec, workflows.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.SaveJSON(f); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := runVet([]string{"-workflow", "ddmd", "-load", state}); err != nil {
+		t.Fatalf("vet of a real measurement database failed: %v", err)
+	}
+	if err := runVet([]string{"-workflow", "ddmd", "-load", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Fatal("missing state file accepted")
+	}
+}

@@ -4,10 +4,14 @@
 //
 // Usage:
 //
-//	dflrun [-scale paper|small] [-svg DIR] fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|all
+//	dflrun [-scale paper|small] [-svg DIR] [-novalidate] fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|all
 //
 // With -svg DIR, Sankey diagrams for the five workflows (Fig. 2) and the
 // chr1 caterpillar (Fig. 5) are written as SVG files into DIR.
+//
+// Before any experiment executes, every workflow DAG it would run is
+// statically validated (internal/analysis/dflcheck); -novalidate skips the
+// check.
 package main
 
 import (
@@ -26,9 +30,10 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "paper", "experiment scale: paper or small")
 	svgDir := flag.String("svg", "", "directory to write Sankey SVGs into")
+	noValidate := flag.Bool("novalidate", false, "skip the pre-run workflow DAG validation")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dflrun [-scale paper|small] [-svg DIR] <fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|all>")
+		fmt.Fprintln(os.Stderr, "usage: dflrun [-scale paper|small] [-svg DIR] [-novalidate] <fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|all>")
 		os.Exit(2)
 	}
 	var scale experiments.Scale
@@ -43,10 +48,21 @@ func main() {
 	}
 
 	cmd := flag.Arg(0)
-	if err := run(cmd, scale, *svgDir); err != nil {
+	if err := runValidated(cmd, scale, *svgDir, *noValidate); err != nil {
 		fmt.Fprintf(os.Stderr, "dflrun: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runValidated gates run behind the mandatory pre-run DAG validation unless
+// -novalidate was passed.
+func runValidated(cmd string, scale experiments.Scale, svgDir string, noValidate bool) error {
+	if !noValidate {
+		if err := preflight(); err != nil {
+			return err
+		}
+	}
+	return run(cmd, scale, svgDir)
 }
 
 func run(cmd string, scale experiments.Scale, svgDir string) error {

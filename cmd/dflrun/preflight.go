@@ -1,0 +1,39 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"datalife/internal/analysis/dflcheck"
+	"datalife/internal/workflows"
+)
+
+// extraSpecs holds additional workflow specs validated by preflight. It is a
+// test hook: production dflrun only runs the built-in workflows.
+var extraSpecs []*workflows.Spec
+
+// preflight statically validates every workflow DAG the experiments execute
+// before any of them runs. A malformed DAG (cycle, read of never-produced
+// data, out-of-range offset) would otherwise surface mid-experiment as a
+// confusing simulator error or, worse, as silently wrong figures.
+func preflight() error {
+	specs := []*workflows.Spec{
+		workflows.Genomes(workflows.DefaultGenomes()),
+		workflows.DDMD(workflows.DefaultDDMD(), 0),
+		workflows.Belle2(workflows.DefaultBelle2()),
+		workflows.Montage(workflows.DefaultMontage()),
+		workflows.Seismic(workflows.DefaultSeismic()),
+	}
+	specs = append(specs, extraSpecs...)
+	var msgs []string
+	for _, s := range specs {
+		for _, v := range dflcheck.CheckSpec(s) {
+			msgs = append(msgs, fmt.Sprintf("%s: %s", s.Name, v))
+		}
+	}
+	if len(msgs) > 0 {
+		return fmt.Errorf("workflow validation failed (pass -novalidate to run anyway):\n  %s",
+			strings.Join(msgs, "\n  "))
+	}
+	return nil
+}

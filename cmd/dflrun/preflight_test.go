@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"datalife/internal/experiments"
+	"datalife/internal/sim"
+	"datalife/internal/workflows"
+)
+
+// cyclicSpec builds a workload whose dependency graph has a cycle.
+func cyclicSpec() *workflows.Spec {
+	return &workflows.Spec{
+		Name: "cyclic",
+		Workload: &sim.Workload{Name: "cyclic", Tasks: []*sim.Task{
+			{Name: "a", Deps: []string{"b"}},
+			{Name: "b", Deps: []string{"a"}},
+		}},
+	}
+}
+
+func TestPreflightAcceptsBuiltins(t *testing.T) {
+	if err := preflight(); err != nil {
+		t.Fatalf("builtin workflows failed preflight: %v", err)
+	}
+}
+
+func TestRunRefusesInvalidDAG(t *testing.T) {
+	extraSpecs = []*workflows.Spec{cyclicSpec()}
+	defer func() { extraSpecs = nil }()
+
+	err := runValidated("fig3", experiments.Small, "", false)
+	if err == nil {
+		t.Fatal("runValidated executed despite a cyclic workflow DAG")
+	}
+	if !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("error does not mention the cycle: %v", err)
+	}
+
+	// -novalidate opts out of the check and the experiment proceeds.
+	if err := runValidated("fig3", experiments.Small, "", true); err != nil {
+		t.Fatalf("-novalidate still refused to run: %v", err)
+	}
+}

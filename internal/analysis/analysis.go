@@ -1,0 +1,209 @@
+// Package analysis is a minimal, stdlib-only static-analysis framework — a
+// repo-local analogue of golang.org/x/tools/go/analysis plus cmd/vet — and
+// the DataLife-specific analyzers built on it.
+//
+// The paper's coordination results rest on the fidelity of the measurement
+// layer (§3): every simulated task must route I/O through internal/iotrace so
+// the collector sees the full access stream, and the discrete-event simulator
+// must never consult wall-clock time. Those invariants were previously
+// enforced only by convention; the analyzers here enforce them at build time:
+//
+//   - iotraceonly: forbids direct os file I/O (and io/ioutil) in the
+//     packages that model workflow tasks — all task I/O must go through
+//     iotrace/vfs handles so the collector observes it.
+//   - simclock: forbids time.Now/time.Since/time.Sleep in the simulator and
+//     emulator — discrete-event code must use the simulated clock.
+//   - lockheld: flags mutexes held across channel operations or blocking
+//     iotrace calls — a deadlock/latency hazard under the fair-share
+//     contention model.
+//   - closecheck: flags iotrace handles whose Close is missing on some path
+//     within the opening function — leaked handles corrupt the lifecycle
+//     (first-open/last-close) measurements of §4.2.
+//
+// A diagnostic can be suppressed by placing a "//dflvet:ignore" comment on
+// the offending line or on the line directly above it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, resolved to a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the canonical file:line: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and -run filters.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Match reports whether the analyzer applies to the package rooted at
+	// the module-relative directory rel (e.g. "internal/sim"). A nil Match
+	// applies everywhere.
+	Match func(rel string) bool
+	// Run inspects the package and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Rel is the package directory relative to the module root.
+	Rel string
+
+	ignores map[string]map[int]bool // filename → suppressed lines
+	sink    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless suppressed by a
+// //dflvet:ignore comment on the same line or the line above.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if lines := p.ignores[position.Filename]; lines[position.Line] {
+		return
+	}
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IgnoreDirective is the comment that suppresses a diagnostic on its line or
+// the line below.
+const IgnoreDirective = "dflvet:ignore"
+
+// ignoredLines collects the lines covered by //dflvet:ignore comments: the
+// comment's own line and the one below it.
+func ignoredLines(fset *token.FileSet, files []*ast.File) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, IgnoreDirective) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					out[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	return out
+}
+
+// Run applies each analyzer whose Match accepts the package and returns the
+// combined diagnostics sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	ignores := ignoredLines(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		if a.Match != nil && !a.Match(pkg.Rel) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Rel:      pkg.Rel,
+			ignores:  ignores,
+			sink:     &diags,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// All returns the registered DataLife analyzers in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{IOTraceOnly, SimClock, LockHeld, CloseCheck}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// dirMatcher builds a Match function accepting packages whose
+// module-relative directory equals one of the prefixes or sits below it.
+func dirMatcher(prefixes ...string) func(string) bool {
+	return func(rel string) bool {
+		rel = strings.TrimSuffix(rel, "/") + "/"
+		for _, p := range prefixes {
+			p = strings.TrimSuffix(p, "/") + "/"
+			if strings.HasPrefix(rel, p) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// calleeFunc resolves the static callee of a call expression, or nil for
+// dynamic calls, conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fn.Sel] // package-qualified call
+		}
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// funcPkgPath returns the import path of the package declaring f, or "".
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}

@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CloseCheck flags iotrace/vfs handles that are opened in a function but not
+// closed on every path through it. A leaked handle never records its close,
+// which corrupts the file-lifetime (first-open to last-close, §4.2) and
+// flow-latency measurements the DFL graph is built from.
+//
+// A handle is considered accounted for when the opening function
+//   - defers its Close (directly or inside a deferred closure),
+//   - calls Close on every path (approximated: a plain Close call with no
+//     intervening return other than the open's own error guard), or
+//   - lets the handle escape (returned, passed to another function, stored
+//     in a structure, or sent on a channel) — ownership moved elsewhere.
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "iotrace handles must be closed on every path in the opening function",
+	Run:  runCloseCheck,
+}
+
+// handleSources are the internal packages whose Open/Dup results must be
+// closed.
+var handleSources = map[string]bool{
+	"datalife/internal/iotrace": true,
+	"datalife/internal/vfs":     true,
+}
+
+func runCloseCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkHandles(pass, fn.Body)
+				}
+				return true
+			case *ast.FuncLit:
+				checkHandles(pass, fn.Body)
+				return true
+			}
+			return true
+		})
+	}
+}
+
+// openSite is one handle-producing call assigned to a local variable.
+type openSite struct {
+	call   *ast.CallExpr
+	name   string       // the handle variable
+	obj    types.Object // its object, for alias-free matching
+	errObj types.Object // the error assigned alongside, if any
+	fnName string       // Open or Dup, for messages
+}
+
+// checkHandles inspects one function body in isolation. Nested function
+// literals are walked by the caller as their own scopes; uses of a handle
+// inside a nested literal still count for the enclosing scope's handle.
+func checkHandles(pass *Pass, body *ast.BlockStmt) {
+	sites := findOpens(pass, body)
+	if len(sites) == 0 {
+		return
+	}
+	for _, site := range sites {
+		var (
+			deferred bool
+			closePos token.Pos
+			escapes  bool
+		)
+		inDefer := 0
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.DeferStmt:
+				inDefer++
+				ast.Inspect(e.Call, visit)
+				if lit, ok := e.Call.Fun.(*ast.FuncLit); ok {
+					ast.Inspect(lit.Body, visit)
+				}
+				inDefer--
+				return false
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.Info.Uses[id] == site.obj {
+						if inDefer > 0 {
+							deferred = true
+						} else if closePos == token.NoPos || e.Pos() > closePos {
+							closePos = e.Pos()
+						}
+						return true
+					}
+				}
+				// The handle value passed as an argument escapes. Method
+				// calls on the handle (h.Read, h.Seek, …) do not.
+				for _, arg := range e.Args {
+					if isObj(pass, arg, site.obj) {
+						escapes = true
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range e.Results {
+					if isObj(pass, r, site.obj) {
+						escapes = true
+					}
+				}
+			case *ast.SendStmt:
+				if isObj(pass, e.Value, site.obj) {
+					escapes = true
+				}
+			case *ast.CompositeLit:
+				for _, el := range e.Elts {
+					v := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if isObj(pass, v, site.obj) {
+						escapes = true
+					}
+				}
+			case *ast.AssignStmt:
+				// Re-assigning the handle value to another variable or a
+				// field moves ownership out of our view.
+				for _, rhs := range e.Rhs {
+					if rhs != site.call && isObj(pass, rhs, site.obj) {
+						escapes = true
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(body, visit)
+
+		switch {
+		case escapes || deferred:
+			// Accounted for.
+		case closePos == token.NoPos:
+			pass.Reportf(site.call.Pos(),
+				"handle %q from %s is never closed in this function; lifecycle measurements will miss its close",
+				site.name, site.fnName)
+		default:
+			if ret := leakyReturn(pass, body, site, closePos); ret != token.NoPos {
+				pass.Reportf(ret,
+					"return leaks handle %q (opened at line %d, closed at line %d); use defer %s.Close()",
+					site.name, pass.Fset.Position(site.call.Pos()).Line,
+					pass.Fset.Position(closePos).Line, site.name)
+			}
+		}
+	}
+}
+
+// findOpens collects assignments of iotrace/vfs Open/Dup results to local
+// variables. Nested function literals are skipped: they are analyzed as
+// their own scopes.
+func findOpens(pass *Pass, body *ast.BlockStmt) []openSite {
+	var sites []openSite
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || !handleSources[funcPkgPath(fn)] {
+			return true
+		}
+		if fn.Name() != "Open" && fn.Name() != "Dup" {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		site := openSite{call: call, name: id.Name, obj: obj, fnName: fn.Name()}
+		if len(as.Lhs) == 2 {
+			if eid, ok := as.Lhs[1].(*ast.Ident); ok {
+				if eobj := pass.Info.Defs[eid]; eobj != nil {
+					site.errObj = eobj
+				} else {
+					site.errObj = pass.Info.Uses[eid]
+				}
+			}
+		}
+		sites = append(sites, site)
+		return true
+	})
+	return sites
+}
+
+// leakyReturn finds a return statement between the open and its plain (non-
+// deferred) Close that is not the open's own error guard — i.e. a path on
+// which the handle leaks. Returns NoPos when every intermediate return is
+// guarded by the open's error.
+func leakyReturn(pass *Pass, body *ast.BlockStmt, site openSite, closePos token.Pos) token.Pos {
+	leak := token.NoPos
+	var ifStack []*ast.IfStmt
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.IfStmt:
+			if e.Init != nil {
+				ast.Inspect(e.Init, visit)
+			}
+			ifStack = append(ifStack, e)
+			ast.Inspect(e.Body, visit)
+			if e.Else != nil {
+				ast.Inspect(e.Else, visit)
+			}
+			ifStack = ifStack[:len(ifStack)-1]
+			return false
+		case *ast.FuncLit:
+			return false // separate scope
+		case *ast.ReturnStmt:
+			if leak != token.NoPos || e.Pos() < site.call.End() || e.Pos() > closePos {
+				return true
+			}
+			for _, ifs := range ifStack {
+				if site.errObj != nil && usesObj(pass, ifs.Cond, site.errObj) {
+					return true // error guard: handle was never opened
+				}
+			}
+			leak = e.Pos()
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+	return leak
+}
+
+// isObj reports whether expr is the handle value itself: the bare
+// identifier, possibly parenthesized or behind a unary & operator.
+func isObj(pass *Pass, expr ast.Expr, obj types.Object) bool {
+	e := ast.Unparen(expr)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && pass.Info.Uses[id] == obj
+}
+
+// usesObj reports whether expr references the given object anywhere.
+func usesObj(pass *Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

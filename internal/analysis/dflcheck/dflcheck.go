@@ -1,0 +1,262 @@
+// Package dflcheck statically validates DFL graphs and workflow DAG
+// definitions before execution. It is the runtime half of the repo's
+// invariant tooling (the compile-time half is internal/analysis): `datalife
+// vet` runs it over the built-in workflow specs, and dflrun refuses to
+// execute a workload that fails it unless -novalidate is passed.
+//
+// The checks mirror §4.1 of the paper: DFL graphs must be bipartite acyclic
+// property graphs with producer (task→data) and consumer (data→task) edges
+// only, producers must precede consumers, flows must conserve bytes, and
+// the collector's histogram configuration must be well formed.
+package dflcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"datalife/internal/blockstats"
+	"datalife/internal/dfl"
+	"datalife/internal/sim"
+	"datalife/internal/workflows"
+)
+
+// CheckGraph validates a DFL graph against the full §4.1 invariant set and
+// returns only the hard errors (warnings such as unconsumed final outputs
+// are dropped). It is a thin wrapper over (*dfl.Graph).Validate.
+func CheckGraph(g *dfl.Graph) []dfl.Violation {
+	return dfl.Errors(g.Validate())
+}
+
+// CheckTemplate validates a DFL template (DFL-T). Templates merge task
+// instances, so cycles from loops are legitimate and the cycle rule is
+// skipped; every other error still applies.
+func CheckTemplate(g *dfl.Graph) []dfl.Violation {
+	var out []dfl.Violation
+	for _, v := range dfl.Errors(g.Validate()) {
+		if v.Rule == "cycle" {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// CheckConfig validates a collector histogram configuration (the bin-count
+// invariants of §3).
+func CheckConfig(cfg blockstats.Config) []dfl.Violation {
+	if err := cfg.Validate(); err != nil {
+		return []dfl.Violation{{
+			Rule: "histogram", Subject: "blockstats.Config", Severity: dfl.Error,
+			Message: err.Error(),
+		}}
+	}
+	return nil
+}
+
+// CheckSpec validates a workflow spec: its input list and its workload DAG.
+func CheckSpec(spec *workflows.Spec) []dfl.Violation {
+	if spec == nil {
+		return []dfl.Violation{{Rule: "spec", Subject: "<nil>", Severity: dfl.Error,
+			Message: "nil workflow spec"}}
+	}
+	var vs []dfl.Violation
+	seen := make(map[string]bool, len(spec.Inputs))
+	avail := make(map[string]int64, len(spec.Inputs))
+	for _, in := range spec.Inputs {
+		if in.Path == "" {
+			vs = append(vs, errv("spec", spec.Name, "input with empty path"))
+		}
+		if in.Size < 0 {
+			vs = append(vs, errv("spec", in.Path, fmt.Sprintf("negative input size %d", in.Size)))
+		}
+		if seen[in.Path] {
+			vs = append(vs, errv("spec", in.Path, "duplicate input path"))
+		}
+		seen[in.Path] = true
+		avail[in.Path] += in.Size
+	}
+	vs = append(vs, CheckWorkload(spec.Workload, avail)...)
+	return vs
+}
+
+// errv builds an error-severity violation.
+func errv(rule, subject, msg string) dfl.Violation {
+	return dfl.Violation{Rule: rule, Subject: subject, Message: msg, Severity: dfl.Error}
+}
+
+// CheckWorkload validates a workload DAG definition before execution:
+//
+//   - task names are unique and dependencies resolve (bipartite discipline
+//     holds by construction at this level: tasks only reference data paths);
+//   - the dependency graph is acyclic;
+//   - producers precede consumers: every path a task reads is a seeded
+//     input, written earlier in the task's own script, or written by a
+//     transitive predecessor — a read of concurrently- or never-written
+//     data is a coordination bug the simulator would surface only as a
+//     short read;
+//   - flow conservation: reads at explicit offsets stay within the bytes
+//     seeded plus the bytes every possible writer produces.
+//
+// inputs maps pre-seeded paths to their sizes; nil means no seeded inputs.
+func CheckWorkload(w *sim.Workload, inputs map[string]int64) []dfl.Violation {
+	if w == nil {
+		return []dfl.Violation{errv("spec", "<nil>", "nil workload")}
+	}
+	var vs []dfl.Violation
+
+	byName := make(map[string]*sim.Task, len(w.Tasks))
+	for _, t := range w.Tasks {
+		if t.Name == "" {
+			vs = append(vs, errv("spec", w.Name, "task with empty name"))
+			continue
+		}
+		if byName[t.Name] != nil {
+			vs = append(vs, errv("spec", t.Name, "duplicate task name"))
+			continue
+		}
+		byName[t.Name] = t
+	}
+	for _, t := range w.Tasks {
+		for _, dep := range t.Deps {
+			if byName[dep] == nil {
+				vs = append(vs, errv("spec", t.Name, fmt.Sprintf("dependency %q does not exist", dep)))
+			}
+		}
+	}
+
+	// Kahn's algorithm over the dependency DAG; also yields the topological
+	// order used by the producer-precedes-consumer check.
+	order, acyclic := topoOrder(w, byName)
+	if !acyclic {
+		vs = append(vs, errv("cycle", w.Name, "task dependency graph has a cycle"))
+		return vs // ordering analysis is meaningless on a cyclic graph
+	}
+
+	// Transitive predecessor sets, in topological order.
+	preds := make(map[string]map[string]bool, len(order))
+	for _, name := range order {
+		t := byName[name]
+		p := make(map[string]bool)
+		for _, dep := range t.Deps {
+			if byName[dep] == nil {
+				continue
+			}
+			p[dep] = true
+			for q := range preds[dep] {
+				p[q] = true
+			}
+		}
+		preds[name] = p
+	}
+
+	// writers[path] lists tasks that write or stage-create path; total bytes
+	// written per path bound the readable extent.
+	writers := make(map[string][]string)
+	written := make(map[string]int64)
+	for _, name := range order {
+		for _, op := range byName[name].Script {
+			if op.Kind == sim.OpWrite && op.Path != "" {
+				writers[op.Path] = append(writers[op.Path], name)
+				written[op.Path] += op.Bytes
+			}
+		}
+	}
+
+	for _, name := range order {
+		t := byName[name]
+		wroteEarlier := make(map[string]bool)
+		for _, op := range t.Script {
+			switch op.Kind {
+			case sim.OpWrite:
+				wroteEarlier[op.Path] = true
+			case sim.OpRead:
+				if op.Bytes < 0 {
+					vs = append(vs, errv("spec", name, fmt.Sprintf("negative read of %q", op.Path)))
+					continue
+				}
+				_, seeded := inputs[op.Path]
+				if seeded || wroteEarlier[op.Path] {
+					break
+				}
+				ordered := false
+				concurrent := false
+				for _, wtask := range writers[op.Path] {
+					if wtask == name || preds[name][wtask] {
+						ordered = true
+					} else {
+						concurrent = true
+					}
+				}
+				switch {
+				case ordered:
+					// produced by a predecessor: fine
+				case concurrent:
+					vs = append(vs, errv("ordering", name, fmt.Sprintf(
+						"reads %q written only by tasks not ordered before it", op.Path)))
+				default:
+					vs = append(vs, errv("ordering", name, fmt.Sprintf(
+						"reads %q which is neither a seeded input nor written by any predecessor", op.Path)))
+				}
+			}
+		}
+	}
+
+	// Conservation: explicit-offset reads must stay within seeded + written
+	// bytes. Offset < 0 means "the task's running offset" and is skipped.
+	for _, name := range order {
+		for _, op := range byName[name].Script {
+			if op.Kind != sim.OpRead || op.Offset < 0 || op.Path == "" {
+				continue
+			}
+			capacity := inputs[op.Path] + written[op.Path]
+			if capacity > 0 && op.Offset >= capacity {
+				vs = append(vs, errv("conservation", name, fmt.Sprintf(
+					"read of %q starts at offset %d beyond the %d produced+seeded bytes",
+					op.Path, op.Offset, capacity)))
+			}
+		}
+	}
+	return vs
+}
+
+// topoOrder returns the task names in topological order and whether the
+// dependency graph is acyclic.
+func topoOrder(w *sim.Workload, byName map[string]*sim.Task) ([]string, bool) {
+	indeg := make(map[string]int, len(byName))
+	succ := make(map[string][]string, len(byName))
+	for name, t := range byName {
+		if _, ok := indeg[name]; !ok {
+			indeg[name] = 0
+		}
+		for _, dep := range t.Deps {
+			if byName[dep] == nil {
+				continue
+			}
+			indeg[name]++
+			succ[dep] = append(succ[dep], name)
+		}
+	}
+	var queue []string
+	for name, d := range indeg {
+		if d == 0 {
+			queue = append(queue, name)
+		}
+	}
+	sort.Strings(queue)
+	order := make([]string, 0, len(byName))
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		order = append(order, name)
+		var freed []string
+		for _, s := range succ[name] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				freed = append(freed, s)
+			}
+		}
+		sort.Strings(freed)
+		queue = append(queue, freed...)
+	}
+	return order, len(order) == len(byName)
+}

@@ -1,0 +1,267 @@
+package dflcheck
+
+import (
+	"strings"
+	"testing"
+
+	"datalife/internal/blockstats"
+	"datalife/internal/dfl"
+	"datalife/internal/sim"
+	"datalife/internal/workflows"
+)
+
+// hasRule reports whether any violation carries the given rule.
+func hasRule(vs []dfl.Violation, rule string) bool {
+	for _, v := range vs {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCheckGraphRejectsCycle(t *testing.T) {
+	g := dfl.New()
+	// t→d (producer) and d→t (consumer) are individually legal edges that
+	// together form a cycle; a DFL-DAG must refuse it.
+	if _, err := g.AddEdge(dfl.TaskID("t"), dfl.DataID("d"), dfl.Producer, dfl.FlowProps{Volume: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(dfl.DataID("d"), dfl.TaskID("t"), dfl.Consumer, dfl.FlowProps{Volume: 10}); err != nil {
+		t.Fatal(err)
+	}
+	vs := CheckGraph(g)
+	if !hasRule(vs, "cycle") {
+		t.Fatalf("cyclic graph accepted: %v", vs)
+	}
+}
+
+func TestCheckGraphRejectsNonBipartite(t *testing.T) {
+	g := dfl.New()
+	g.AddUncheckedEdge(dfl.TaskID("a"), dfl.TaskID("b"), dfl.Producer, dfl.FlowProps{})
+	vs := CheckGraph(g)
+	if !hasRule(vs, "bipartite") {
+		t.Fatalf("task→task producer edge accepted: %v", vs)
+	}
+	g2 := dfl.New()
+	g2.AddUncheckedEdge(dfl.DataID("x"), dfl.DataID("y"), dfl.Consumer, dfl.FlowProps{})
+	if !hasRule(CheckGraph(g2), "bipartite") {
+		t.Fatal("data→data consumer edge accepted")
+	}
+}
+
+func TestCheckGraphConservation(t *testing.T) {
+	g := dfl.New()
+	if _, err := g.AddEdge(dfl.TaskID("p"), dfl.DataID("d"), dfl.Producer,
+		dfl.FlowProps{Volume: 100, Footprint: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// Consumer touches 200 unique bytes of a 100-byte product.
+	if _, err := g.AddEdge(dfl.DataID("d"), dfl.TaskID("c"), dfl.Consumer,
+		dfl.FlowProps{Volume: 400, Footprint: 200}); err != nil {
+		t.Fatal(err)
+	}
+	vs := CheckGraph(g)
+	if !hasRule(vs, "conservation") {
+		t.Fatalf("footprint beyond produced bytes accepted: %v", vs)
+	}
+	// Re-reading produced bytes (volume > footprint ≤ capacity) is fine.
+	ok := dfl.New()
+	ok.AddEdge(dfl.TaskID("p"), dfl.DataID("d"), dfl.Producer, dfl.FlowProps{Volume: 100, Footprint: 100})
+	ok.AddEdge(dfl.DataID("d"), dfl.TaskID("c"), dfl.Consumer, dfl.FlowProps{Volume: 400, Footprint: 100})
+	if vs := CheckGraph(ok); len(vs) != 0 {
+		t.Fatalf("reuse of produced bytes rejected: %v", vs)
+	}
+}
+
+func TestValidateWarnsOrphanAndUnconsumed(t *testing.T) {
+	g := dfl.New()
+	g.AddData("lonely")
+	g.AddEdge(dfl.TaskID("p"), dfl.DataID("out"), dfl.Producer, dfl.FlowProps{Volume: 1, Footprint: 1})
+	vs := g.Validate()
+	if !hasRule(vs, "orphan") {
+		t.Fatalf("orphan data vertex not flagged: %v", vs)
+	}
+	if !hasRule(vs, "unconsumed") {
+		t.Fatalf("unconsumed output not flagged: %v", vs)
+	}
+	// Both are warnings: CheckGraph (errors only) accepts the graph.
+	if errs := CheckGraph(g); len(errs) != 0 {
+		t.Fatalf("warnings escalated to errors: %v", errs)
+	}
+}
+
+func TestCheckTemplateToleratesCycles(t *testing.T) {
+	g := dfl.New()
+	g.AddEdge(dfl.TaskID("t"), dfl.DataID("d"), dfl.Producer, dfl.FlowProps{Volume: 10, Footprint: 10})
+	g.AddEdge(dfl.DataID("d"), dfl.TaskID("t"), dfl.Consumer, dfl.FlowProps{Volume: 10, Footprint: 10})
+	if vs := CheckTemplate(g); len(vs) != 0 {
+		t.Fatalf("template cycle rejected: %v", vs)
+	}
+	if vs := CheckGraph(g); !hasRule(vs, "cycle") {
+		t.Fatalf("instance graph cycle accepted: %v", vs)
+	}
+}
+
+func TestCheckConfig(t *testing.T) {
+	if vs := CheckConfig(blockstats.DefaultConfig()); len(vs) != 0 {
+		t.Fatalf("default histogram config rejected: %v", vs)
+	}
+	vs := CheckConfig(blockstats.Config{BlocksPerFile: 0, WriteBlockSize: 1})
+	if !hasRule(vs, "histogram") {
+		t.Fatalf("zero-bin config accepted: %v", vs)
+	}
+}
+
+func TestCheckSpecInputs(t *testing.T) {
+	if vs := CheckSpec(nil); !hasRule(vs, "spec") {
+		t.Fatal("nil spec accepted")
+	}
+	spec := &workflows.Spec{
+		Name: "bad",
+		Inputs: []workflows.InputFile{
+			{Path: "in.dat", Size: 10},
+			{Path: "in.dat", Size: 10}, // duplicate
+			{Path: "", Size: 5},        // empty path
+			{Path: "neg.dat", Size: -1},
+		},
+		Workload: &sim.Workload{Name: "bad"},
+	}
+	vs := CheckSpec(spec)
+	msgs := make([]string, len(vs))
+	for i, v := range vs {
+		msgs[i] = v.Message
+	}
+	joined := strings.Join(msgs, "; ")
+	for _, want := range []string{"duplicate input path", "empty path", "negative input size"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in %s", want, joined)
+		}
+	}
+}
+
+func TestCheckWorkloadStructure(t *testing.T) {
+	if vs := CheckWorkload(nil, nil); !hasRule(vs, "spec") {
+		t.Fatal("nil workload accepted")
+	}
+	dup := &sim.Workload{Name: "w", Tasks: []*sim.Task{{Name: "a"}, {Name: "a"}}}
+	if vs := CheckWorkload(dup, nil); !hasRule(vs, "spec") {
+		t.Fatal("duplicate task accepted")
+	}
+	ghost := &sim.Workload{Name: "w", Tasks: []*sim.Task{{Name: "a", Deps: []string{"ghost"}}}}
+	if vs := CheckWorkload(ghost, nil); !hasRule(vs, "spec") {
+		t.Fatal("missing dependency accepted")
+	}
+	cyc := &sim.Workload{Name: "w", Tasks: []*sim.Task{
+		{Name: "a", Deps: []string{"b"}},
+		{Name: "b", Deps: []string{"a"}},
+	}}
+	if vs := CheckWorkload(cyc, nil); !hasRule(vs, "cycle") {
+		t.Fatal("cyclic dependency graph accepted")
+	}
+}
+
+func TestCheckWorkloadOrdering(t *testing.T) {
+	read := func(path string) sim.Op { return sim.Op{Kind: sim.OpRead, Path: path, Bytes: 10, Offset: -1} }
+	write := func(path string) sim.Op { return sim.Op{Kind: sim.OpWrite, Path: path, Bytes: 10, Offset: -1} }
+
+	// Reader depends on the writer: clean.
+	ok := &sim.Workload{Name: "w", Tasks: []*sim.Task{
+		{Name: "w1", Script: []sim.Op{write("a.dat")}},
+		{Name: "r1", Deps: []string{"w1"}, Script: []sim.Op{read("a.dat")}},
+	}}
+	if vs := CheckWorkload(ok, nil); len(vs) != 0 {
+		t.Fatalf("ordered producer-consumer rejected: %v", vs)
+	}
+
+	// Reader concurrent with the only writer: ordering violation.
+	conc := &sim.Workload{Name: "w", Tasks: []*sim.Task{
+		{Name: "w1", Script: []sim.Op{write("a.dat")}},
+		{Name: "r1", Script: []sim.Op{read("a.dat")}},
+	}}
+	vs := CheckWorkload(conc, nil)
+	if !hasRule(vs, "ordering") {
+		t.Fatalf("concurrent read-after-write accepted: %v", vs)
+	}
+
+	// Nobody writes the path and it is not seeded: ordering violation.
+	nowriter := &sim.Workload{Name: "w", Tasks: []*sim.Task{
+		{Name: "r1", Script: []sim.Op{read("ghost.dat")}},
+	}}
+	if vs := CheckWorkload(nowriter, nil); !hasRule(vs, "ordering") {
+		t.Fatalf("read of never-produced data accepted: %v", vs)
+	}
+	// ... but a seeded input makes the same read legal.
+	if vs := CheckWorkload(nowriter, map[string]int64{"ghost.dat": 100}); len(vs) != 0 {
+		t.Fatalf("seeded input rejected: %v", vs)
+	}
+
+	// A task may read back what it wrote earlier in its own script.
+	selfRW := &sim.Workload{Name: "w", Tasks: []*sim.Task{
+		{Name: "t", Script: []sim.Op{write("tmp.dat"), read("tmp.dat")}},
+	}}
+	if vs := CheckWorkload(selfRW, nil); len(vs) != 0 {
+		t.Fatalf("read-after-own-write rejected: %v", vs)
+	}
+}
+
+func TestCheckWorkloadConservation(t *testing.T) {
+	w := &sim.Workload{Name: "w", Tasks: []*sim.Task{
+		{Name: "w1", Script: []sim.Op{{Kind: sim.OpWrite, Path: "a.dat", Bytes: 100, Offset: -1}}},
+		{Name: "r1", Deps: []string{"w1"}, Script: []sim.Op{
+			{Kind: sim.OpRead, Path: "a.dat", Bytes: 10, Offset: 500}, // beyond the 100 produced bytes
+		}},
+	}}
+	if vs := CheckWorkload(w, nil); !hasRule(vs, "conservation") {
+		t.Fatalf("out-of-range read accepted: %v", vs)
+	}
+	// Within range is clean.
+	w.Tasks[1].Script[0].Offset = 50
+	if vs := CheckWorkload(w, nil); len(vs) != 0 {
+		t.Fatalf("in-range offset read rejected: %v", vs)
+	}
+}
+
+// TestBuiltinSpecsClean pins the production guarantee: every built-in
+// workflow passes the static checks `datalife vet` and dflrun's preflight
+// run.
+func TestBuiltinSpecsClean(t *testing.T) {
+	specs := []*workflows.Spec{
+		workflows.Genomes(workflows.DefaultGenomes()),
+		workflows.DDMD(workflows.DefaultDDMD(), 0),
+		workflows.Belle2(workflows.DefaultBelle2()),
+		workflows.Montage(workflows.DefaultMontage()),
+		workflows.Seismic(workflows.DefaultSeismic()),
+		workflows.Random(workflows.DefaultRandom(1)),
+	}
+	for _, s := range specs {
+		for _, v := range CheckSpec(s) {
+			t.Errorf("%s: %s", s.Name, v)
+		}
+	}
+}
+
+// TestExecutedGraphsClean runs three workflows end to end and checks that
+// the measured DFL graphs and their templates satisfy the §4.1 invariants.
+func TestExecutedGraphsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("executes workflows")
+	}
+	specs := []*workflows.Spec{
+		workflows.DDMD(workflows.DefaultDDMD(), 0),
+		workflows.Seismic(workflows.DefaultSeismic()),
+		workflows.Montage(workflows.DefaultMontage()),
+	}
+	for _, s := range specs {
+		g, _, err := workflows.RunAndCollect(s, workflows.RunOptions{Nodes: 2, Cores: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range CheckGraph(g) {
+			t.Errorf("%s graph: %s", s.Name, v)
+		}
+		for _, v := range CheckTemplate(dfl.Template(g, nil)) {
+			t.Errorf("%s template: %s", s.Name, v)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// iotraceScope lists the packages that model workflow tasks: every byte of
+// task I/O there must flow through iotrace/vfs handles so the collector
+// observes it (§3). Direct os file I/O would bypass the measurement layer
+// and silently corrupt every downstream DFL graph.
+var iotraceScope = dirMatcher("internal/workflows", "internal/sim", "internal/stage", "examples")
+
+// forbiddenOSFuncs are the direct file-I/O entry points of package os that
+// bypass the collector.
+var forbiddenOSFuncs = map[string]bool{
+	"Open":       true,
+	"OpenFile":   true,
+	"Create":     true,
+	"CreateTemp": true,
+	"ReadFile":   true,
+	"WriteFile":  true,
+}
+
+// IOTraceOnly forbids direct os file I/O and any use of io/ioutil in the
+// task-modelling packages.
+var IOTraceOnly = &Analyzer{
+	Name:  "iotraceonly",
+	Doc:   "task I/O must go through iotrace/vfs handles, not package os",
+	Match: iotraceScope,
+	Run:   runIOTraceOnly,
+}
+
+func runIOTraceOnly(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "io/ioutil" {
+				pass.Reportf(imp.Pos(), "import of io/ioutil bypasses the iotrace collector; use iotrace/vfs handles")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil {
+				return true
+			}
+			switch funcPkgPath(fn) {
+			case "os":
+				if forbiddenOSFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(), "direct os.%s bypasses the iotrace collector; route task I/O through iotrace/vfs handles", fn.Name())
+				}
+			case "io/ioutil":
+				pass.Reportf(call.Pos(), "ioutil.%s bypasses the iotrace collector; route task I/O through iotrace/vfs handles", fn.Name())
+			}
+			return true
+		})
+	}
+}

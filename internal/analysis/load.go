@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	// Dir is the absolute package directory.
+	Dir string
+	// Rel is the directory relative to the module root ("" for the root).
+	Rel   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of one module from source. It
+// resolves intra-module imports by mapping the module path onto the module
+// root directory and standard-library imports through the compiler's source
+// importer, so no pre-built export data is required.
+type Loader struct {
+	root    string
+	modPath string
+	fset    *token.FileSet
+	std     types.Importer
+	cache   map[string]*types.Package
+	loading map[string]bool
+}
+
+// NewLoader creates a loader for the module rooted at root (the directory
+// containing go.mod).
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		root:    abs,
+		modPath: modPath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: reading module file: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Import resolves an import path: module-local packages are type-checked
+// from source under the module root, everything else is delegated to the
+// standard-library source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	rel, ok := strings.CutPrefix(path, l.modPath)
+	if !ok {
+		return l.std.Import(path)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	dir := filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+	pkg, err := l.check(dir, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg.Types
+	return pkg.Types, nil
+}
+
+// LoadDir parses and type-checks the package in dir (non-test files only).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel := ""
+	if r, err := filepath.Rel(l.root, abs); err == nil && !strings.HasPrefix(r, "..") && r != "." {
+		rel = filepath.ToSlash(r)
+	}
+	path := l.modPath
+	if rel != "" {
+		path += "/" + rel
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := l.check(abs, path, info)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Rel = rel
+	return pkg, nil
+}
+
+// check parses the directory's non-test Go files and type-checks them.
+func (l *Loader) check(dir, path string, info *types.Info) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	cfg := types.Config{Importer: importerFunc(l.Import)}
+	tpkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ExpandPatterns resolves go-tool-style package patterns (a directory, or a
+// directory followed by "/...") into the list of package directories under
+// root that contain non-test Go files. Directories named "testdata",
+// "vendor", hidden directories, and "_"-prefixed directories are skipped,
+// mirroring the go tool's walking rules.
+func ExpandPatterns(root string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			recursive = true
+			pat = strings.TrimSuffix(rest, "/")
+		}
+		switch {
+		case pat == "" || pat == ".":
+			pat = root
+		case !filepath.IsAbs(pat):
+			pat = filepath.Join(root, pat)
+		}
+		if !recursive {
+			add(pat)
+			continue
+		}
+		err := filepath.WalkDir(pat, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != pat && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(p)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("analysis: walking %s: %w", pat, err)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHeld flags sync.Mutex/RWMutex critical sections that perform channel
+// operations or blocking iotrace calls while the lock is held. Under the
+// simulator's fair-share contention model those calls can block for long
+// virtual (and real) stretches; holding a lock across them serializes
+// unrelated tasks and is the classic shape of collector deadlocks.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "no channel ops or blocking iotrace calls while holding a mutex",
+	Run:  runLockHeld,
+}
+
+// iotraceBlocking are the clock-advancing (blocking) entry points of
+// internal/iotrace.
+var iotraceBlocking = map[string]bool{
+	"Open": true, "Close": true, "Read": true, "Write": true,
+	"Pread": true, "Pwrite": true, "Seek": true, "Truncate": true,
+	"Unlink": true,
+}
+
+func runLockHeld(pass *Pass) {
+	lh := &lockHeld{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					lh.walk(fn.Body.List, map[string]token.Pos{})
+				}
+			case *ast.FuncLit:
+				lh.walk(fn.Body.List, map[string]token.Pos{})
+			}
+			return true
+		})
+	}
+}
+
+type lockHeld struct {
+	pass *Pass
+}
+
+// walk scans a statement list in order, tracking which mutexes are held.
+// Nested control flow is scanned with a copy of the held set, so locks
+// taken inside a branch do not leak past it (a conservative approximation
+// that avoids false positives after the branch).
+func (lh *lockHeld) walk(stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if key, name, ok := lh.mutexMethod(call); ok {
+					switch name {
+					case "Lock", "RLock":
+						held[key] = call.Pos()
+					case "Unlock", "RUnlock":
+						delete(held, key)
+					}
+					continue
+				}
+			}
+			lh.checkExpr(s.X, held)
+		case *ast.DeferStmt:
+			// A deferred Unlock keeps the mutex held for the remainder of
+			// the function, which is exactly what we must check against;
+			// other deferred calls run outside the critical section.
+			continue
+		case *ast.SendStmt:
+			lh.flag(s.Pos(), "channel send", held)
+			lh.checkExpr(s.Value, held)
+		case *ast.SelectStmt:
+			lh.flag(s.Pos(), "select", held)
+			for _, c := range s.Body.List {
+				if comm, ok := c.(*ast.CommClause); ok {
+					lh.walk(comm.Body, copyHeld(held))
+				}
+			}
+		case *ast.BlockStmt:
+			lh.walk(s.List, copyHeld(held))
+		case *ast.IfStmt:
+			if s.Init != nil {
+				lh.walk([]ast.Stmt{s.Init}, held)
+			}
+			lh.checkExpr(s.Cond, held)
+			lh.walk(s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				lh.walk([]ast.Stmt{s.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			lh.checkExpr(s.Cond, held)
+			lh.walk(s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			if t := lh.pass.Info.TypeOf(s.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					lh.flag(s.Pos(), "channel receive (range)", held)
+				}
+			}
+			lh.checkExpr(s.X, held)
+			lh.walk(s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			lh.checkExpr(s.Tag, held)
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					lh.walk(cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					lh.walk(cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.LabeledStmt:
+			lh.walk([]ast.Stmt{s.Stmt}, held)
+		case *ast.AssignStmt:
+			for _, e := range s.Rhs {
+				lh.checkExpr(e, held)
+			}
+		case *ast.ReturnStmt:
+			for _, e := range s.Results {
+				lh.checkExpr(e, held)
+			}
+		case *ast.GoStmt:
+			// The spawned goroutine does not run under the caller's lock.
+			continue
+		default:
+			// Declarations, branch statements, etc.: nothing to check.
+		}
+	}
+}
+
+// checkExpr flags channel receives and blocking iotrace calls inside an
+// expression evaluated while mutexes are held. Function literals are
+// skipped: their bodies run when called, not where defined.
+func (lh *lockHeld) checkExpr(expr ast.Expr, held map[string]token.Pos) {
+	if expr == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				lh.flag(e.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(lh.pass.Info, e)
+			if fn != nil && iotraceBlocking[fn.Name()] &&
+				funcPkgPath(fn) == "datalife/internal/iotrace" {
+				lh.flag(e.Pos(), "blocking iotrace."+fn.Name()+" call", held)
+			}
+		}
+		return true
+	})
+}
+
+func (lh *lockHeld) flag(pos token.Pos, what string, held map[string]token.Pos) {
+	for key, lockPos := range held {
+		lh.pass.Reportf(pos, "%s while holding %s (locked at line %d)",
+			what, key, lh.pass.Fset.Position(lockPos).Line)
+	}
+}
+
+// mutexMethod reports whether call is a Lock/Unlock/RLock/RUnlock on a
+// sync.Mutex or sync.RWMutex, returning the receiver expression as a key.
+func (lh *lockHeld) mutexMethod(call *ast.CallExpr) (key, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name = sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	t := lh.pass.Info.TypeOf(sel.X)
+	if t == nil {
+		return "", "", false
+	}
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return types.ExprString(sel.X), name, true
+	}
+	return "", "", false
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

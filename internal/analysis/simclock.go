@@ -1,0 +1,41 @@
+package analysis
+
+import "go/ast"
+
+// forbiddenTimeFuncs are the wall-clock entry points of package time that a
+// discrete-event simulator must never consult: virtual time comes from the
+// engine's event clock, and mixing in host time makes runs nondeterministic
+// and timing statistics meaningless.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+	"Sleep": true,
+}
+
+// SimClock forbids wall-clock time in the simulator and emulator packages.
+var SimClock = &Analyzer{
+	Name:  "simclock",
+	Doc:   "discrete-event code must use the simulated clock, not package time",
+	Match: dirMatcher("internal/sim", "internal/emulator"),
+	Run:   runSimClock,
+}
+
+func runSimClock(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || funcPkgPath(fn) != "time" {
+				return true
+			}
+			if forbiddenTimeFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(), "wall-clock time.%s in discrete-event code; use the simulated clock", fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,74 @@
+// Package closecheck seeds violations for the closecheck analyzer: iotrace
+// handles opened but not closed on every path.
+package closecheck
+
+import "datalife/internal/iotrace"
+
+func leak(tr *iotrace.Tracer) {
+	h, err := tr.Open("a.dat", iotrace.RDONLY) // want "never closed in this function"
+	if err != nil {
+		return
+	}
+	_, _ = h.Read(64)
+}
+
+func deferred(tr *iotrace.Tracer) {
+	h, err := tr.Open("b.dat", iotrace.RDONLY)
+	if err != nil {
+		return
+	}
+	defer h.Close()
+	_, _ = h.Read(64)
+}
+
+func earlyReturn(tr *iotrace.Tracer, skip bool) {
+	h, err := tr.Open("c.dat", iotrace.RDONLY)
+	if err != nil {
+		return
+	}
+	if skip {
+		return // want "return leaks handle"
+	}
+	_, _ = h.Read(64)
+	_ = h.Close()
+}
+
+func escapesByReturn(tr *iotrace.Tracer) *iotrace.Handle {
+	h, err := tr.Open("d.dat", iotrace.RDONLY)
+	if err != nil {
+		return nil
+	}
+	return h // clean: ownership moves to the caller
+}
+
+func escapesByCall(tr *iotrace.Tracer) {
+	h, err := tr.Open("e.dat", iotrace.RDONLY)
+	if err != nil {
+		return
+	}
+	consume(h) // clean: ownership transferred
+}
+
+func consume(h *iotrace.Handle) { _ = h.Close() }
+
+func closedInline(tr *iotrace.Tracer) {
+	h, err := tr.Open("f.dat", iotrace.RDONLY)
+	if err != nil {
+		return
+	}
+	_, _ = h.Read(8)
+	_ = h.Close()
+}
+
+func dupLeak(tr *iotrace.Tracer, h *iotrace.Handle) {
+	d, err := h.Dup() // want "never closed in this function"
+	if err != nil {
+		return
+	}
+	_, _ = d.Read(8)
+}
+
+func suppressed(tr *iotrace.Tracer) {
+	h, _ := tr.Open("g.dat", iotrace.RDONLY) //dflvet:ignore — closed by the engine
+	_ = h
+}

@@ -1,0 +1,27 @@
+// Package iotraceonly seeds violations for the iotraceonly analyzer: direct
+// os file I/O and io/ioutil use that would bypass the collector.
+package iotraceonly
+
+import (
+	"io/ioutil" // want "import of io/ioutil bypasses the iotrace collector"
+	"os"
+)
+
+func direct() {
+	f, _ := os.Open("input.dat") // want "direct os.Open bypasses the iotrace collector"
+	_ = f
+	_ = os.WriteFile("out.dat", nil, 0o644) // want "direct os.WriteFile bypasses the iotrace collector"
+	_, _ = os.Create("new.dat")             // want "direct os.Create bypasses the iotrace collector"
+	_, _ = os.ReadFile("in.dat")            // want "direct os.ReadFile bypasses the iotrace collector"
+	_, _ = ioutil.ReadFile("legacy.dat")    // want "ioutil.ReadFile bypasses the iotrace collector"
+}
+
+func suppressed() {
+	//dflvet:ignore — reading tool config, not task I/O
+	_, _ = os.ReadFile("config.json")
+}
+
+func allowed() {
+	_ = os.Getenv("HOME")
+	_, _ = os.Hostname()
+}

@@ -1,0 +1,68 @@
+// Package lockheld seeds violations for the lockheld analyzer: channel
+// operations and blocking iotrace calls inside mutex critical sections.
+package lockheld
+
+import (
+	"sync"
+
+	"datalife/internal/iotrace"
+)
+
+func sendWhileLocked(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1 // want "channel send while holding mu"
+	mu.Unlock()
+}
+
+func recvAfterUnlock(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	mu.Unlock()
+	<-ch // clean: lock released first
+}
+
+func recvWithDefer(mu *sync.RWMutex, ch chan int) int {
+	mu.RLock()
+	defer mu.RUnlock()
+	return <-ch // want "channel receive while holding mu"
+}
+
+func openWhileLocked(tr *iotrace.Tracer, mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+	_, _ = tr.Open("f.dat", iotrace.RDONLY) // want "blocking iotrace.Open call while holding mu"
+}
+
+func selectWhileLocked(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	select { // want "select while holding mu"
+	case <-ch:
+	default:
+	}
+	mu.Unlock()
+}
+
+func rangeOverChannel(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	for range ch { // want "channel receive .range. while holding mu"
+	}
+	mu.Unlock()
+}
+
+func lockScopedToBranch(mu *sync.Mutex, ch chan int, cond bool) {
+	if cond {
+		mu.Lock()
+		mu.Unlock()
+	}
+	ch <- 1 // clean: lock never held here
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}

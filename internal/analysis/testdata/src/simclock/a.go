@@ -1,0 +1,22 @@
+// Package simclock seeds violations for the simclock analyzer: wall-clock
+// reads inside what stands for discrete-event code.
+package simclock
+
+import "time"
+
+func wallclock() time.Time {
+	time.Sleep(time.Millisecond) // want "wall-clock time.Sleep in discrete-event code"
+	t := time.Now()              // want "wall-clock time.Now in discrete-event code"
+	_ = time.Since(t)            // want "wall-clock time.Since in discrete-event code"
+	return t
+}
+
+func suppressed() {
+	time.Sleep(time.Millisecond) //dflvet:ignore — test fixture pacing
+}
+
+func allowed() time.Duration {
+	d := 3 * time.Second
+	_ = time.Unix(0, 0)
+	return d
+}

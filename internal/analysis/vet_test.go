@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// wantRe extracts the expectation regex from a "// want \"...\"" comment.
+var wantRe = regexp.MustCompile(`want "([^"]+)"`)
+
+// runGolden loads testdata/src/<dir>, runs the analyzer with its package
+// scope filter disabled, and matches diagnostics against the package's
+// // want "regex" comments: every want must be hit on its own line, and
+// every diagnostic must be wanted.
+func runGolden(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	loader, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	unscoped := &Analyzer{Name: a.Name, Doc: a.Doc, Run: a.Run}
+	diags := Run(pkg, []*Analyzer{unscoped})
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rx, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+				}
+				wants[key{pos.Filename, pos.Line}] = rx
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("testdata/src/%s has no want expectations", dir)
+	}
+
+	matched := make(map[key]bool)
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		rx, ok := wants[k]
+		if !ok {
+			t.Errorf("unexpected diagnostic %s", d)
+			continue
+		}
+		if !rx.MatchString(d.Message) {
+			t.Errorf("%s:%d: diagnostic %q does not match want %q", k.file, k.line, d.Message, rx)
+			continue
+		}
+		matched[k] = true
+	}
+	for k, rx := range wants {
+		if !matched[k] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, rx)
+		}
+	}
+}
+
+func TestIOTraceOnlyGolden(t *testing.T) { runGolden(t, IOTraceOnly, "iotraceonly") }
+func TestSimClockGolden(t *testing.T)    { runGolden(t, SimClock, "simclock") }
+func TestLockHeldGolden(t *testing.T)    { runGolden(t, LockHeld, "lockheld") }
+func TestCloseCheckGolden(t *testing.T)  { runGolden(t, CloseCheck, "closecheck") }
+
+func TestAnalyzerScopes(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		rel      string
+		want     bool
+	}{
+		{IOTraceOnly, "internal/workflows", true},
+		{IOTraceOnly, "internal/sim", true},
+		{IOTraceOnly, "internal/stage", true},
+		{IOTraceOnly, "examples/ddmd", true},
+		{IOTraceOnly, "internal/iotrace", false}, // the collector itself may not exist without os
+		{IOTraceOnly, "cmd/datalife", false},     // CLI reads/writes real files by design
+		{SimClock, "internal/sim", true},
+		{SimClock, "internal/emulator", true},
+		{SimClock, "internal/workflows", false},
+	}
+	for _, c := range cases {
+		if got := c.analyzer.Match(c.rel); got != c.want {
+			t.Errorf("%s.Match(%q) = %v, want %v", c.analyzer.Name, c.rel, got, c.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range All() {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not return the registered analyzer", a.Name)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Error("ByName of an unknown analyzer should be nil")
+	}
+}
+
+func TestExpandPatternsSkipsTestdata(t *testing.T) {
+	root := filepath.Join("..", "..")
+	dirs, err := ExpandPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("ExpandPatterns found no packages")
+	}
+	sawAnalysis := false
+	for _, d := range dirs {
+		rel, _ := filepath.Rel(root, d)
+		rel = filepath.ToSlash(rel)
+		for _, part := range filepath.SplitList(rel) {
+			_ = part
+		}
+		if matched, _ := filepath.Match("*testdata*", rel); matched {
+			t.Errorf("ExpandPatterns returned testdata dir %s", rel)
+		}
+		if rel == "internal/analysis" {
+			sawAnalysis = true
+		}
+		if filepath.Base(rel) == "testdata" {
+			t.Errorf("testdata dir leaked: %s", rel)
+		}
+	}
+	if !sawAnalysis {
+		t.Error("ExpandPatterns missed internal/analysis")
+	}
+	sub, err := ExpandPatterns(root, []string{"internal/analysis/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 { // internal/analysis and internal/analysis/dflcheck
+		t.Errorf("internal/analysis/... matched %d dirs (%v), want 2", len(sub), sub)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "x", Message: "m"}
+	d.Pos.Filename, d.Pos.Line, d.Pos.Column = "f.go", 3, 7
+	if got, want := d.String(), "f.go:3:7: m (x)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	_ = fmt.Sprintf("%v", d)
+}

@@ -67,6 +67,13 @@ func DefaultConfig() Config {
 	return Config{BlocksPerFile: 64, SampleP: 0, SampleT: 0, WriteBlockSize: 1 << 20}
 }
 
+// Validate checks the histogram configuration invariants: at least one
+// block per file, a positive write block size, and a sampling threshold no
+// larger than its modulus. It is the exported entry point used by the
+// dflcheck pre-run validator; the collector's own entry points run the same
+// check internally.
+func (c Config) Validate() error { return c.validate() }
+
 func (c Config) validate() error {
 	if c.BlocksPerFile < 1 {
 		return fmt.Errorf("blockstats: BlocksPerFile must be >= 1, got %d", c.BlocksPerFile)

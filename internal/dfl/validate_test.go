@@ -1,0 +1,170 @@
+package dfl
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func rules(vs []Violation) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.Rule
+	}
+	return out
+}
+
+func hasRule(vs []Violation, rule string) bool {
+	for _, v := range vs {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestValidateCleanGraph(t *testing.T) {
+	g := New()
+	mustEdge(g, TaskID("p"), DataID("d"), Producer, FlowProps{Volume: 100, Footprint: 100})
+	mustEdge(g, DataID("d"), TaskID("c"), Consumer, FlowProps{Volume: 100, Footprint: 100})
+	if vs := g.Validate(); len(vs) != 0 {
+		t.Fatalf("clean graph reported %v", rules(vs))
+	}
+}
+
+func TestValidateCycle(t *testing.T) {
+	g := New()
+	mustEdge(g, TaskID("t"), DataID("d"), Producer, FlowProps{Volume: 1, Footprint: 1})
+	mustEdge(g, DataID("d"), TaskID("t"), Consumer, FlowProps{Volume: 1, Footprint: 1})
+	vs := Errors(g.Validate())
+	if !hasRule(vs, "cycle") {
+		t.Fatalf("cycle not reported: %v", rules(vs))
+	}
+	// The message names the stuck vertices.
+	for _, v := range vs {
+		if v.Rule == "cycle" && !strings.Contains(v.Subject, "task:t") {
+			t.Errorf("cycle subject %q does not name the cycle members", v.Subject)
+		}
+	}
+}
+
+func TestValidateBipartite(t *testing.T) {
+	g := New()
+	g.AddUncheckedEdge(TaskID("a"), TaskID("b"), Producer, FlowProps{})
+	g.AddUncheckedEdge(DataID("x"), DataID("y"), Consumer, FlowProps{})
+	g.AddUncheckedEdge(TaskID("a"), DataID("x"), EdgeKind(99), FlowProps{})
+	vs := Errors(g.Validate())
+	n := 0
+	for _, v := range vs {
+		if v.Rule == "bipartite" {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("want 3 bipartite errors, got %d: %v", n, vs)
+	}
+}
+
+func TestValidateOrderingAndInitialInputs(t *testing.T) {
+	// Consumed but never produced, no initial size: error.
+	g := New()
+	mustEdge(g, DataID("in"), TaskID("c"), Consumer, FlowProps{Volume: 10, Footprint: 10})
+	if vs := Errors(g.Validate()); !hasRule(vs, "ordering") {
+		t.Fatalf("unproduced consumed data accepted: %v", rules(vs))
+	}
+	// The same shape with a declared initial size is a legitimate input —
+	// but the footprint must fit it.
+	g.Vertex(DataID("in")).Data.Size = 10
+	if vs := Errors(g.Validate()); len(vs) != 0 {
+		t.Fatalf("initial input rejected: %v", vs)
+	}
+}
+
+func TestValidateOrphanAndUnconsumedAreWarnings(t *testing.T) {
+	g := New()
+	g.AddData("orphan")
+	mustEdge(g, TaskID("p"), DataID("out"), Producer, FlowProps{Volume: 5, Footprint: 5})
+	vs := g.Validate()
+	if !hasRule(vs, "orphan") || !hasRule(vs, "unconsumed") {
+		t.Fatalf("missing warnings: %v", rules(vs))
+	}
+	if len(Errors(vs)) != 0 {
+		t.Fatalf("warnings misclassified as errors: %v", Errors(vs))
+	}
+}
+
+func TestValidateConservation(t *testing.T) {
+	// Footprint larger than volume is impossible by definition.
+	g := New()
+	mustEdge(g, TaskID("p"), DataID("d"), Producer, FlowProps{Volume: 100, Footprint: 100})
+	mustEdge(g, DataID("d"), TaskID("c"), Consumer, FlowProps{Volume: 10, Footprint: 20})
+	if vs := Errors(g.Validate()); !hasRule(vs, "conservation") {
+		t.Fatalf("footprint > volume accepted: %v", rules(vs))
+	}
+
+	// Footprint beyond the produced bytes breaches conservation.
+	g2 := New()
+	mustEdge(g2, TaskID("p"), DataID("d"), Producer, FlowProps{Volume: 100, Footprint: 100})
+	mustEdge(g2, DataID("d"), TaskID("c"), Consumer, FlowProps{Volume: 300, Footprint: 300})
+	if vs := Errors(g2.Validate()); !hasRule(vs, "conservation") {
+		t.Fatalf("footprint > capacity accepted: %v", rules(vs))
+	}
+
+	// Template edges carry summed footprints over Samples merged instances;
+	// the invariant holds per sample.
+	g3 := New()
+	mustEdge(g3, TaskID("p"), DataID("d"), Producer, FlowProps{Volume: 300, Footprint: 300, Samples: 3})
+	g3.Vertex(DataID("d")).Data.Size = 100
+	mustEdge(g3, DataID("d"), TaskID("c"), Consumer, FlowProps{Volume: 300, Footprint: 300, Samples: 3})
+	if vs := Errors(g3.Validate()); len(vs) != 0 {
+		t.Fatalf("per-sample-clean template rejected: %v", vs)
+	}
+}
+
+func TestValidateProps(t *testing.T) {
+	g := New()
+	mustEdge(g, TaskID("t"), DataID("d"), Producer, FlowProps{Volume: 1, Footprint: 1})
+	mustEdge(g, DataID("d"), TaskID("c"), Consumer, FlowProps{Volume: 1, Footprint: 1})
+	g.Vertex(TaskID("t")).Task.Instances = 0
+	g.Vertex(TaskID("t")).Task.Lifetime = math.NaN()
+	g.Vertex(DataID("d")).Data.Size = -4
+	g.Edges()[0].Props.Samples = 0
+	g.Edges()[0].Props.Latency = -1
+	vs := Errors(g.Validate())
+	n := 0
+	for _, v := range vs {
+		if v.Rule == "props" {
+			n++
+		}
+	}
+	if n != 5 {
+		t.Fatalf("want 5 props errors, got %d: %v", n, vs)
+	}
+}
+
+func TestValidateSortsErrorsFirst(t *testing.T) {
+	g := New()
+	g.AddData("orphan") // warning
+	g.AddUncheckedEdge(TaskID("a"), TaskID("b"), Producer, FlowProps{})
+	vs := g.Validate()
+	if len(vs) < 2 {
+		t.Fatalf("want at least 2 violations, got %v", vs)
+	}
+	if vs[0].Severity != Error {
+		t.Fatalf("errors not sorted first: %v", vs)
+	}
+	if s := vs[0].String(); !strings.HasPrefix(s, "error: ") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestAddUncheckedEdgeDefaults(t *testing.T) {
+	g := New()
+	e := g.AddUncheckedEdge(TaskID("a"), DataID("d"), Producer, FlowProps{})
+	if e.Props.Samples != 1 {
+		t.Fatalf("Samples default = %d, want 1", e.Props.Samples)
+	}
+	if g.FindEdge(TaskID("a"), DataID("d")) != e {
+		t.Fatal("unchecked edge not indexed")
+	}
+}

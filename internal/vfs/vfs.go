@@ -96,6 +96,15 @@ func (t *Tier) reserve(n int64) error {
 	return nil
 }
 
+// mustReserve re-adds bytes that were just released, bypassing the capacity
+// check. Only for restoring state after a failed replace; all callers hold
+// the owning FS lock, so the bytes cannot have been claimed in between.
+func (t *Tier) mustReserve(n int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.used += n
+}
+
 // release returns n bytes of capacity.
 func (t *Tier) release(n int64) {
 	t.mu.Lock()
@@ -189,17 +198,33 @@ func (fs *FS) CreateSized(path, tier string, size int64) (*File, error) {
 	if size < 0 {
 		return nil, fmt.Errorf("vfs: negative size %d", size)
 	}
-	f, err := fs.Create(path, tier)
-	if err != nil {
+	if path == "" {
+		return nil, fmt.Errorf("vfs: empty path")
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	t, ok := fs.tiers[tier]
+	if !ok {
+		return nil, fmt.Errorf("vfs: unknown tier %q", tier)
+	}
+	// Release a replaced file's bytes before reserving so re-creation at a
+	// smaller size succeeds on a nearly-full tier; restore them if the
+	// reservation still fails.
+	old, exists := fs.files[path]
+	if exists {
+		old.Tier.release(old.Size)
+	}
+	if err := t.reserve(size); err != nil {
+		if exists {
+			old.Tier.mustReserve(old.Size)
+		}
 		return nil, err
 	}
-	if err := f.Tier.reserve(size); err != nil {
-		fs.mu.Lock()
+	if exists {
 		delete(fs.files, path)
-		fs.mu.Unlock()
-		return nil, err
 	}
-	f.Size = size
+	f := &File{Path: path, Size: size, Tier: t}
+	fs.files[path] = f
 	return f, nil
 }
 
@@ -236,11 +261,13 @@ func (fs *FS) Remove(path string) error {
 }
 
 // Extend grows the file to cover at least [0, end), reserving tier capacity
-// for the growth. Shrinking is done via Truncate.
+// for the growth. Shrinking is done via Truncate. The file is mutated under
+// fs.mu so concurrent extends of the same file serialize (tier locks nest
+// inside fs.mu, matching Create).
 func (fs *FS) Extend(path string, end int64) error {
 	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	f, ok := fs.files[path]
-	fs.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("vfs: no such file %q", path)
 	}
@@ -260,8 +287,8 @@ func (fs *FS) Truncate(path string, size int64) error {
 		return fmt.Errorf("vfs: negative size %d", size)
 	}
 	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	f, ok := fs.files[path]
-	fs.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("vfs: no such file %q", path)
 	}
@@ -281,9 +308,9 @@ func (fs *FS) Truncate(path string, size int64) error {
 // the number of bytes that must flow. Time accounting is the caller's job.
 func (fs *FS) Migrate(path, tier string) (bytes int64, err error) {
 	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	f, okF := fs.files[path]
 	t, okT := fs.tiers[tier]
-	fs.mu.Unlock()
 	if !okF {
 		return 0, fmt.Errorf("vfs: no such file %q", path)
 	}
@@ -297,9 +324,7 @@ func (fs *FS) Migrate(path, tier string) (bytes int64, err error) {
 		return 0, err
 	}
 	f.Tier.release(f.Size)
-	old := f.Tier
 	f.Tier = t
-	_ = old
 	return f.Size, nil
 }
 
