@@ -9,6 +9,7 @@ package datalife
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"datalife/internal/advisor"
@@ -211,6 +212,7 @@ func BenchmarkTable4_CachePlanning(b *testing.B) {
 func BenchmarkAblation_MeasurementOverhead(b *testing.B) {
 	spec := func() *workflows.Spec { return workflows.DDMD(workflows.DefaultDDMD(), 0) }
 	b.Run("monitored", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := workflows.RunAndCollect(spec(), workflows.RunOptions{}); err != nil {
 				b.Fatal(err)
@@ -218,6 +220,7 @@ func BenchmarkAblation_MeasurementOverhead(b *testing.B) {
 		}
 	})
 	b.Run("histogram-8-blocks", func(b *testing.B) {
+		b.ReportAllocs()
 		cfg := blockstats.Config{BlocksPerFile: 8, WriteBlockSize: 1 << 20}
 		for i := 0; i < b.N; i++ {
 			if _, _, err := workflows.RunAndCollect(spec(), workflows.RunOptions{Hist: cfg}); err != nil {
@@ -226,6 +229,7 @@ func BenchmarkAblation_MeasurementOverhead(b *testing.B) {
 		}
 	})
 	b.Run("sampled-10pct", func(b *testing.B) {
+		b.ReportAllocs()
 		cfg := blockstats.DefaultConfig()
 		cfg.SampleP, cfg.SampleT = 100, 10
 		for i := 0; i < b.N; i++ {
@@ -248,12 +252,37 @@ func BenchmarkAblation_CollectorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_CollectorParallel measures concurrent ingest on the
+// record hot path as it exists after the sharding redesign: each goroutine
+// resolves its flow once through the striped shard map (what Tracer.Open
+// does) and then records through the cached *FlowStat pointer (what
+// Handle.Read/Write do per access). The ownership rule — a FlowStat is only
+// ever mutated by its owning task — is what makes the per-op path lock-free.
+// The seed design instead took one global collector mutex on every access.
+func BenchmarkAblation_CollectorParallel(b *testing.B) {
+	col := iotrace.NewCollector(blockstats.DefaultConfig())
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := next.Add(1)
+		fl := col.Flow(fmt.Sprintf("task-%02d", g), fmt.Sprintf("file-%02d", g), 1<<30)
+		i := int64(0)
+		for pb.Next() {
+			off := (i * 4096) % (1 << 30)
+			fl.RecordAccess(blockstats.Read, off, 4096, float64(i), 1e-6)
+			i++
+		}
+	})
+}
+
 // BenchmarkAblation_AnalysisLinearity verifies the §5 claim that opportunity
 // analysis is linear in vertices and edges: time per edge should stay flat
 // as the graph grows 10x.
 func BenchmarkAblation_AnalysisLinearity(b *testing.B) {
 	for _, n := range []int{100, 1000, 10000} {
 		b.Run(fmt.Sprintf("chain-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			g := dfl.New()
 			for i := 0; i < n; i++ {
 				task := dfl.TaskID(fmt.Sprintf("t%d", i))
@@ -286,6 +315,7 @@ func BenchmarkAblation_SankeyRender(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sankey.SVG(g, sankey.Options{Title: "ddmd"}); err != nil {
@@ -323,6 +353,7 @@ func BenchmarkAblation_WriteBuffering(b *testing.B) {
 		}
 		return res.Makespan
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sync := run(false)
 		buffered := run(true)
@@ -338,6 +369,7 @@ func BenchmarkAblation_Advisor(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		plan, err := advisor.Advise(g, advisor.Config{Nodes: 10})
@@ -367,6 +399,7 @@ func BenchmarkAblation_StdioBuffering(b *testing.B) {
 		return tr, col
 	}
 	b.Run("raw-4k-reads", func(b *testing.B) {
+		b.ReportAllocs()
 		tr, _ := setup()
 		for i := 0; i < b.N; i++ {
 			h, _ := tr.Open("f", iotrace.RDONLY)
@@ -379,6 +412,7 @@ func BenchmarkAblation_StdioBuffering(b *testing.B) {
 		}
 	})
 	b.Run("stdio-64k-buffer", func(b *testing.B) {
+		b.ReportAllocs()
 		tr, _ := setup()
 		for i := 0; i < b.N; i++ {
 			s, _ := tr.FOpen("f", "r")
@@ -420,6 +454,7 @@ func BenchmarkAblation_Prefetch(b *testing.B) {
 		}
 		return res.Makespan
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		without := run(0)
 		with := run(16)
@@ -434,6 +469,7 @@ func BenchmarkAblation_TraceEmulation(b *testing.B) {
 	p.Tasks, p.DatasetsPerTask, p.PoolDatasets = 48, 8, 24
 	p.DatasetBytes = 256 << 20
 	p.ComputePerDataset = 5
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		results, err := emulator.TraceSweep(p, 4)
 		if err != nil {

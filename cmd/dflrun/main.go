@@ -1,10 +1,12 @@
 // Command dflrun regenerates the tables and figures of the DataLife paper's
 // evaluation (§6). Each subcommand prints the corresponding report; `all`
-// runs everything in order.
+// runs everything. Experiments are independent, so -j N runs them
+// concurrently (default GOMAXPROCS); per-experiment output is buffered and
+// emitted in canonical order, so stdout is byte-identical at any -j.
 //
 // Usage:
 //
-//	dflrun [-scale paper|small] [-svg DIR] [-novalidate] fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|all
+//	dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|all ...
 //
 // With -svg DIR, Sankey diagrams for the five workflows (Fig. 2) and the
 // chr1 caterpillar (Fig. 5) are written as SVG files into DIR.
@@ -17,8 +19,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"datalife/internal/dfl"
 	"datalife/internal/experiments"
@@ -27,13 +31,20 @@ import (
 	"datalife/internal/workflows"
 )
 
+// allExperiments is the canonical order `all` runs and reports in.
+var allExperiments = []string{
+	"fig2", "fig2f", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+	"table1", "sweep", "whatif",
+}
+
 func main() {
 	scaleFlag := flag.String("scale", "paper", "experiment scale: paper or small")
 	svgDir := flag.String("svg", "", "directory to write Sankey SVGs into")
 	noValidate := flag.Bool("novalidate", false, "skip the pre-run workflow DAG validation")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "experiments to run concurrently")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dflrun [-scale paper|small] [-svg DIR] [-novalidate] <fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|all>")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] <fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|all> ...")
 		os.Exit(2)
 	}
 	var scale experiments.Scale
@@ -47,8 +58,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cmd := flag.Arg(0)
-	if err := runValidated(cmd, scale, *svgDir, *noValidate); err != nil {
+	if err := runValidated(flag.Args(), scale, *svgDir, *noValidate, *jobs); err != nil {
 		fmt.Fprintf(os.Stderr, "dflrun: %v\n", err)
 		os.Exit(1)
 	}
@@ -56,19 +66,40 @@ func main() {
 
 // runValidated gates run behind the mandatory pre-run DAG validation unless
 // -novalidate was passed.
-func runValidated(cmd string, scale experiments.Scale, svgDir string, noValidate bool) error {
+func runValidated(cmds []string, scale experiments.Scale, svgDir string, noValidate bool, jobs int) error {
 	if !noValidate {
 		if err := preflight(); err != nil {
 			return err
 		}
 	}
-	return run(cmd, scale, svgDir)
+	return run(cmds, scale, svgDir, jobs)
 }
 
-func run(cmd string, scale experiments.Scale, svgDir string) error {
-	needFig2 := map[string]bool{"fig2": true, "fig4": true, "table1": true, "all": true}
+// run executes the selected experiments, jobs at a time, writing their
+// reports to stdout in the order they were requested.
+func run(cmds []string, scale experiments.Scale, svgDir string, jobs int) error {
+	var names []string
+	for _, cmd := range cmds {
+		if cmd == "all" {
+			names = append(names, allExperiments...)
+			continue
+		}
+		names = append(names, cmd)
+	}
+
+	needFig2 := false
+	for _, name := range names {
+		switch name {
+		case "fig2", "fig4", "table1":
+			needFig2 = true
+		default:
+			if !isExperiment(name) {
+				return fmt.Errorf("unknown subcommand %q", name)
+			}
+		}
+	}
 	var dfls []experiments.WorkflowDFL
-	if needFig2[cmd] {
+	if needFig2 {
 		var err error
 		dfls, err = experiments.Fig2(scale)
 		if err != nil {
@@ -76,129 +107,142 @@ func run(cmd string, scale experiments.Scale, svgDir string) error {
 		}
 	}
 
-	do := func(name string) error {
-		switch name {
-		case "fig2":
-			fmt.Println(experiments.Fig2Report(dfls, true))
-			if svgDir != "" {
-				for _, w := range dfls {
-					g := dfl.Template(w.Graph, nil)
-					if !g.IsDAG() {
-						g = w.Graph
-					}
-					svg, err := sankey.SVG(g, sankey.Options{Title: w.Name})
-					if err != nil {
-						return err
-					}
-					if err := writeFile(svgDir, "fig2-"+w.Name+".svg", svg); err != nil {
-						return err
-					}
+	jobList := make([]experiments.Job, len(names))
+	for i, name := range names {
+		name := name
+		jobList[i] = experiments.Job{Name: name, Run: func(w io.Writer) error {
+			return runOne(w, name, scale, svgDir, dfls)
+		}}
+	}
+	errw := io.Writer(nil)
+	if jobs > 1 && len(jobList) > 1 {
+		errw = os.Stderr
+	}
+	return experiments.RunJobs(os.Stdout, errw, jobList, jobs)
+}
+
+func isExperiment(name string) bool {
+	for _, n := range allExperiments {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// runOne executes a single experiment, writing its report to w.
+func runOne(w io.Writer, name string, scale experiments.Scale, svgDir string, dfls []experiments.WorkflowDFL) error {
+	switch name {
+	case "fig2":
+		fmt.Fprintln(w, experiments.Fig2Report(dfls, true))
+		if svgDir != "" {
+			for _, wf := range dfls {
+				g := dfl.Template(wf.Graph, nil)
+				if !g.IsDAG() {
+					g = wf.Graph
 				}
-			}
-		case "fig2f":
-			ranked, err := experiments.Fig2f(scale)
-			if err != nil {
-				return err
-			}
-			fmt.Println(patterns.Table("Fig. 2f: DDMD producer-consumer relations by volume", ranked, 10))
-		case "fig3":
-			g, p, cat, opps, err := experiments.Fig3()
-			if err != nil {
-				return err
-			}
-			fmt.Printf("Fig. 3: worked example — %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
-			fmt.Printf("critical path (volume, weight %.0f): %v\n", p.Weight, p.Vertices)
-			fmt.Printf("caterpillar: %d spine + %d legs + %d extended\n",
-				len(cat.Spine.Vertices), len(cat.Legs), len(cat.Extended))
-			fmt.Println(patterns.Report("opportunities:", opps, 10))
-		case "fig4":
-			fmt.Println(experiments.Fig4Report(dfls))
-		case "fig5":
-			g, cat, br, jn, err := experiments.Fig5(scale)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("Fig. 5: 1000 Genomes chr1 caterpillar — %d branches, %d joins, %d vertices\n",
-				br, jn, cat.Size())
-			if svgDir != "" {
-				svg, err := sankey.SVG(cat.Subgraph(g), sankey.Options{
-					Title: "1000 Genomes chr1 caterpillar", Critical: cat.Spine})
+				svg, err := sankey.SVG(g, sankey.Options{Title: wf.Name})
 				if err != nil {
 					return err
 				}
-				if err := writeFile(svgDir, "fig5-genomes-caterpillar.svg", svg); err != nil {
+				if err := writeFile(w, svgDir, "fig2-"+wf.Name+".svg", svg); err != nil {
 					return err
 				}
 			}
-		case "fig6":
-			rows, err := experiments.Fig6(scale)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.Fig6Report(rows))
-		case "fig7":
-			rows, err := experiments.Fig7(scale)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.Fig7Report(rows))
-		case "fig8":
-			d, err := experiments.Fig8(scale)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.Fig8Report(d))
-		case "table1":
-			fmt.Println(experiments.Table1Report(experiments.Table1(dfls), dfls))
-		case "sweep":
-			sizes := []int{4, 8, 12, 16}
-			runs := 3
-			if scale == experiments.Small {
-				sizes, runs = []int{2, 4}, 2
-			}
-			points, err := experiments.SweepDDMD(sizes, runs)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.SweepReport(points))
-		case "whatif":
-			sp := workflows.DefaultSeismic()
-			mp := workflows.DefaultMontage()
-			nodes := []int{1, 2, 4, 8}
-			if scale == experiments.Small {
-				sp.Stations, sp.GroupSize, sp.SignalBytes = 12, 4, 8<<20
-				sp.XcorrCompute, sp.FinalCompute = 1, 0.5
-				mp.Images = 12
-				nodes = []int{1, 2}
-			}
-			seismic, err := experiments.SeismicWhatIf(sp, 4)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.SeismicWhatIfReport(seismic))
-			montage, err := experiments.MontageScaling(mp, nodes)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.MontageScalingReport(montage))
-		default:
-			return fmt.Errorf("unknown subcommand %q", name)
 		}
-		return nil
-	}
-
-	if cmd == "all" {
-		for _, name := range []string{"fig2", "fig2f", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "sweep", "whatif"} {
-			if err := do(name); err != nil {
-				return fmt.Errorf("%s: %w", name, err)
+	case "fig2f":
+		ranked, err := experiments.Fig2f(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, patterns.Table("Fig. 2f: DDMD producer-consumer relations by volume", ranked, 10))
+	case "fig3":
+		g, p, cat, opps, err := experiments.Fig3()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Fig. 3: worked example — %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+		fmt.Fprintf(w, "critical path (volume, weight %.0f): %v\n", p.Weight, p.Vertices)
+		fmt.Fprintf(w, "caterpillar: %d spine + %d legs + %d extended\n",
+			len(cat.Spine.Vertices), len(cat.Legs), len(cat.Extended))
+		fmt.Fprintln(w, patterns.Report("opportunities:", opps, 10))
+	case "fig4":
+		fmt.Fprintln(w, experiments.Fig4Report(dfls))
+	case "fig5":
+		g, cat, br, jn, err := experiments.Fig5(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Fig. 5: 1000 Genomes chr1 caterpillar — %d branches, %d joins, %d vertices\n",
+			br, jn, cat.Size())
+		if svgDir != "" {
+			svg, err := sankey.SVG(cat.Subgraph(g), sankey.Options{
+				Title: "1000 Genomes chr1 caterpillar", Critical: cat.Spine})
+			if err != nil {
+				return err
+			}
+			if err := writeFile(w, svgDir, "fig5-genomes-caterpillar.svg", svg); err != nil {
+				return err
 			}
 		}
-		return nil
+	case "fig6":
+		rows, err := experiments.Fig6(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.Fig6Report(rows))
+	case "fig7":
+		rows, err := experiments.Fig7(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.Fig7Report(rows))
+	case "fig8":
+		d, err := experiments.Fig8(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.Fig8Report(d))
+	case "table1":
+		fmt.Fprintln(w, experiments.Table1Report(experiments.Table1(dfls), dfls))
+	case "sweep":
+		sizes := []int{4, 8, 12, 16}
+		runs := 3
+		if scale == experiments.Small {
+			sizes, runs = []int{2, 4}, 2
+		}
+		points, err := experiments.SweepDDMD(sizes, runs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.SweepReport(points))
+	case "whatif":
+		sp := workflows.DefaultSeismic()
+		mp := workflows.DefaultMontage()
+		nodes := []int{1, 2, 4, 8}
+		if scale == experiments.Small {
+			sp.Stations, sp.GroupSize, sp.SignalBytes = 12, 4, 8<<20
+			sp.XcorrCompute, sp.FinalCompute = 1, 0.5
+			mp.Images = 12
+			nodes = []int{1, 2}
+		}
+		seismic, err := experiments.SeismicWhatIf(sp, 4)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.SeismicWhatIfReport(seismic))
+		montage, err := experiments.MontageScaling(mp, nodes)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.MontageScalingReport(montage))
+	default:
+		return fmt.Errorf("unknown subcommand %q", name)
 	}
-	return do(cmd)
+	return nil
 }
 
-func writeFile(dir, name, content string) error {
+func writeFile(w io.Writer, dir, name, content string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -206,6 +250,6 @@ func writeFile(dir, name, content string) error {
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", path)
+	fmt.Fprintf(w, "wrote %s\n", path)
 	return nil
 }

@@ -10,18 +10,24 @@ import (
 
 func TestRunFastSubcommands(t *testing.T) {
 	for _, cmd := range []string{"fig3", "fig2f", "fig5", "sweep"} {
-		if err := run(cmd, experiments.Small, ""); err != nil {
+		if err := run([]string{cmd}, experiments.Small, "", 1); err != nil {
 			t.Fatalf("%s: %v", cmd, err)
 		}
 	}
-	if err := run("fig99", experiments.Small, ""); err == nil {
+	if err := run([]string{"fig99"}, experiments.Small, "", 1); err == nil {
 		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+func TestRunMultipleParallel(t *testing.T) {
+	if err := run([]string{"fig3", "fig2f"}, experiments.Small, "", 4); err != nil {
+		t.Fatal(err)
 	}
 }
 
 func TestRunWritesSVGs(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("fig5", experiments.Small, dir); err != nil {
+	if err := run([]string{"fig5"}, experiments.Small, dir, 1); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig5-genomes-caterpillar.svg"))

@@ -66,3 +66,58 @@ func (c *counter) bump() {
 	c.n++
 	c.mu.Unlock()
 }
+
+// Striped locks: an array of shards, each with its own mutex, as the sharded
+// collector uses. Critical sections are keyed by the receiver expression, so
+// a lock taken through a shard pointer tracks as sh.mu.
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+type striped struct {
+	shards [8]shard
+}
+
+func (s *striped) bump(i int) {
+	sh := &s.shards[i&7]
+	sh.mu.Lock()
+	sh.n++
+	sh.mu.Unlock()
+}
+
+func (s *striped) recvWhileShardLocked(i int, ch chan int) int {
+	sh := &s.shards[i&7]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.n + <-ch // want "channel receive while holding sh.mu"
+}
+
+func (s *striped) snapshotThenSend(i int, ch chan int) {
+	sh := &s.shards[i&7]
+	sh.mu.Lock()
+	n := sh.n
+	sh.mu.Unlock()
+	ch <- n // clean: snapshot under the stripe lock, send after release
+}
+
+func (s *striped) openWhileShardLocked(i int, tr *iotrace.Tracer) {
+	sh := &s.shards[i&7]
+	sh.mu.Lock()
+	_, _ = tr.Open("f.dat", iotrace.RDONLY) // want "blocking iotrace.Open call while holding sh.mu"
+	sh.mu.Unlock()
+}
+
+func (s *striped) shardToShard(dst, src *striped, i int, ch chan int) {
+	// Merge idiom: snapshot the source stripe, release it, then lock the
+	// destination stripe — never both at once.
+	ssh := &src.shards[i&7]
+	ssh.mu.Lock()
+	n := ssh.n
+	ssh.mu.Unlock()
+	dsh := &dst.shards[i&7]
+	dsh.mu.Lock()
+	dsh.n += n
+	dsh.mu.Unlock()
+	ch <- n // clean: all stripe locks released
+}

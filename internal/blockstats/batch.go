@@ -1,0 +1,178 @@
+package blockstats
+
+// Batch charging: the simulator previously fed chunked I/O into the histogram
+// one RecordAccess per chunk, paying the full record path O(bytes/chunk)
+// times per operation. RecordSequentialChunks charges an entire chunked
+// sequential scan in closed form — O(blocks + rescales) instead of
+// O(chunks) — while producing state bit-identical to the per-chunk loop:
+//
+//	i := int64(0)
+//	for r := 0; r < rep; r++ {
+//		for pos := int64(0); pos < n; pos += chunk {
+//			sz := min(chunk, n-pos)
+//			fs.RecordAccess(kind, off+pos, sz, t0+float64(i)*per, per)
+//			i++
+//		}
+//	}
+//
+// Bit-identity holds because every constituent of the per-chunk path is
+// reconstructed exactly:
+//
+//   - Chunks tile [off, off+n) contiguously, so per-block byte totals are
+//     segment-block overlaps and per-block access counts are chunk-index
+//     ranges, both computed arithmetically.
+//   - Chunk timestamps are t0 + float64(i)*per — the same expression the
+//     loop evaluates — and are monotone in i, so a block's first/last
+//     access times come from the first/last chunk index touching it.
+//   - Latency totals accumulate by the same repeated float addition the
+//     loop performs (see addRepeated); float addition is not distributive,
+//     so float64(k)*per would drift in the last ulp.
+//   - Growing files re-scale at exactly the chunk that would have triggered
+//     the re-scale in the loop: the scan is processed in "epochs" of
+//     constant block size, folding the histogram between epochs.
+//
+// Consecutive-distance statistics are closed-form: within a scan every
+// chunk lands where the previous one ended (distance 0), and each repeat
+// seeks back from off+n to off (distance n).
+
+// RecordSequentialChunks records rep back-to-back sequential scans of the
+// byte range [off, off+n), each scan split into chunk-sized accesses issued
+// at t0, t0+per, t0+2·per, ... with per seconds of blocking latency each.
+// chunk <= 0 (or > n) means one access covers the whole range; rep < 1 is
+// treated as 1. It is equivalent to — and bit-identical with — the
+// corresponding loop of RecordAccess calls, at O(blocks) cost per scan.
+func (fs *FlowStat) RecordSequentialChunks(kind OpKind, off, n, chunk int64, rep int, t0, per float64) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 || chunk > n {
+		chunk = n
+	}
+	if rep < 1 {
+		rep = 1
+	}
+	m := (n + chunk - 1) / chunk // chunks per scan
+	ops := m * int64(rep)
+	switch kind {
+	case Read:
+		fs.ReadOps += uint64(ops)
+		fs.ReadBytes += uint64(n) * uint64(rep)
+		fs.ReadTime = addRepeated(fs.ReadTime, per, ops)
+	case Write:
+		fs.WriteOps += uint64(ops)
+		fs.WriteBytes += uint64(n) * uint64(rep)
+		fs.WriteTime = addRepeated(fs.WriteTime, per, ops)
+	}
+
+	for r := 0; r < rep; r++ {
+		// Seek distance into the scan's first chunk, measured at the block
+		// size in effect before that chunk re-scales anything.
+		if r == 0 {
+			if fs.haveLast {
+				d := off - fs.lastLoc
+				if d < 0 {
+					d = -d
+				}
+				fs.DistSum += float64(d)
+				fs.DistN++
+				if d == 0 {
+					fs.ZeroDist++
+				}
+				if d < fs.blockSize {
+					fs.SmallDist++
+				}
+			}
+			fs.haveLast = true
+		} else {
+			// A repeat seeks from the end of the range back to its start.
+			fs.DistSum += float64(n)
+			fs.DistN++
+			if n < fs.blockSize {
+				fs.SmallDist++
+			}
+		}
+		// The remaining m-1 chunks each start where the previous ended:
+		// distance 0, which is both the zero- and small-distance bucket.
+		if m > 1 {
+			k := uint64(m - 1)
+			fs.DistN += k
+			fs.ZeroDist += k
+			fs.SmallDist += k
+		}
+		fs.recordScanBlocks(kind, off, n, chunk, m, int64(r)*m, t0, per)
+	}
+	fs.lastLoc = off + n
+}
+
+// recordScanBlocks folds one sequential scan's chunk accesses into the
+// per-block histogram. The scan is processed in epochs of constant block
+// size: whenever a chunk would grow the file past the resolution cap, the
+// histogram re-scales exactly as the per-chunk path would, and the walk
+// resumes at the doubled block size. Within an epoch each touched block is
+// updated once, with its chunk count, byte overlap, and first/last chunk
+// timestamps computed arithmetically. iBase is the global chunk index of the
+// scan's first chunk (r*m for repeat r).
+func (fs *FlowStat) recordScanBlocks(kind OpKind, off, n, chunk, m, iBase int64, t0, per float64) {
+	end := off + n
+	for j := int64(0); j < m; {
+		// Grow the observed extent to this chunk's end and re-scale where
+		// the per-chunk path would have.
+		cEnd := off + (j+1)*chunk
+		if cEnd > end {
+			cEnd = end
+		}
+		if cEnd > fs.fileSize {
+			fs.fileSize = cEnd
+		}
+		if fs.fileSize > fs.capBytes {
+			fs.rescaleIfNeeded()
+		}
+		// The epoch runs through the last chunk that fits the current
+		// resolution cap (all of them when the scan's end does).
+		jHi := m - 1
+		if end > fs.capBytes {
+			jHi = (fs.capBytes-off)/chunk - 1
+		}
+		segLo := off + j*chunk
+		segHi := off + (jHi+1)*chunk
+		if segHi > end {
+			segHi = end
+		}
+		bsz := fs.blockSize
+		for b := segLo / bsz; b <= (segHi-1)/bsz; b++ {
+			lo := b * bsz
+			if lo < segLo {
+				lo = segLo
+			}
+			hi := (b + 1) * bsz
+			if hi > segHi {
+				hi = segHi
+			}
+			// Chunk indices of the first and last chunk touching the block.
+			j0 := (lo - off) / chunk
+			j1 := (hi - 1 - off) / chunk
+			fs.bumpBlock(b, kind, uint64(j1-j0+1), uint64(hi-lo),
+				t0+float64(iBase+j0)*per, t0+float64(iBase+j1)*per)
+		}
+		if segHi > fs.fileSize {
+			fs.fileSize = segHi
+		}
+		j = jHi + 1
+	}
+}
+
+// addRepeated returns sum after adding x to it k times, one addition at a
+// time. The loop is deliberate: the per-access path accumulates latency by
+// repeated addition, and batch charging must stay bit-identical to it —
+// float64(k)*x rounds differently. The loop exits early once sum absorbs x
+// (adding it again cannot change the value).
+func addRepeated(sum, x float64, k int64) float64 {
+	for i := int64(0); i < k; i++ {
+		next := sum + x
+		if next == sum {
+			return sum
+		}
+		sum = next
+	}
+	return sum
+}

@@ -123,6 +123,20 @@ type FlowStat struct {
 	blockSize int64
 	fileSize  int64 // highest byte seen (offset+len), proxy for file size
 
+	// Hot-path precomputation: capBytes is the rescale threshold
+	// (blockSize * BlocksPerFile) maintained alongside blockSize, and
+	// sampleAll is true when the sampling rule keeps every location —
+	// both are derived from cfg once instead of per recorded block.
+	capBytes  int64
+	sampleAll bool
+
+	// One-entry block cache: sequential and repeated accesses hit the same
+	// block, so the map lookup is skipped when the last block index repeats.
+	// Invalidated whenever the blocks map is rebuilt or externally mutated
+	// (rescale, merge).
+	cacheIdx int64
+	cacheBS  *BlockStat
+
 	// Aggregate counters (exact, not sampled).
 	ReadOps, WriteOps     uint64
 	ReadBytes, WriteBytes uint64
@@ -155,7 +169,15 @@ func NewFlowStat(task, file string, fileSize int64, cfg Config) (*FlowStat, erro
 		blocks:   make(map[int64]*BlockStat),
 	}
 	fs.blockSize = cfg.initialBlockSize(fileSize)
+	fs.capBytes = fs.blockSize * int64(cfg.BlocksPerFile)
+	fs.sampleAll = cfg.SampleP == 0 || cfg.SampleT >= cfg.SampleP
 	return fs, nil
+}
+
+// sampledBlock reports whether block b of this file is tracked, using the
+// precomputed no-sampling fast path.
+func (fs *FlowStat) sampledBlock(b int64) bool {
+	return fs.sampleAll || stats.HashLocation(fs.File, b)%fs.cfg.SampleP < fs.cfg.SampleT
 }
 
 // initialBlockSize picks the block size: a ratio of file size for files whose
@@ -235,20 +257,20 @@ func (fs *FlowStat) RecordAccess(kind OpKind, off, n int64, t, dt float64) {
 	fs.haveLast = true
 	fs.lastLoc = off + n // next sequential access has distance 0
 
-	fs.rescaleIfNeeded()
+	if fs.fileSize > fs.capBytes {
+		fs.rescaleIfNeeded()
+	}
 
-	// Per-block histogram, subject to spatial sampling.
+	// Per-block histogram, subject to spatial sampling. The common access is
+	// a single block (chunked I/O at or below the block size), so that case
+	// skips the loop.
 	first := off / fs.blockSize
 	last := (end - 1) / fs.blockSize
+	if first == last {
+		fs.bumpBlock(first, kind, 1, uint64(n), t, t)
+		return
+	}
 	for b := first; b <= last; b++ {
-		if !fs.cfg.sampled(fs.File, b) {
-			continue
-		}
-		bs := fs.blocks[b]
-		if bs == nil {
-			bs = &BlockStat{FirstAccess: t}
-			fs.blocks[b] = bs
-		}
 		lo := b * fs.blockSize
 		hi := lo + fs.blockSize
 		if lo < off {
@@ -257,21 +279,39 @@ func (fs *FlowStat) RecordAccess(kind OpKind, off, n int64, t, dt float64) {
 		if hi > end {
 			hi = end
 		}
-		bytes := uint64(hi - lo)
-		switch kind {
-		case Read:
-			bs.Reads++
-			bs.ReadBytes += bytes
-		case Write:
-			bs.Writes++
-			bs.WriteBytes += bytes
+		fs.bumpBlock(b, kind, 1, uint64(hi-lo), t, t)
+	}
+}
+
+// bumpBlock folds cnt accesses totalling bytes into block b, with first/last
+// access times tFirst/tLast. It routes through the one-entry block cache and
+// applies the sampling rule on miss.
+func (fs *FlowStat) bumpBlock(b int64, kind OpKind, cnt, bytes uint64, tFirst, tLast float64) {
+	bs := fs.cacheBS
+	if bs == nil || fs.cacheIdx != b {
+		if !fs.sampledBlock(b) {
+			return
 		}
-		if t < bs.FirstAccess {
-			bs.FirstAccess = t
+		bs = fs.blocks[b]
+		if bs == nil {
+			bs = &BlockStat{FirstAccess: tFirst}
+			fs.blocks[b] = bs
 		}
-		if t > bs.LastAccess {
-			bs.LastAccess = t
-		}
+		fs.cacheIdx, fs.cacheBS = b, bs
+	}
+	switch kind {
+	case Read:
+		bs.Reads += cnt
+		bs.ReadBytes += bytes
+	case Write:
+		bs.Writes += cnt
+		bs.WriteBytes += bytes
+	}
+	if tFirst < bs.FirstAccess {
+		bs.FirstAccess = tFirst
+	}
+	if tLast > bs.LastAccess {
+		bs.LastAccess = tLast
 	}
 }
 
@@ -279,14 +319,16 @@ func (fs *FlowStat) RecordAccess(kind OpKind, off, n int64, t, dt float64) {
 // observed file extent would need more than BlocksPerFile locations. This is
 // the paper's "adjustable access resolution" for growing (written) files.
 func (fs *FlowStat) rescaleIfNeeded() {
-	for fs.fileSize > fs.blockSize*int64(fs.cfg.BlocksPerFile) {
+	for fs.fileSize > fs.capBytes {
 		fs.blockSize *= 2
+		fs.capBytes *= 2
+		fs.cacheIdx, fs.cacheBS = 0, nil // block indices are renumbered
 		folded := make(map[int64]*BlockStat, len(fs.blocks))
 		for b, bs := range fs.blocks {
 			nb := b / 2
 			// A folded location survives only if the sampling rule keeps it
 			// at the new resolution, preserving determinism across rescales.
-			if !fs.cfg.sampled(fs.File, nb) {
+			if !fs.sampledBlock(nb) {
 				continue
 			}
 			dst := folded[nb]

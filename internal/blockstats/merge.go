@@ -49,10 +49,11 @@ func (fs *FlowStat) Merge(other *FlowStat) error {
 	for fs.blockSize < other.blockSize {
 		fs.forceRescale()
 	}
-	ratio := other.blockSize // bytes per source block
+	ratio := other.blockSize         // bytes per source block
+	fs.cacheIdx, fs.cacheBS = 0, nil // direct map mutation below
 	for b, bs := range other.blocks {
 		nb := (b * ratio) / fs.blockSize
-		if !fs.cfg.sampled(fs.File, nb) {
+		if !fs.sampledBlock(nb) {
 			continue
 		}
 		dst := fs.blocks[nb]
@@ -79,7 +80,7 @@ func (fs *FlowStat) Merge(other *FlowStat) error {
 // forceRescale doubles the block size unconditionally (used when aligning
 // histograms during merges).
 func (fs *FlowStat) forceRescale() {
-	target := fs.blockSize * 2 * int64(fs.cfg.BlocksPerFile)
+	target := fs.capBytes * 2
 	saved := fs.fileSize
 	if target > saved {
 		fs.fileSize = target

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+	"testing"
+
+	"datalife/internal/blockstats"
+	"datalife/internal/workflows"
+)
+
+// seedGoldenHashes pins the collector's persisted measurement database
+// (iotrace.SaveJSON) to the exact bytes the pre-sharding, pre-batching seed
+// collector produced for each paper workflow. This is the determinism gate
+// for the measurement hot path: the sharded collector, the cached per-handle
+// FlowStat pointers, and the simulator's closed-form batch charging must all
+// be invisible in the output — bit for bit, including every float.
+var seedGoldenHashes = map[string]string{
+	"1000genomes":  "1d7cd43e2c180e59c4481a7cbd83e5ef331a145b8dca123493e094d37bfe0661",
+	"deepdrivemd":  "15726fa51960247e3cb0acd79bde71712b5d4af3d0b640e8ad9944f2b937e654",
+	"belle2":       "6376e62b86af0f4ffc4a51a323b1d4334c9d0e524bb24a2ebe4d8b4224210d2f",
+	"montage":      "ffdc7e60ebbe88c5c124a522d98a885a4d323e373432db43f55590209947c015",
+	"seismic":      "7ae1d3ca60f28efa5b97b2c6b319e23687ddc3b1377f01a4f20d4ed366232a97",
+	"ddmd-sampled": "5995f78336315bb4819963cf602637614d63f54d8feaa2329e844a284b726cda",
+}
+
+func collectorHash(t *testing.T, spec *workflows.Spec, opts workflows.RunOptions) string {
+	t.Helper()
+	col, _, err := workflows.RunCollector(spec, opts)
+	if err != nil {
+		t.Fatalf("running %s: %v", spec.Name, err)
+	}
+	var b strings.Builder
+	if err := col.SaveJSON(&b); err != nil {
+		t.Fatalf("persisting %s: %v", spec.Name, err)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(b.String())))
+}
+
+func TestMeasurementDeterminismGate(t *testing.T) {
+	opts := workflows.RunOptions{Nodes: 4, Cores: 64}
+	cases := []struct {
+		key  string
+		spec *workflows.Spec
+		opts workflows.RunOptions
+	}{
+		{"1000genomes", workflows.Genomes(genomesParams(Small)), opts},
+		{"deepdrivemd", workflows.DDMD(ddmdParams(Small), 0), opts},
+		{"belle2", workflows.Belle2(belle2Params(Small)), opts},
+		{"montage", workflows.Montage(func() workflows.MontageParams {
+			p := workflows.DefaultMontage()
+			p.Images = 6
+			return p
+		}()), opts},
+		{"seismic", workflows.Seismic(func() workflows.SeismicParams {
+			p := workflows.DefaultSeismic()
+			p.Stations, p.GroupSize, p.SignalBytes = 12, 4, 4<<20
+			return p
+		}()), opts},
+	}
+	// A sampled configuration exercises the sampling+rescale fold path, which
+	// the batch recorder must replicate epoch by epoch.
+	sampled := opts
+	sampled.Hist = blockstats.DefaultConfig()
+	sampled.Hist.SampleP, sampled.Hist.SampleT = 100, 10
+	cases = append(cases, struct {
+		key  string
+		spec *workflows.Spec
+		opts workflows.RunOptions
+	}{"ddmd-sampled", workflows.DDMD(ddmdParams(Small), 0), sampled})
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.key, func(t *testing.T) {
+			got := collectorHash(t, tc.spec, tc.opts)
+			if want := seedGoldenHashes[tc.key]; got != want {
+				t.Errorf("%s: SaveJSON hash drifted from seed collector:\n got %s\nwant %s",
+					tc.key, got, want)
+			}
+		})
+	}
+}

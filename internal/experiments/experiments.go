@@ -13,6 +13,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"datalife/internal/cpa"
 	"datalife/internal/dfl"
@@ -130,22 +131,39 @@ func Fig2(s Scale) ([]WorkflowDFL, error) {
 			return cpa.CriticalPath(g, nil, cpa.ByTaskFanIn)
 		}},
 	}
-	var out []WorkflowDFL
-	for _, w := range list {
-		g, _, err := workflows.RunAndCollect(w.spec, workflows.RunOptions{Nodes: 4, Cores: 64})
+	// The five workflows are independent — each run builds its own
+	// filesystem, cluster, and collector — so they collect in parallel,
+	// filling an indexed slice to keep panel order deterministic.
+	out := make([]WorkflowDFL, len(list))
+	errs := make([]error, len(list))
+	var wg sync.WaitGroup
+	for i, w := range list {
+		wg.Add(1)
+		go func(i int, w wf) {
+			defer wg.Done()
+			g, _, err := workflows.RunAndCollect(w.spec, workflows.RunOptions{Nodes: 4, Cores: 64})
+			if err != nil {
+				errs[i] = fmt.Errorf("experiments: fig2 %s: %w", w.name, err)
+				return
+			}
+			p, err := w.weight(g)
+			if err != nil {
+				errs[i] = fmt.Errorf("experiments: fig2 %s: %w", w.name, err)
+				return
+			}
+			out[i] = WorkflowDFL{
+				Name:        w.name,
+				Graph:       g,
+				Critical:    p,
+				Caterpillar: cpa.DFLCaterpillar(g, p),
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig2 %s: %w", w.name, err)
+			return nil, err
 		}
-		p, err := w.weight(g)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig2 %s: %w", w.name, err)
-		}
-		out = append(out, WorkflowDFL{
-			Name:        w.name,
-			Graph:       g,
-			Critical:    p,
-			Caterpillar: cpa.DFLCaterpillar(g, p),
-		})
 	}
 	return out, nil
 }

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Job is one independent unit of experiment work: it writes its report to w
+// and returns an error on failure. Jobs must not share mutable state — each
+// figure/table builds its own filesystem, cluster, and collector.
+type Job struct {
+	Name string
+	Run  func(w io.Writer) error
+}
+
+// RunJobs executes jobs with the given parallelism, buffering each job's
+// output and emitting the buffers to w in submission order, so the combined
+// output is byte-identical regardless of parallelism. Per-job completion
+// notes go to errw (prefixed with the job name) as progress feedback. The
+// first error (in submission order) is returned after all jobs finish.
+func RunJobs(w, errw io.Writer, jobs []Job, parallelism int) error {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	type result struct {
+		buf bytes.Buffer
+		err error
+	}
+	results := make([]result, len(jobs))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex // serializes progress notes on errw
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := &results[i]
+			r.err = jobs[i].Run(&r.buf)
+			if errw != nil {
+				errMu.Lock()
+				if r.err != nil {
+					fmt.Fprintf(errw, "[%s] failed: %v\n", jobs[i].Name, r.err)
+				} else {
+					fmt.Fprintf(errw, "[%s] done\n", jobs[i].Name)
+				}
+				errMu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	var firstErr error
+	for i := range jobs {
+		if _, err := results[i].buf.WriteTo(w); err != nil {
+			return err
+		}
+		if results[i].err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", jobs[i].Name, results[i].err)
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func slowJobs(n int, running *atomic.Int32, peak *atomic.Int32) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Name: fmt.Sprintf("job-%d", i), Run: func(w io.Writer) error {
+			cur := running.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			fmt.Fprintf(w, "out-%d\n", i)
+			running.Add(-1)
+			return nil
+		}}
+	}
+	return jobs
+}
+
+func TestRunJobsOrderIndependentOfParallelism(t *testing.T) {
+	for _, par := range []int{0, 1, 4, 16} {
+		var running, peak atomic.Int32
+		var out, errw strings.Builder
+		if err := RunJobs(&out, &errw, slowJobs(8, &running, &peak), par); err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		want := "out-0\nout-1\nout-2\nout-3\nout-4\nout-5\nout-6\nout-7\n"
+		if out.String() != want {
+			t.Errorf("parallelism %d: output out of order:\n%s", par, out.String())
+		}
+		// Every job reports completion on errw, in some order.
+		for i := 0; i < 8; i++ {
+			if !strings.Contains(errw.String(), fmt.Sprintf("[job-%d] done", i)) {
+				t.Errorf("parallelism %d: missing progress note for job-%d", par, i)
+			}
+		}
+		if par == 1 && peak.Load() > 1 {
+			t.Errorf("parallelism 1 ran %d jobs at once", peak.Load())
+		}
+	}
+}
+
+func TestRunJobsFirstErrorInSubmissionOrder(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := []Job{
+		{Name: "ok", Run: func(w io.Writer) error { fmt.Fprintln(w, "fine"); return nil }},
+		{Name: "bad", Run: func(io.Writer) error { return boom }},
+		{Name: "worse", Run: func(io.Writer) error { return errors.New("later") }},
+	}
+	var out strings.Builder
+	err := RunJobs(&out, nil, jobs, 3)
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.HasPrefix(err.Error(), "bad: ") {
+		t.Errorf("error not prefixed with job name: %v", err)
+	}
+	if !strings.Contains(out.String(), "fine") {
+		t.Errorf("successful job output missing: %q", out.String())
+	}
+}

@@ -1,0 +1,183 @@
+package iotrace
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"datalife/internal/blockstats"
+	"datalife/internal/vfs"
+)
+
+// The concurrency stress test drives the full Handle path — Open, Read,
+// Write, Pread, Pwrite, Seek, Close — from many goroutines against shared
+// files and asserts the sharded collector's persisted output is byte-
+// identical to the same op streams applied serially. Two concurrent
+// arrangements are checked: all goroutines sharing one collector (the
+// sharded-map case), and one collector per goroutine merged at the end (the
+// distributed-measurement case).
+
+const (
+	stressGoroutines = 16
+	stressFiles      = 4
+	stressOps        = 10000
+	stressFileSize   = int64(1 << 20)
+)
+
+type stressOp struct {
+	op   int // 0=Read 1=Write 2=Pread 3=Pwrite 4=Seek
+	file int
+	off  int64
+	n    int64
+}
+
+// stressStream returns goroutine g's deterministic op sequence. Offsets stay
+// within the pre-sized files so writes never extend them: vfs.Stat hands out
+// live *File pointers, and a growing Size would race with concurrent readers.
+func stressStream(g int) []stressOp {
+	rng := rand.New(rand.NewSource(int64(g) + 1))
+	ops := make([]stressOp, stressOps)
+	for i := range ops {
+		n := 1 + rng.Int63n(4096)
+		ops[i] = stressOp{
+			op:   rng.Intn(5),
+			file: rng.Intn(stressFiles),
+			off:  rng.Int63n(stressFileSize - n),
+			n:    n,
+		}
+	}
+	return ops
+}
+
+func stressFS(t *testing.T) *vfs.FS {
+	t.Helper()
+	fs := vfs.New()
+	if err := fs.AddTier(vfs.NewNFS("nfs")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < stressFiles; i++ {
+		if _, err := fs.CreateSized(fmt.Sprintf("shared/file-%d", i), "nfs", stressFileSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fs
+}
+
+// stressRun applies goroutine g's stream through a tracer bound to col.
+func stressRun(t *testing.T, col *Collector, fs *vfs.FS, g int) {
+	task := fmt.Sprintf("task-%02d", g)
+	col.TaskStarted(task, 0)
+	tr := NewTracer(task, fs, &ManualClock{}, ZeroCost{}, col, "nfs")
+	handles := make([]*Handle, stressFiles)
+	for i := range handles {
+		h, err := tr.Open(fmt.Sprintf("shared/file-%d", i), RDWR)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		handles[i] = h
+	}
+	for _, op := range stressStream(g) {
+		h := handles[op.file]
+		var err error
+		switch op.op {
+		case 0, 1:
+			// Sequential ops wrap to offset 0 rather than crossing EOF: a
+			// write past the end would grow the shared file, making the
+			// observed stream order-dependent (and racing vfs readers).
+			if h.Offset()+op.n > stressFileSize {
+				if _, err = h.Seek(0, SeekSet); err != nil {
+					t.Errorf("goroutine %d: wrap seek: %v", g, err)
+					return
+				}
+			}
+			if op.op == 0 {
+				_, err = h.Read(op.n)
+			} else {
+				_, err = h.Write(op.n)
+			}
+		case 2:
+			_, err = h.Pread(op.off, op.n)
+		case 3:
+			_, err = h.Pwrite(op.off, op.n)
+		case 4:
+			_, err = h.Seek(op.off, SeekSet)
+		}
+		if err != nil {
+			t.Errorf("goroutine %d: op %+v: %v", g, op, err)
+			return
+		}
+	}
+	for _, h := range handles {
+		if err := h.Close(); err != nil {
+			t.Error(err)
+			return
+		}
+	}
+	col.TaskEnded(task, 0)
+}
+
+func saveString(t *testing.T, col *Collector) string {
+	t.Helper()
+	var b strings.Builder
+	if err := col.SaveJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestConcurrentStressByteIdentical(t *testing.T) {
+	cfg := blockstats.DefaultConfig()
+
+	// Serial reference: all op streams applied one goroutine at a time.
+	serial := NewCollector(cfg)
+	fsSerial := stressFS(t)
+	for g := 0; g < stressGoroutines; g++ {
+		stressRun(t, serial, fsSerial, g)
+	}
+	want := saveString(t, serial)
+
+	// Concurrent, one shared collector.
+	shared := NewCollector(cfg)
+	fsShared := stressFS(t)
+	var wg sync.WaitGroup
+	for g := 0; g < stressGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			stressRun(t, shared, fsShared, g)
+		}(g)
+	}
+	wg.Wait()
+	if got := saveString(t, shared); got != want {
+		t.Errorf("concurrent shared-collector output differs from serial (%d vs %d bytes)",
+			len(got), len(want))
+	}
+
+	// Concurrent, one collector per goroutine, merged afterwards.
+	parts := make([]*Collector, stressGoroutines)
+	fsMerged := stressFS(t)
+	for g := range parts {
+		parts[g] = NewCollector(cfg)
+	}
+	for g := 0; g < stressGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			stressRun(t, parts[g], fsMerged, g)
+		}(g)
+	}
+	wg.Wait()
+	merged := NewCollector(cfg)
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := saveString(t, merged); got != want {
+		t.Errorf("merged per-goroutine output differs from serial (%d vs %d bytes)",
+			len(got), len(want))
+	}
+}

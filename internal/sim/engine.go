@@ -66,6 +66,7 @@ type Engine struct {
 	now    float64
 	eq     eventHeap
 	seq    int64
+	pool   []*event // free list; retired events recycle through schedule()
 	flows  map[*vfs.Tier]map[*flow]struct{}
 	meta   map[*vfs.Tier]float64 // metadata server next-free time
 	nodes  map[string]*nodeState
@@ -156,6 +157,27 @@ func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*event)) }
 func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 func (e *Engine) push(ev *event)       { e.seq++; ev.seq = e.seq; heap.Push(&e.eq, ev) }
 func (e *Engine) at(t float64) float64 { return math.Max(t, e.now) }
+
+// schedule queues an event at time t, drawing the struct from the free list.
+// Flow reschedules pass the flow and its version; task wakeups pass ts.
+func (e *Engine) schedule(t float64, kind evKind, fl *flow, version int64, ts *taskState) {
+	var ev *event
+	if n := len(e.pool); n > 0 {
+		ev = e.pool[n-1]
+		e.pool = e.pool[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.t, ev.kind, ev.fl, ev.version, ev.ts = t, kind, fl, version, ts
+	e.push(ev)
+}
+
+// free returns a popped event to the free list, dropping its pointers so the
+// pool does not pin flows or tasks.
+func (e *Engine) free(ev *event) {
+	ev.fl, ev.ts = nil, nil
+	e.pool = append(e.pool, ev)
+}
 
 // TaskTime records one task's execution window.
 type TaskTime struct {
@@ -265,17 +287,19 @@ func (e *Engine) Run(w *Workload) (*Result, error) {
 			return nil, fmt.Errorf("sim: deadlock with %d unfinished tasks (unsatisfiable placement or cyclic deps)", e.unfin)
 		}
 		ev := heap.Pop(&e.eq).(*event)
-		if ev.kind == evFlowDone && ev.version != ev.fl.version {
+		kind, fl, version, ts, t := ev.kind, ev.fl, ev.version, ev.ts, ev.t
+		e.free(ev)
+		if kind == evFlowDone && version != fl.version {
 			continue // stale reschedule
 		}
-		e.now = ev.t
-		switch ev.kind {
+		e.now = t
+		switch kind {
 		case evFlowDone:
-			e.finishFlow(ev.fl)
+			e.finishFlow(fl)
 		case evDelayDone, evMetaDone:
-			e.step(ev.ts)
+			e.step(ts)
 		case evAsyncDone:
-			e.asyncDone(ev.ts)
+			e.asyncDone(ts)
 		}
 	}
 	e.result.Makespan = e.now
@@ -363,7 +387,7 @@ func (e *Engine) step(ts *taskState) {
 			if e.Trace != nil {
 				e.Trace.Event(ts.task.Name, OpCompute, "", 0, 0, e.now, op.Seconds)
 			}
-			e.push(&event{t: e.now + op.Seconds, kind: evDelayDone, ts: ts})
+			e.schedule(e.now+op.Seconds, evDelayDone, nil, 0, ts)
 			return
 		case OpOpen, OpClose, OpDelete:
 			if e.metaOp(ts, op) {
@@ -444,7 +468,7 @@ func (e *Engine) metaOp(ts *taskState, op *Op) bool {
 		e.Trace.Event(ts.task.Name, op.Kind, op.Path, 0, 0, e.now, done-e.now)
 	}
 	ts.pc++
-	e.push(&event{t: done, kind: evMetaDone, ts: ts})
+	e.schedule(done, evMetaDone, nil, 0, ts)
 	return true
 }
 
@@ -593,7 +617,7 @@ func (e *Engine) finishFlow(fl *flow) {
 	e.result.TierTime[fl.tier.Name] += e.now - fl.started
 	if fl.async {
 		if fl.extra > 0 {
-			e.push(&event{t: e.now + fl.extra, kind: evAsyncDone, ts: ts})
+			e.schedule(e.now+fl.extra, evAsyncDone, nil, 0, ts)
 		} else {
 			e.asyncDone(ts)
 		}
@@ -601,7 +625,7 @@ func (e *Engine) finishFlow(fl *flow) {
 	}
 	ts.partIdx++
 	if fl.extra > 0 {
-		e.push(&event{t: e.now + fl.extra, kind: evDelayDone, ts: ts})
+		e.schedule(e.now+fl.extra, evDelayDone, nil, 0, ts)
 		return
 	}
 	e.step(ts)
@@ -708,7 +732,7 @@ func (e *Engine) reshare(tier *vfs.Tier) {
 		}
 		fl.rate = bw / float64(n)
 		fl.version++
-		e.push(&event{t: e.now + fl.rem/fl.rate, kind: evFlowDone, fl: fl, version: fl.version})
+		e.schedule(e.now+fl.rem/fl.rate, evFlowDone, fl, fl.version, nil)
 	}
 }
 
@@ -818,6 +842,12 @@ func (e *Engine) recordRead(ts *taskState, op *Op, dur float64) {
 	nAcc := (n + chunk - 1) / chunk * int64(rep)
 	per := dur / float64(nAcc)
 	fl := e.Col.Flow(ts.task.Name, op.Path, f.Size)
+	if op.Pattern == Sequential {
+		// Sequential scans charge in closed form: one histogram update per
+		// touched block instead of one RecordAccess per chunk.
+		fl.RecordSequentialChunks(blockstats.Read, off, n, chunk, rep, ts.opStart, per)
+		return
+	}
 	i := int64(0)
 	for r := 0; r < rep; r++ {
 		for pos := int64(0); pos < n; pos += chunk {
@@ -858,15 +888,8 @@ func (e *Engine) recordWrite(ts *taskState, op *Op, off int64, dur float64) {
 		per = dur / float64(nAcc)
 	}
 	fl := e.Col.Flow(ts.task.Name, op.Path, 0)
-	i := int64(0)
-	for pos := int64(0); pos < op.Bytes; pos += chunk {
-		sz := chunk
-		if pos+sz > op.Bytes {
-			sz = op.Bytes - pos
-		}
-		fl.RecordAccess(blockstats.Write, off+pos, sz, ts.opStart+float64(i)*per, per)
-		i++
-	}
+	// Writes are always sequential over [off, off+Bytes): batch-charge them.
+	fl.RecordSequentialChunks(blockstats.Write, off, op.Bytes, chunk, 1, ts.opStart, per)
 }
 
 // finishTask releases the core, updates stage spans, and wakes dependents.

@@ -1,0 +1,48 @@
+#!/bin/sh
+# bench.sh — run the ablation benchmarks and record the results as a JSON
+# trajectory point.
+#
+# Usage: scripts/bench.sh [output-dir]
+#
+# Runs every BenchmarkAblation_* with -benchmem and writes
+# BENCH_<timestamp>.json to the output dir (default: repo root), one object
+# per benchmark with name, ns/op, B/op and allocs/op. Checked-in BENCH_*.json
+# files form the performance trajectory of the measurement hot path; compare
+# against the newest one before and after touching it.
+#
+# BENCH_TIME overrides the timestamp (for reproducible filenames in CI);
+# BENCH_FLAGS appends extra `go test` flags (e.g. BENCH_FLAGS="-benchtime 5s").
+set -eu
+
+cd "$(dirname "$0")/.."
+outdir="${1:-.}"
+mkdir -p "$outdir"
+stamp="${BENCH_TIME:-$(date -u +%Y%m%dT%H%M%SZ)}"
+out="$outdir/BENCH_${stamp}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# shellcheck disable=SC2086  # BENCH_FLAGS is intentionally word-split
+go test -run '^$' -bench 'BenchmarkAblation_' -benchmem ${BENCH_FLAGS:-} . | tee "$raw"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (bytes == "") bytes = "null"
+    if (allocs == "") allocs = "null"
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, ns, bytes, allocs
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$raw" > "$out"
+
+echo "wrote $out" >&2
