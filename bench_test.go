@@ -243,7 +243,7 @@ func BenchmarkAblation_MeasurementOverhead(b *testing.B) {
 // BenchmarkAblation_CollectorThroughput measures raw collector ingest rate:
 // accesses recorded per second into one constant-space histogram.
 func BenchmarkAblation_CollectorThroughput(b *testing.B) {
-	col := iotrace.NewCollector(blockstats.DefaultConfig())
+	col := iotrace.MustCollector(blockstats.DefaultConfig())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -260,7 +260,7 @@ func BenchmarkAblation_CollectorThroughput(b *testing.B) {
 // ever mutated by its owning task — is what makes the per-op path lock-free.
 // The seed design instead took one global collector mutex on every access.
 func BenchmarkAblation_CollectorParallel(b *testing.B) {
-	col := iotrace.NewCollector(blockstats.DefaultConfig())
+	col := iotrace.MustCollector(blockstats.DefaultConfig())
 	var next atomic.Int64
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -388,7 +388,7 @@ func BenchmarkAblation_StdioBuffering(b *testing.B) {
 		if err := fs.AddTier(vfs.NewNFS("nfs")); err != nil {
 			b.Fatal(err)
 		}
-		col := iotrace.NewCollector(blockstats.DefaultConfig())
+		col := iotrace.MustCollector(blockstats.DefaultConfig())
 		tr := iotrace.NewTracer("t", fs, &iotrace.ManualClock{}, iotrace.ZeroCost{}, col, "nfs")
 		h, err := tr.Open("f", iotrace.WRONLY|iotrace.CREATE)
 		if err != nil {

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"datalife/internal/experiments"
+)
+
+// faultFreeStdoutSHA256 pins the small-scale whatif/fig6/fig7 stdout of the
+// pre-fault-injection build. With no -faults spec the robustness machinery
+// must be invisible: every engine event, every float, every byte identical.
+// If an intentional simulator change moves this hash, re-pin it in the same
+// commit and say why in the message.
+const faultFreeStdoutSHA256 = "b9e13f1643318cd5a6cb71c6c378ed789484952157bfdd62e266b570fd8ae248"
+
+func TestFaultFreeOutputByteIdenticalToSeed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"whatif", "fig6", "fig7"}, experiments.Small, "", 1, "", 3); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	if got := hex.EncodeToString(sum[:]); got != faultFreeStdoutSHA256 {
+		t.Fatalf("fault-free stdout hash = %s, want %s\n(the no-faults path must stay byte-identical; see comment above)", got, faultFreeStdoutSHA256)
+	}
+}
+
+func TestFaultSweepStdoutDeterministic(t *testing.T) {
+	sweep := func() string {
+		var buf bytes.Buffer
+		if err := run(&buf, []string{"faults"}, experiments.Small, "", 1,
+			"seed=5;crash=node0@40;ioerr=nfs:0.05", 3); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := sweep(), sweep()
+	if a != b {
+		t.Fatalf("same spec, different sweep output:\n%s\n---\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("empty sweep output")
+	}
+}

@@ -6,10 +6,16 @@
 //
 // Usage:
 //
-//	dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|all ...
+//	dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] [-faults SPEC] [-seeds N] fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|faults|all ...
 //
 // With -svg DIR, Sankey diagrams for the five workflows (Fig. 2) and the
 // chr1 caterpillar (Fig. 5) are written as SVG files into DIR.
+//
+// The `faults` subcommand runs a deterministic failure sweep over two
+// recovery-demo workflows under the -faults schedule (default
+// experiments.DefaultFaultSpec), one run per seed starting at the spec's
+// seed. It is deliberately not part of `all`: with no -faults spec, every
+// other subcommand's output is byte-identical to a fault-free build.
 //
 // Before any experiment executes, every workflow DAG it would run is
 // statically validated (internal/analysis/dflcheck); -novalidate skips the
@@ -26,6 +32,7 @@ import (
 
 	"datalife/internal/dfl"
 	"datalife/internal/experiments"
+	"datalife/internal/faults"
 	"datalife/internal/patterns"
 	"datalife/internal/sankey"
 	"datalife/internal/workflows"
@@ -42,9 +49,11 @@ func main() {
 	svgDir := flag.String("svg", "", "directory to write Sankey SVGs into")
 	noValidate := flag.Bool("novalidate", false, "skip the pre-run workflow DAG validation")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "experiments to run concurrently")
+	faultSpec := flag.String("faults", "", "fault schedule for the faults sweep, e.g. "+experiments.DefaultFaultSpec)
+	seeds := flag.Int("seeds", 3, "seeds per fault sweep (consecutive from the spec's seed)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] <fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|all> ...")
+		fmt.Fprintln(os.Stderr, "usage: dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] [-faults SPEC] [-seeds N] <fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|faults|all> ...")
 		os.Exit(2)
 	}
 	var scale experiments.Scale
@@ -58,7 +67,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := runValidated(flag.Args(), scale, *svgDir, *noValidate, *jobs); err != nil {
+	if err := runValidated(flag.Args(), scale, *svgDir, *noValidate, *jobs, *faultSpec, *seeds); err != nil {
 		fmt.Fprintf(os.Stderr, "dflrun: %v\n", err)
 		os.Exit(1)
 	}
@@ -66,18 +75,18 @@ func main() {
 
 // runValidated gates run behind the mandatory pre-run DAG validation unless
 // -novalidate was passed.
-func runValidated(cmds []string, scale experiments.Scale, svgDir string, noValidate bool, jobs int) error {
+func runValidated(cmds []string, scale experiments.Scale, svgDir string, noValidate bool, jobs int, faultSpec string, seeds int) error {
 	if !noValidate {
 		if err := preflight(); err != nil {
 			return err
 		}
 	}
-	return run(cmds, scale, svgDir, jobs)
+	return run(os.Stdout, cmds, scale, svgDir, jobs, faultSpec, seeds)
 }
 
 // run executes the selected experiments, jobs at a time, writing their
-// reports to stdout in the order they were requested.
-func run(cmds []string, scale experiments.Scale, svgDir string, jobs int) error {
+// reports to out in the order they were requested.
+func run(out io.Writer, cmds []string, scale experiments.Scale, svgDir string, jobs int, faultSpec string, seeds int) error {
 	var names []string
 	for _, cmd := range cmds {
 		if cmd == "all" {
@@ -92,6 +101,9 @@ func run(cmds []string, scale experiments.Scale, svgDir string, jobs int) error 
 		switch name {
 		case "fig2", "fig4", "table1":
 			needFig2 = true
+		case "faults":
+			// Not part of `all`: fault sweeps are opt-in so the default
+			// output stays byte-identical to a fault-free build.
 		default:
 			if !isExperiment(name) {
 				return fmt.Errorf("unknown subcommand %q", name)
@@ -111,14 +123,14 @@ func run(cmds []string, scale experiments.Scale, svgDir string, jobs int) error 
 	for i, name := range names {
 		name := name
 		jobList[i] = experiments.Job{Name: name, Run: func(w io.Writer) error {
-			return runOne(w, name, scale, svgDir, dfls)
+			return runOne(w, name, scale, svgDir, dfls, faultSpec, seeds)
 		}}
 	}
 	errw := io.Writer(nil)
 	if jobs > 1 && len(jobList) > 1 {
 		errw = os.Stderr
 	}
-	return experiments.RunJobs(os.Stdout, errw, jobList, jobs)
+	return experiments.RunJobs(out, errw, jobList, jobs)
 }
 
 func isExperiment(name string) bool {
@@ -131,8 +143,29 @@ func isExperiment(name string) bool {
 }
 
 // runOne executes a single experiment, writing its report to w.
-func runOne(w io.Writer, name string, scale experiments.Scale, svgDir string, dfls []experiments.WorkflowDFL) error {
+func runOne(w io.Writer, name string, scale experiments.Scale, svgDir string, dfls []experiments.WorkflowDFL, faultSpec string, seeds int) error {
 	switch name {
+	case "faults":
+		spec := faultSpec
+		if spec == "" {
+			spec = experiments.DefaultFaultSpec
+		}
+		sched, err := faults.ParseSpec(spec)
+		if err != nil {
+			return err
+		}
+		if seeds < 1 {
+			seeds = 1
+		}
+		list := make([]uint64, seeds)
+		for i := range list {
+			list[i] = sched.Seed + uint64(i)
+		}
+		rows, err := experiments.FaultSweep(scale, sched, list)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.FaultSweepReport(sched, rows))
 	case "fig2":
 		fmt.Fprintln(w, experiments.Fig2Report(dfls, true))
 		if svgDir != "" {

@@ -25,7 +25,10 @@ func main() {
 		log.Fatal(err)
 	}
 	clock := &iotrace.ManualClock{}
-	col := iotrace.NewCollector(blockstats.DefaultConfig())
+	col, err := iotrace.NewCollector(blockstats.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// --- Producer: writes a 4 MB file in 64 KB chunks. -------------------
 	col.TaskStarted("producer", clock.Now())

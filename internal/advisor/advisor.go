@@ -24,6 +24,7 @@ import (
 
 	"datalife/internal/cpa"
 	"datalife/internal/dfl"
+	"datalife/internal/faults"
 	"datalife/internal/patterns"
 )
 
@@ -79,6 +80,14 @@ type FilePlacement struct {
 	Volume uint64
 	// Why cites the triggering observation.
 	Why string
+	// RerunRisk is the probability the hosting node crashes during the
+	// file's DFL lifetime, for volatile (non-shared) placements under
+	// Config.CrashesPerHour; 0 when no crash rate is configured or the
+	// placement is shared.
+	RerunRisk float64
+	// RerunCost is the expected virtual seconds of recovery work
+	// (producer re-runs weighted by RerunRisk) the placement risks.
+	RerunCost float64
 }
 
 // Plan is the advisor's full output.
@@ -101,6 +110,12 @@ type Config struct {
 	// LocalityWeight biases thread extraction toward flow volume (1.0) vs
 	// task time (0.0); default 0.7.
 	LocalityWeight float64
+	// CrashesPerHour, when positive, prices volatile-tier placements: each
+	// node-local or staged-copy recommendation is annotated with the
+	// probability of losing the data to a node crash during its DFL
+	// lifetime and the expected re-run cost of recovering it. Zero (the
+	// default) disables the annotation.
+	CrashesPerHour float64
 }
 
 func (c Config) withDefaults() Config {
@@ -328,6 +343,18 @@ func placeFiles(g *dfl.Graph, cfg Config, threads []Thread, threadOf map[dfl.ID]
 			fp.Class = SharedFS
 			fp.Why = fmt.Sprintf("crosses %d node(s); keep on shared storage", len(nodes))
 		}
+		if cfg.CrashesPerHour > 0 && fp.Class != SharedFS {
+			// Volatile placement: price the crash exposure over the file's
+			// lifetime window. Losing the data forces either a re-stage or a
+			// producer re-run, so the expected cost is the producers'
+			// execution time weighted by the crash probability.
+			fp.RerunRisk = faults.CrashProbability(cfg.CrashesPerHour, v.Data.Lifetime)
+			var rerun float64
+			for _, t := range producers {
+				rerun += g.Vertex(t).Task.Lifetime
+			}
+			fp.RerunCost = fp.RerunRisk * rerun
+		}
 		out = append(out, fp)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Volume > out[j].Volume })
@@ -353,6 +380,10 @@ func (p *Plan) Report(limit int) string {
 	}
 	for _, fp := range p.Placements[:n] {
 		fmt.Fprintf(&b, "  %-40s %-12s %s\n", fp.File.Name, fp.Class, fp.Why)
+		if fp.RerunRisk > 0 {
+			fmt.Fprintf(&b, "  %-40s %-12s volatile: %.2f%% crash exposure over lifetime, expected re-run cost %.3gs\n",
+				"", "", 100*fp.RerunRisk, fp.RerunCost)
+		}
 	}
 	if len(p.Opportunities) > 0 {
 		b.WriteString(patterns.Report("supporting opportunities:", p.Opportunities, 5))

@@ -194,3 +194,49 @@ func TestApplyValidation(t *testing.T) {
 		t.Fatal("empty node list accepted")
 	}
 }
+
+func TestAdviseCrashRateAnnotatesVolatilePlacements(t *testing.T) {
+	g := twoThreadGraph(t)
+	// Give the intermediates a residency window so the exposure is nonzero.
+	for _, chain := range []string{"a", "b"} {
+		g.Vertex(dfl.DataID("mid-" + chain)).Data.Lifetime = 1800
+	}
+	plan, err := Advise(g, Config{Nodes: 2, CrashesPerHour: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFile := make(map[string]FilePlacement)
+	for _, fp := range plan.Placements {
+		byFile[fp.File.Name] = fp
+	}
+	for _, chain := range []string{"a", "b"} {
+		fp := byFile["mid-"+chain]
+		if fp.Class != NodeLocal {
+			t.Fatalf("mid-%s = %v, want node-local", chain, fp.Class)
+		}
+		if fp.RerunRisk <= 0 || fp.RerunRisk >= 1 {
+			t.Fatalf("mid-%s rerun risk = %v, want in (0,1)", chain, fp.RerunRisk)
+		}
+		// Expected cost = risk x producer lifetime (10s).
+		if want := fp.RerunRisk * 10; fp.RerunCost < want-1e-9 || fp.RerunCost > want+1e-9 {
+			t.Fatalf("mid-%s rerun cost = %v, want %v", chain, fp.RerunCost, want)
+		}
+	}
+	if !strings.Contains(plan.Report(10), "crash exposure") {
+		t.Fatalf("report missing volatile annotation:\n%s", plan.Report(10))
+	}
+
+	// Without a crash rate, the annotation must vanish entirely.
+	plain, err := Advise(twoThreadGraph(t), Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range plain.Placements {
+		if fp.RerunRisk != 0 || fp.RerunCost != 0 {
+			t.Fatalf("rerun fields set without a crash rate: %+v", fp)
+		}
+	}
+	if strings.Contains(plain.Report(10), "crash exposure") {
+		t.Fatal("annotation printed without a crash rate")
+	}
+}

@@ -154,7 +154,7 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 
 // All returns the registered DataLife analyzers in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{IOTraceOnly, SimClock, LockHeld, CloseCheck}
+	return []*Analyzer{IOTraceOnly, SimClock, LockHeld, CloseCheck, NoPanic}
 }
 
 // ByName returns the analyzer with the given name, or nil.

@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPanic forbids the builtin panic on the simulator's run path. Engine
+// failures must surface as typed *sim.TaskError values propagated out of
+// Engine.Run — a panic aborts the whole process, skips the recovery
+// policies, and (under fault injection) turns a modeled failure into a real
+// one. Recovering from an injected failure is the feature under test, so
+// the run path may never reintroduce panics.
+var NoPanic = &Analyzer{
+	Name:  "nopanic",
+	Doc:   "the simulator run path must return typed errors, not panic",
+	Match: dirMatcher("internal/sim"),
+	Run:   runNoPanic,
+}
+
+func runNoPanic(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			// Only the predeclared builtin counts; a local function or
+			// method named panic (however ill-advised) is not one.
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic on the simulator run path; return a typed *sim.TaskError instead")
+			return true
+		})
+	}
+}

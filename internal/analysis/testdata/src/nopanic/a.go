@@ -1,0 +1,34 @@
+// Package nopanic seeds violations for the nopanic analyzer: builtin panics
+// standing in for simulator run-path code.
+package nopanic
+
+import "errors"
+
+func dispatch(bad bool) error {
+	if bad {
+		panic("unknown op kind") // want "panic on the simulator run path"
+	}
+	return nil
+}
+
+func wrap(err error) error {
+	if err != nil {
+		panic(err) // want "panic on the simulator run path"
+	}
+	return nil
+}
+
+func suppressed() {
+	panic("unreachable: guarded by Validate") //dflvet:ignore — invariant, not a run-path failure
+}
+
+type failer struct{}
+
+// panic here is a method, not the builtin; the analyzer must not flag calls
+// to it.
+func (failer) panic(msg string) error { return errors.New(msg) }
+
+func allowed() error {
+	var f failer
+	return f.panic("typed error instead")
+}

@@ -77,6 +77,7 @@ func TestIOTraceOnlyGolden(t *testing.T) { runGolden(t, IOTraceOnly, "iotraceonl
 func TestSimClockGolden(t *testing.T)    { runGolden(t, SimClock, "simclock") }
 func TestLockHeldGolden(t *testing.T)    { runGolden(t, LockHeld, "lockheld") }
 func TestCloseCheckGolden(t *testing.T)  { runGolden(t, CloseCheck, "closecheck") }
+func TestNoPanicGolden(t *testing.T)     { runGolden(t, NoPanic, "nopanic") }
 
 func TestAnalyzerScopes(t *testing.T) {
 	cases := []struct {
@@ -93,6 +94,9 @@ func TestAnalyzerScopes(t *testing.T) {
 		{SimClock, "internal/sim", true},
 		{SimClock, "internal/emulator", true},
 		{SimClock, "internal/workflows", false},
+		{NoPanic, "internal/sim", true},
+		{NoPanic, "internal/iotrace", false}, // MustCollector's constructor panic is idiomatic
+		{NoPanic, "internal/vfs", false},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.Match(c.rel); got != c.want {

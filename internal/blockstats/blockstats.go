@@ -158,9 +158,17 @@ type FlowStat struct {
 // NewFlowStat creates the histogram for one task-file pair. fileSize may be 0
 // when unknown (e.g. a file about to be produced by writes).
 func NewFlowStat(task, file string, fileSize int64, cfg Config) (*FlowStat, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	return FlowStatFor(task, file, fileSize, cfg), nil
+}
+
+// FlowStatFor is the infallible core of NewFlowStat for configurations
+// already checked with Config.Validate — callers that validate once at
+// construction (e.g. a collector) create flows on the record path without a
+// second error check.
+func FlowStatFor(task, file string, fileSize int64, cfg Config) *FlowStat {
 	fs := &FlowStat{
 		Task:     task,
 		File:     file,
@@ -171,7 +179,7 @@ func NewFlowStat(task, file string, fileSize int64, cfg Config) (*FlowStat, erro
 	fs.blockSize = cfg.initialBlockSize(fileSize)
 	fs.capBytes = fs.blockSize * int64(cfg.BlocksPerFile)
 	fs.sampleAll = cfg.SampleP == 0 || cfg.SampleT >= cfg.SampleP
-	return fs, nil
+	return fs
 }
 
 // sampledBlock reports whether block b of this file is tracked, using the

@@ -176,7 +176,7 @@ func TestBuildFromCollector(t *testing.T) {
 		t.Fatal(err)
 	}
 	clk := &iotrace.ManualClock{}
-	col := iotrace.NewCollector(blockstats.DefaultConfig())
+	col := iotrace.MustCollector(blockstats.DefaultConfig())
 
 	// producer writes 400B; consumer reads it twice (reuse).
 	col.TaskStarted("producer", clk.Now())
@@ -368,7 +368,7 @@ func TestQuickBuildAlwaysDAG(t *testing.T) {
 	// precondition for DFL-DAG acyclicity — the built graph is an acyclic
 	// DAG with correctly-directed edges.
 	f := func(ops []uint8) bool {
-		col := iotrace.NewCollector(blockstats.DefaultConfig())
+		col := iotrace.MustCollector(blockstats.DefaultConfig())
 		for i, op := range ops {
 			ti := i % 5
 			fj := int(op) % 7
@@ -491,7 +491,7 @@ func TestBuildSavedMatchesBuild(t *testing.T) {
 		t.Fatal(err)
 	}
 	clk := &iotrace.ManualClock{}
-	col := iotrace.NewCollector(blockstats.DefaultConfig())
+	col := iotrace.MustCollector(blockstats.DefaultConfig())
 	col.TaskStarted("p", 0)
 	tr := iotrace.NewTracer("p", fs, clk, iotrace.TierCost{}, col, "nfs")
 	h, _ := tr.Open("f", iotrace.WRONLY|iotrace.CREATE)
@@ -525,7 +525,7 @@ func TestBuildSavedMatchesBuild(t *testing.T) {
 }
 
 func TestBuildParallelMatchesBuild(t *testing.T) {
-	col := iotrace.NewCollector(blockstats.DefaultConfig())
+	col := iotrace.MustCollector(blockstats.DefaultConfig())
 	for i := 0; i < 200; i++ {
 		task := "t" + string(rune('0'+i%10))
 		file := "f" + string(rune('0'+i%7))

@@ -209,10 +209,15 @@ func Fig2f(s Scale) ([]patterns.Entity, error) {
 // caterpillar, and the detected opportunities.
 func Fig3() (*dfl.Graph, cpa.Path, *cpa.Caterpillar, []patterns.Opportunity, error) {
 	g := dfl.New()
-	mustEdge := func(src, dst dfl.ID, kind dfl.EdgeKind, vol uint64) {
+	var edgeErr error
+	addEdge := func(src, dst dfl.ID, kind dfl.EdgeKind, vol uint64) {
+		if edgeErr != nil {
+			return
+		}
 		if _, err := g.AddEdge(src, dst, kind, dfl.FlowProps{
 			Volume: vol, Footprint: vol, Latency: float64(vol) / 1e6}); err != nil {
-			panic(err)
+			edgeErr = fmt.Errorf("experiments: building Fig3 graph edge %s->%s: %w", src, dst, err)
+			return
 		}
 		// Produced data takes the written volume as its size so detectors
 		// that compare footprints against file sizes work on this synthetic
@@ -227,28 +232,31 @@ func Fig3() (*dfl.Graph, cpa.Path, *cpa.Caterpillar, []patterns.Opportunity, err
 	d := func(i int) dfl.ID { return dfl.DataID(fmt.Sprintf("d%d", i)) }
 
 	// Main spine: t1 -> d1 -> t2 -> d2 -> t3 -> d3 -> t4 -> d4 -> t5.
-	mustEdge(t(1), d(1), dfl.Producer, 100)
-	mustEdge(d(1), t(2), dfl.Consumer, 100)
-	mustEdge(t(2), d(2), dfl.Producer, 90)
-	mustEdge(d(2), t(3), dfl.Consumer, 90)
-	mustEdge(t(3), d(3), dfl.Producer, 80)
-	mustEdge(d(3), t(4), dfl.Consumer, 80)
-	mustEdge(t(4), d(4), dfl.Producer, 70)
-	mustEdge(d(4), t(5), dfl.Consumer, 70)
+	addEdge(t(1), d(1), dfl.Producer, 100)
+	addEdge(d(1), t(2), dfl.Consumer, 100)
+	addEdge(t(2), d(2), dfl.Producer, 90)
+	addEdge(d(2), t(3), dfl.Consumer, 90)
+	addEdge(t(3), d(3), dfl.Producer, 80)
+	addEdge(d(3), t(4), dfl.Consumer, 80)
+	addEdge(t(4), d(4), dfl.Producer, 70)
+	addEdge(d(4), t(5), dfl.Consumer, 70)
 	// Aggregator fan-in onto t3: three parallel producers (Fig. 3c shape).
 	for i := 6; i <= 8; i++ {
-		mustEdge(t(i), d(i), dfl.Producer, 20)
-		mustEdge(d(i), t(3), dfl.Consumer, 20)
+		addEdge(t(i), d(i), dfl.Producer, 20)
+		addEdge(d(i), t(3), dfl.Consumer, 20)
 	}
 	// Distance-2 producers of data legs (the DFL caterpillar extension):
 	// d9 produced by t7... use fresh ids to match the text: d9 -> t4 leg
 	// with producer t9.
-	mustEdge(t(9), d(9), dfl.Producer, 15)
-	mustEdge(d(9), t(4), dfl.Consumer, 15)
+	addEdge(t(9), d(9), dfl.Producer, 15)
+	addEdge(d(9), t(4), dfl.Consumer, 15)
 	// Splitter from t5 (Fig. 3e shape).
-	mustEdge(t(5), d(10), dfl.Producer, 30)
-	mustEdge(t(5), d(11), dfl.Producer, 30)
-	mustEdge(d(10), t(10), dfl.Consumer, 30)
+	addEdge(t(5), d(10), dfl.Producer, 30)
+	addEdge(t(5), d(11), dfl.Producer, 30)
+	addEdge(d(10), t(10), dfl.Consumer, 30)
+	if edgeErr != nil {
+		return nil, cpa.Path{}, nil, nil, edgeErr
+	}
 
 	p, err := cpa.CriticalPath(g, cpa.ByVolume, nil)
 	if err != nil {

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"datalife/internal/faults"
+	"datalife/internal/sim"
+	"datalife/internal/vfs"
+)
+
+// The fault sweep runs two purpose-built workflows whose crash recovery
+// exercises the two DFL-driven paths: "restage" loses a staged copy whose
+// producing flow came off a shared tier (recovered by re-staging), and
+// "rerun" loses an intermediate written straight to node-local shm
+// (recovered by re-running the producer).
+
+// faultDemo builds one sweep workflow on a fresh filesystem and cluster.
+type faultDemo struct {
+	Name  string
+	Build func(s Scale) (*vfs.FS, *sim.Cluster, *sim.Workload, error)
+}
+
+func demoCompute(s Scale) float64 {
+	if s == Small {
+		return 100
+	}
+	return 600
+}
+
+func demoCluster() (*vfs.FS, *sim.Cluster, error) {
+	fs := vfs.New()
+	c, err := sim.BuildCluster(fs, sim.ClusterSpec{
+		Name: "faultdemo", Nodes: 2, Cores: 2, DefaultTier: "nfs",
+		Shared:     []*vfs.Tier{vfs.NewNFS("nfs")},
+		LocalKinds: []sim.LocalTierSpec{{Kind: "shm"}},
+	})
+	return fs, c, err
+}
+
+// FaultDemos lists the sweep's workflows.
+func FaultDemos() []faultDemo {
+	const mb = 1 << 20
+	return []faultDemo{
+		{Name: "restage", Build: func(s Scale) (*vfs.FS, *sim.Cluster, *sim.Workload, error) {
+			fs, c, err := demoCluster()
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if _, err := fs.CreateSized("input", "nfs", 64*mb); err != nil {
+				return nil, nil, nil, err
+			}
+			w := &sim.Workload{Tasks: []*sim.Task{{
+				Name: "analyze",
+				Script: []sim.Op{
+					sim.Stage("input", "local:shm"),
+					sim.Compute(demoCompute(s)),
+					sim.Read("input", 64*mb, mb),
+					sim.Write("result", 16*mb, mb),
+				},
+			}}}
+			return fs, c, w, nil
+		}},
+		{Name: "rerun", Build: func(s Scale) (*vfs.FS, *sim.Cluster, *sim.Workload, error) {
+			fs, c, err := demoCluster()
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			w := &sim.Workload{Tasks: []*sim.Task{
+				{
+					Name:       "produce",
+					CreateTier: "local:shm",
+					Script:     []sim.Op{sim.Write("mid", 64*mb, mb)},
+				},
+				{
+					Name: "consume",
+					Deps: []string{"produce"},
+					Script: []sim.Op{
+						sim.Compute(demoCompute(s)),
+						sim.Read("mid", 64*mb, mb),
+						sim.Write("final", 16*mb, mb),
+					},
+				},
+			}}
+			return fs, c, w, nil
+		}},
+	}
+}
+
+// DefaultFaultSpec is the sweep's schedule when dflrun is given none: one
+// node crash mid-compute plus a low transient-error rate on the shared tier.
+const DefaultFaultSpec = "seed=1;crash=node0@40;ioerr=nfs:0.02"
+
+// FaultSweepRow is one (workflow, seed) cell of a failure sweep.
+type FaultSweepRow struct {
+	Workflow        string
+	Seed            uint64
+	Baseline        float64 // fault-free makespan
+	Makespan        float64
+	Attempts        int // total attempts across tasks (== tasks when clean)
+	Failures        int
+	NodeCrashes     int
+	LostFiles       int
+	Restagings      int
+	ProducerReruns  int
+	RecoverySeconds float64
+	// Err records a run that exhausted recovery (the typed error string);
+	// the sweep reports it instead of aborting.
+	Err string
+}
+
+// FaultSweep runs the demo workflows under the schedule once per seed,
+// alongside a fault-free baseline. Same schedule and seeds ⇒ bit-identical
+// rows.
+func FaultSweep(s Scale, sched *faults.Schedule, seeds []uint64) ([]FaultSweepRow, error) {
+	if len(seeds) == 0 {
+		seeds = []uint64{sched.Seed}
+	}
+	var rows []FaultSweepRow
+	for _, demo := range FaultDemos() {
+		fs, c, w, err := demo.Build(s)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fault sweep %s: %w", demo.Name, err)
+		}
+		base, err := (&sim.Engine{FS: fs, Cluster: c}).Run(w)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fault sweep %s baseline: %w", demo.Name, err)
+		}
+		for _, seed := range seeds {
+			fs, c, w, err := demo.Build(s)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fault sweep %s: %w", demo.Name, err)
+			}
+			eng := &sim.Engine{FS: fs, Cluster: c, Faults: sched.WithSeed(seed)}
+			row := FaultSweepRow{Workflow: demo.Name, Seed: seed, Baseline: base.Makespan}
+			res, err := eng.Run(w)
+			if err != nil {
+				row.Err = err.Error()
+			} else {
+				row.Makespan = res.Makespan
+				for _, a := range res.Attempts {
+					row.Attempts += a
+				}
+				row.Failures = len(res.Failures)
+				row.NodeCrashes = res.NodeCrashes
+				row.LostFiles = res.LostFiles
+				row.Restagings = res.Restagings
+				row.ProducerReruns = res.ProducerReruns
+				row.RecoverySeconds = res.RecoverySeconds
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FaultSweepReport renders a sweep as the table dflrun prints.
+func FaultSweepReport(sched *faults.Schedule, rows []FaultSweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault sweep: %s\n", sched.String())
+	fmt.Fprintf(&b, "%-10s %6s %10s %10s %9s %9s %8s %5s %8s %6s %12s\n",
+		"workflow", "seed", "baseline", "makespan", "attempts", "failures",
+		"crashes", "lost", "restage", "rerun", "recovery(s)")
+	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(&b, "%-10s %6d %10.2f %10s  unrecovered: %s\n",
+				r.Workflow, r.Seed, r.Baseline, "-", r.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %6d %10.2f %10.2f %9d %9d %8d %5d %8d %6d %12.2f\n",
+			r.Workflow, r.Seed, r.Baseline, r.Makespan, r.Attempts, r.Failures,
+			r.NodeCrashes, r.LostFiles, r.Restagings, r.ProducerReruns, r.RecoverySeconds)
+	}
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"datalife/internal/faults"
+)
+
+// TestFaultSweepSmoke is the CI fault-sweep gate: a fixed spec and seed must
+// recover both demo workflows through their designated paths with exactly
+// the expected attempt counts, and running the sweep twice must produce
+// identical rows.
+func TestFaultSweepSmoke(t *testing.T) {
+	sched, err := faults.ParseSpec(DefaultFaultSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := FaultSweep(Small, sched, []uint64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	byName := map[string]FaultSweepRow{}
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Fatalf("%s did not recover: %s", r.Workflow, r.Err)
+		}
+		if r.NodeCrashes != 1 {
+			t.Fatalf("%s crashes = %d, want 1", r.Workflow, r.NodeCrashes)
+		}
+		if r.Makespan <= r.Baseline {
+			t.Fatalf("%s makespan %v not above baseline %v despite a crash",
+				r.Workflow, r.Makespan, r.Baseline)
+		}
+		byName[r.Workflow] = r
+	}
+	// restage: single task, restarted once => 2 attempts, recovery by
+	// re-staging only.
+	if r := byName["restage"]; r.Attempts != 2 || r.Restagings != 1 || r.ProducerReruns != 0 {
+		t.Fatalf("restage row = %+v, want attempts=2 restage=1 rerun=0", byName["restage"])
+	}
+	// rerun: producer resurrected + consumer restarted => 4 attempts,
+	// recovery by producer re-run only.
+	if r := byName["rerun"]; r.Attempts != 4 || r.ProducerReruns != 1 || r.Restagings != 0 {
+		t.Fatalf("rerun row = %+v, want attempts=4 rerun=1 restage=0", byName["rerun"])
+	}
+
+	again, err := FaultSweep(Small, sched, []uint64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, again) {
+		t.Fatalf("same seed, different sweep:\n%+v\n---\n%+v", rows, again)
+	}
+}

@@ -1,0 +1,413 @@
+// Package faults defines deterministic, seeded fault schedules for the
+// discrete-event simulator. The paper's coordination strategies (Table 1)
+// deliberately move data onto volatile node-local tiers because DFL analysis
+// shows short lifetimes; this package supplies the failure model that makes
+// that trade-off measurable: virtual-time node crashes, transient per-tier
+// I/O error rates, tier bandwidth degradation windows, and WAN link outages.
+//
+// Every decision is a pure function of the schedule's seed and the failure
+// coordinates (task name, op index, attempt, tier), never of host entropy or
+// event interleaving, so the same seed replays bit-identically. A nil or
+// empty schedule injects nothing; the engine's fault-free path is untouched.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// NodeCrash fails a node at a fixed virtual time: every task running on the
+// node fails, and all data on its node-local tiers is lost. The node stays
+// down for the rest of the run.
+type NodeCrash struct {
+	// Node is the node name (e.g. "node0").
+	Node string
+	// Time is the crash instant in virtual seconds.
+	Time float64
+}
+
+// Slowdown degrades a tier's bandwidth during [Start, End): both read and
+// write bandwidth are multiplied by Factor.
+type Slowdown struct {
+	Tier       string
+	Start, End float64
+	// Factor is the bandwidth multiplier in (0, 1].
+	Factor float64
+}
+
+// Outage makes a tier completely unavailable during [Start, End): in-flight
+// flows stall and resume when the window closes (a WAN link loss, not data
+// loss).
+type Outage struct {
+	Tier       string
+	Start, End float64
+}
+
+// Schedule is one run's deterministic fault plan. The zero value injects
+// nothing.
+type Schedule struct {
+	// Seed keys every pseudo-random decision (transient error draws).
+	Seed uint64
+	// Crashes lists node crashes in virtual time.
+	Crashes []NodeCrash
+	// IOErrorRates maps tier name to the probability in [0, 1] that any
+	// single I/O operation on that tier fails with a transient error.
+	IOErrorRates map[string]float64
+	// Slowdowns are bandwidth-degradation windows.
+	Slowdowns []Slowdown
+	// Outages are total-unavailability windows.
+	Outages []Outage
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s *Schedule) Empty() bool {
+	return s == nil || (len(s.Crashes) == 0 && len(s.IOErrorRates) == 0 &&
+		len(s.Slowdowns) == 0 && len(s.Outages) == 0)
+}
+
+// Validate checks window sanity: non-negative times, Start < End, and
+// slowdown factors in (0, 1].
+func (s *Schedule) Validate() error {
+	if s == nil {
+		return nil
+	}
+	for _, c := range s.Crashes {
+		if c.Node == "" {
+			return fmt.Errorf("faults: crash with empty node")
+		}
+		if c.Time < 0 || math.IsNaN(c.Time) {
+			return fmt.Errorf("faults: crash of %s at invalid time %v", c.Node, c.Time)
+		}
+	}
+	for tier, rate := range s.IOErrorRates {
+		if rate < 0 || rate > 1 || math.IsNaN(rate) {
+			return fmt.Errorf("faults: I/O error rate for tier %s out of [0,1]: %v", tier, rate)
+		}
+	}
+	for _, d := range s.Slowdowns {
+		if d.Start < 0 || d.End <= d.Start {
+			return fmt.Errorf("faults: slowdown on %s has invalid window [%v,%v)", d.Tier, d.Start, d.End)
+		}
+		if d.Factor <= 0 || d.Factor > 1 {
+			return fmt.Errorf("faults: slowdown on %s has factor %v outside (0,1]", d.Tier, d.Factor)
+		}
+	}
+	for _, o := range s.Outages {
+		if o.Start < 0 || o.End <= o.Start {
+			return fmt.Errorf("faults: outage on %s has invalid window [%v,%v)", o.Tier, o.Start, o.End)
+		}
+	}
+	return nil
+}
+
+// WithSeed returns a shallow copy of the schedule under a different seed —
+// the unit of a failure sweep.
+func (s *Schedule) WithSeed(seed uint64) *Schedule {
+	if s == nil {
+		return &Schedule{Seed: seed}
+	}
+	c := *s
+	c.Seed = seed
+	return &c
+}
+
+// ShouldFailIO draws the deterministic transient-error decision for one I/O
+// operation: task tk's op at script index opIdx, attempt number attempt
+// (1-based), against tier. Retries re-draw, so a transient error clears with
+// high probability on the next attempt.
+func (s *Schedule) ShouldFailIO(tier, task string, opIdx, attempt int) bool {
+	if s == nil || len(s.IOErrorRates) == 0 {
+		return false
+	}
+	rate, ok := s.IOErrorRates[tier]
+	if !ok || rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	h := s.Seed ^ 0x9e3779b97f4a7c15
+	h = mix(h ^ hashString(task))
+	h = mix(h ^ hashString(tier))
+	h = mix(h ^ uint64(opIdx)<<32 ^ uint64(uint32(attempt)))
+	return unit(h) < rate
+}
+
+// BandwidthFactor returns the product of all slowdown factors active on the
+// tier at virtual time t (1 when none are).
+func (s *Schedule) BandwidthFactor(tier string, t float64) float64 {
+	if s == nil {
+		return 1
+	}
+	f := 1.0
+	for _, d := range s.Slowdowns {
+		if d.Tier == tier && t >= d.Start && t < d.End {
+			f *= d.Factor
+		}
+	}
+	return f
+}
+
+// Available reports whether the tier is reachable at virtual time t (false
+// inside an outage window).
+func (s *Schedule) Available(tier string, t float64) bool {
+	if s == nil {
+		return true
+	}
+	for _, o := range s.Outages {
+		if o.Tier == tier && t >= o.Start && t < o.End {
+			return false
+		}
+	}
+	return true
+}
+
+// TierBoundaries returns, per tier, the sorted virtual times at which the
+// tier's bandwidth factor or availability changes. The engine schedules a
+// re-share event at each boundary so paused or degraded flows are
+// recomputed exactly when windows open and close.
+func (s *Schedule) TierBoundaries() map[string][]float64 {
+	if s == nil {
+		return nil
+	}
+	set := make(map[string]map[float64]struct{})
+	add := func(tier string, t float64) {
+		if set[tier] == nil {
+			set[tier] = make(map[float64]struct{})
+		}
+		set[tier][t] = struct{}{}
+	}
+	for _, d := range s.Slowdowns {
+		add(d.Tier, d.Start)
+		add(d.Tier, d.End)
+	}
+	for _, o := range s.Outages {
+		add(o.Tier, o.Start)
+		add(o.Tier, o.End)
+	}
+	out := make(map[string][]float64, len(set))
+	for tier, ts := range set {
+		times := make([]float64, 0, len(ts))
+		for t := range ts {
+			times = append(times, t)
+		}
+		sort.Float64s(times)
+		out[tier] = times
+	}
+	return out
+}
+
+// RetryPolicy caps per-task recovery: how many attempts a task gets and how
+// the virtual-time backoff between them grows.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempts per task including the first
+	// (default 4).
+	MaxAttempts int
+	// Backoff is the delay before the second attempt in virtual seconds
+	// (default 1); it doubles per subsequent attempt.
+	Backoff float64
+	// MaxBackoff caps the delay (default 60).
+	MaxBackoff float64
+}
+
+// DefaultRetryPolicy is the engine's policy when faults are active and no
+// override is set.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, Backoff: 1, MaxBackoff: 60}
+}
+
+// WithDefaults fills zero fields from DefaultRetryPolicy.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = d.Backoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = d.MaxBackoff
+	}
+	return p
+}
+
+// Delay returns the capped exponential backoff before the given attempt
+// (attempt 2 waits Backoff, attempt 3 waits 2*Backoff, ...).
+func (p RetryPolicy) Delay(attempt int) float64 {
+	if attempt <= 1 {
+		return 0
+	}
+	d := p.Backoff * math.Pow(2, float64(attempt-2))
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// ParseSpec parses the compact fault-spec syntax used by dflrun -faults:
+//
+//	seed=42;crash=node0@30;ioerr=nfs:0.05;slow=nfs@100-200x0.5;outage=wan@50-80
+//
+// Clauses are ';'-separated and may repeat (crash, slow, outage). Times are
+// virtual seconds.
+func ParseSpec(spec string) (*Schedule, error) {
+	s := &Schedule{}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: clause %q is not key=value", clause)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q: %v", val, err)
+			}
+			s.Seed = n
+		case "crash":
+			node, at, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("faults: crash %q is not node@time", val)
+			}
+			t, err := strconv.ParseFloat(at, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad crash time %q: %v", at, err)
+			}
+			s.Crashes = append(s.Crashes, NodeCrash{Node: node, Time: t})
+		case "ioerr":
+			tier, rs, ok := strings.Cut(val, ":")
+			if !ok {
+				return nil, fmt.Errorf("faults: ioerr %q is not tier:rate", val)
+			}
+			rate, err := strconv.ParseFloat(rs, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad ioerr rate %q: %v", rs, err)
+			}
+			if s.IOErrorRates == nil {
+				s.IOErrorRates = make(map[string]float64)
+			}
+			s.IOErrorRates[tier] = rate
+		case "slow":
+			tier, win, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("faults: slow %q is not tier@start-endxfactor", val)
+			}
+			span, fs, ok := strings.Cut(win, "x")
+			if !ok {
+				return nil, fmt.Errorf("faults: slow %q missing xfactor", val)
+			}
+			start, end, err := parseWindow(span)
+			if err != nil {
+				return nil, fmt.Errorf("faults: slow %q: %v", val, err)
+			}
+			f, err := strconv.ParseFloat(fs, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad slow factor %q: %v", fs, err)
+			}
+			s.Slowdowns = append(s.Slowdowns, Slowdown{Tier: tier, Start: start, End: end, Factor: f})
+		case "outage":
+			tier, span, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("faults: outage %q is not tier@start-end", val)
+			}
+			start, end, err := parseWindow(span)
+			if err != nil {
+				return nil, fmt.Errorf("faults: outage %q: %v", val, err)
+			}
+			s.Outages = append(s.Outages, Outage{Tier: tier, Start: start, End: end})
+		default:
+			return nil, fmt.Errorf("faults: unknown clause %q", key)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseWindow parses "start-end" into two floats.
+func parseWindow(span string) (float64, float64, error) {
+	a, b, ok := strings.Cut(span, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("window %q is not start-end", span)
+	}
+	start, err := strconv.ParseFloat(a, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad window start %q: %v", a, err)
+	}
+	end, err := strconv.ParseFloat(b, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad window end %q: %v", b, err)
+	}
+	return start, end, nil
+}
+
+// String renders the schedule back in ParseSpec syntax (stable clause
+// order), for reports and logs.
+func (s *Schedule) String() string {
+	if s == nil {
+		return ""
+	}
+	var parts []string
+	parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+	for _, c := range s.Crashes {
+		parts = append(parts, fmt.Sprintf("crash=%s@%g", c.Node, c.Time))
+	}
+	tiers := make([]string, 0, len(s.IOErrorRates))
+	for t := range s.IOErrorRates {
+		tiers = append(tiers, t)
+	}
+	sort.Strings(tiers)
+	for _, t := range tiers {
+		parts = append(parts, fmt.Sprintf("ioerr=%s:%g", t, s.IOErrorRates[t]))
+	}
+	for _, d := range s.Slowdowns {
+		parts = append(parts, fmt.Sprintf("slow=%s@%g-%gx%g", d.Tier, d.Start, d.End, d.Factor))
+	}
+	for _, o := range s.Outages {
+		parts = append(parts, fmt.Sprintf("outage=%s@%g-%g", o.Tier, o.Start, o.End))
+	}
+	return strings.Join(parts, ";")
+}
+
+// CrashProbability returns 1-exp(-rate*window): the chance a node crashes at
+// least once during a residency window, given a per-node crash rate in
+// crashes per hour. The advisor uses it to price volatile-tier placement.
+func CrashProbability(crashesPerHour, windowSeconds float64) float64 {
+	if crashesPerHour <= 0 || windowSeconds <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-crashesPerHour*windowSeconds/3600)
+}
+
+// mix is the splitmix64 finalizer: a full-avalanche 64-bit mixer.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashString is FNV-1a over the string bytes.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// unit maps a mixed hash onto [0, 1).
+func unit(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}

@@ -1,0 +1,121 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestShouldFailIODeterministicAndRateBounded(t *testing.T) {
+	s := &Schedule{Seed: 7, IOErrorRates: map[string]float64{"nfs": 0.1}}
+	fails := 0
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		a := s.ShouldFailIO("nfs", "task", i, 1)
+		b := s.ShouldFailIO("nfs", "task", i, 1)
+		if a != b {
+			t.Fatalf("draw %d not deterministic", i)
+		}
+		if a {
+			fails++
+		}
+	}
+	got := float64(fails) / n
+	if math.Abs(got-0.1) > 0.01 {
+		t.Fatalf("empirical rate %v, want ~0.1", got)
+	}
+	if s.ShouldFailIO("ssd", "task", 0, 1) {
+		t.Fatal("tier without a configured rate must never fail")
+	}
+	if !s.WithSeed(7).ShouldFailIO("nfs", "task", 3, 1) == s.ShouldFailIO("nfs", "task", 3, 1) {
+		t.Fatal("same seed must reproduce the draw")
+	}
+	// Attempts re-draw: over many ops, retries must not be doomed to repeat
+	// the first attempt's outcome.
+	differs := false
+	for i := 0; i < 1000 && !differs; i++ {
+		differs = s.ShouldFailIO("nfs", "task", i, 1) != s.ShouldFailIO("nfs", "task", i, 2)
+	}
+	if !differs {
+		t.Fatal("attempt number does not influence the draw")
+	}
+}
+
+func TestWindowsAndBoundaries(t *testing.T) {
+	s := &Schedule{
+		Slowdowns: []Slowdown{{Tier: "nfs", Start: 10, End: 20, Factor: 0.5}, {Tier: "nfs", Start: 15, End: 30, Factor: 0.5}},
+		Outages:   []Outage{{Tier: "wan", Start: 5, End: 8}},
+	}
+	if f := s.BandwidthFactor("nfs", 17); f != 0.25 {
+		t.Fatalf("overlapping slowdowns compose: got %v, want 0.25", f)
+	}
+	if f := s.BandwidthFactor("nfs", 20); f != 0.5 {
+		t.Fatalf("end is exclusive: got %v, want 0.5", f)
+	}
+	if s.Available("wan", 6) || !s.Available("wan", 8) || !s.Available("nfs", 6) {
+		t.Fatal("outage window membership wrong")
+	}
+	b := s.TierBoundaries()
+	wantNFS := []float64{10, 15, 20, 30}
+	if len(b["nfs"]) != len(wantNFS) {
+		t.Fatalf("nfs boundaries = %v, want %v", b["nfs"], wantNFS)
+	}
+	for i, v := range wantNFS {
+		if b["nfs"][i] != v {
+			t.Fatalf("nfs boundaries = %v, want %v", b["nfs"], wantNFS)
+		}
+	}
+	if len(b["wan"]) != 2 {
+		t.Fatalf("wan boundaries = %v, want [5 8]", b["wan"])
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	spec := "seed=42;crash=node0@30;ioerr=nfs:0.05;slow=nfs@100-200x0.5;outage=wan@50-80"
+	s, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 42 || len(s.Crashes) != 1 || s.Crashes[0].Node != "node0" || s.Crashes[0].Time != 30 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if s.IOErrorRates["nfs"] != 0.05 || len(s.Slowdowns) != 1 || len(s.Outages) != 1 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if got := s.String(); got != spec {
+		t.Fatalf("round trip = %q, want %q", got, spec)
+	}
+	for _, bad := range []string{
+		"seed", "crash=node0", "ioerr=nfs", "slow=nfs@1-2", "outage=wan@9-3",
+		"slow=nfs@1-2x1.5", "ioerr=nfs:1.5", "bogus=1",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRetryPolicyDelay(t *testing.T) {
+	p := RetryPolicy{}.WithDefaults()
+	if p.MaxAttempts != 4 || p.Backoff != 1 || p.MaxBackoff != 60 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	cases := map[int]float64{1: 0, 2: 1, 3: 2, 4: 4, 10: 60}
+	for attempt, want := range cases {
+		if got := p.Delay(attempt); got != want {
+			t.Fatalf("Delay(%d) = %v, want %v", attempt, got, want)
+		}
+	}
+}
+
+func TestCrashProbability(t *testing.T) {
+	if p := CrashProbability(0, 100); p != 0 {
+		t.Fatalf("zero rate gives %v", p)
+	}
+	p1, p2 := CrashProbability(1, 600), CrashProbability(1, 1200)
+	if p1 <= 0 || p1 >= 1 || p2 <= p1 {
+		t.Fatalf("probabilities not monotone in window: %v, %v", p1, p2)
+	}
+	if math.Abs(CrashProbability(1, 3600)-(1-1/math.E)) > 1e-12 {
+		t.Fatal("one expected crash per window should give 1-1/e")
+	}
+}

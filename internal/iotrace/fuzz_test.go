@@ -20,7 +20,7 @@ func FuzzHandleOps(f *testing.F) {
 		if err := fs.AddTier(vfs.NewNFS("nfs")); err != nil {
 			t.Fatal(err)
 		}
-		col := NewCollector(blockstats.Config{BlocksPerFile: 8, WriteBlockSize: 64})
+		col := MustCollector(blockstats.Config{BlocksPerFile: 8, WriteBlockSize: 64})
 		tr := NewTracer("fuzz", fs, &ManualClock{}, TierCost{}, col, "nfs")
 		h, err := tr.Open("f", RDWR|CREATE)
 		if err != nil {
@@ -79,7 +79,7 @@ func FuzzStreamOps(f *testing.F) {
 		if err := fs.AddTier(vfs.NewNFS("nfs")); err != nil {
 			t.Fatal(err)
 		}
-		col := NewCollector(blockstats.DefaultConfig())
+		col := MustCollector(blockstats.DefaultConfig())
 		tr := NewTracer("fuzz", fs, &ManualClock{}, ZeroCost{}, col, "nfs")
 		s, err := tr.FOpen("f", "w+")
 		if err != nil {

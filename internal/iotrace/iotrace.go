@@ -183,11 +183,26 @@ type Collector struct {
 }
 
 // NewCollector creates a collector with the given histogram configuration.
-func NewCollector(cfg blockstats.Config) *Collector {
+// The configuration is validated once here so the record path stays
+// infallible.
+func NewCollector(cfg blockstats.Config) (*Collector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("iotrace: invalid histogram config: %w", err)
+	}
 	c := &Collector{cfg: cfg}
 	for i := range c.shards {
 		c.shards[i].flows = make(map[flowKey]*blockstats.FlowStat)
 		c.shards[i].tasks = make(map[string]*TaskInfo)
+	}
+	return c, nil
+}
+
+// MustCollector is NewCollector for configurations known valid at the call
+// site (fixed literals, DefaultConfig); it panics on an invalid one.
+func MustCollector(cfg blockstats.Config) *Collector {
+	c, err := NewCollector(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return c
 }
@@ -270,13 +285,9 @@ func (c *Collector) Flow(task, file string, fileSize int64) *blockstats.FlowStat
 	k := flowKey{task, file}
 	fs := sh.flows[k]
 	if fs == nil {
-		var err error
-		fs, err = blockstats.NewFlowStat(task, file, fileSize, c.cfg)
-		if err != nil {
-			// The config was validated by every public entry point that can
-			// set it; reaching here is a programmer error.
-			panic(err)
-		}
+		// The config was validated when the collector was built, so flow
+		// creation on the record path cannot fail.
+		fs = blockstats.FlowStatFor(task, file, fileSize, c.cfg)
 		sh.flows[k] = fs
 	}
 	return fs

@@ -21,7 +21,7 @@ func newEnv(t *testing.T) *env {
 	if err := fs.AddTier(vfs.NewNFS("nfs")); err != nil {
 		t.Fatal(err)
 	}
-	return &env{fs: fs, clk: &ManualClock{}, col: NewCollector(blockstats.DefaultConfig())}
+	return &env{fs: fs, clk: &ManualClock{}, col: MustCollector(blockstats.DefaultConfig())}
 }
 
 func (e *env) tracer(task string) *Tracer {
@@ -290,7 +290,7 @@ func TestZeroCostNoAdvance(t *testing.T) {
 }
 
 func TestTaskLifetimes(t *testing.T) {
-	c := NewCollector(blockstats.DefaultConfig())
+	c := MustCollector(blockstats.DefaultConfig())
 	c.TaskStarted("a", 5)
 	c.TaskStarted("a", 3) // earlier start wins
 	c.TaskEnded("a", 8)
@@ -373,7 +373,7 @@ func TestCollectorMerge(t *testing.T) {
 		if err := fs.AddTier(vfs.NewNFS("nfs")); err != nil {
 			t.Fatal(err)
 		}
-		col := NewCollector(blockstats.DefaultConfig())
+		col := MustCollector(blockstats.DefaultConfig())
 		col.TaskStarted(task, 0)
 		tr := NewTracer(task, fs, &ManualClock{}, TierCost{}, col, "nfs")
 		h, err := tr.Open("shared.out", WRONLY|CREATE)
@@ -404,8 +404,8 @@ func TestCollectorMerge(t *testing.T) {
 func TestCollectorMergeSameFlow(t *testing.T) {
 	// The same task-file pair observed by two collectors folds into one
 	// histogram.
-	a := NewCollector(blockstats.DefaultConfig())
-	b := NewCollector(blockstats.DefaultConfig())
+	a := MustCollector(blockstats.DefaultConfig())
+	b := MustCollector(blockstats.DefaultConfig())
 	a.RecordAccess("t", "f", 1000, blockstats.Read, 0, 500, 0, 0.1)
 	b.RecordAccess("t", "f", 1000, blockstats.Read, 500, 500, 1, 0.1)
 	if err := a.Merge(b); err != nil {

@@ -132,7 +132,7 @@ func TestConcurrentStressByteIdentical(t *testing.T) {
 	cfg := blockstats.DefaultConfig()
 
 	// Serial reference: all op streams applied one goroutine at a time.
-	serial := NewCollector(cfg)
+	serial := MustCollector(cfg)
 	fsSerial := stressFS(t)
 	for g := 0; g < stressGoroutines; g++ {
 		stressRun(t, serial, fsSerial, g)
@@ -140,7 +140,7 @@ func TestConcurrentStressByteIdentical(t *testing.T) {
 	want := saveString(t, serial)
 
 	// Concurrent, one shared collector.
-	shared := NewCollector(cfg)
+	shared := MustCollector(cfg)
 	fsShared := stressFS(t)
 	var wg sync.WaitGroup
 	for g := 0; g < stressGoroutines; g++ {
@@ -160,7 +160,7 @@ func TestConcurrentStressByteIdentical(t *testing.T) {
 	parts := make([]*Collector, stressGoroutines)
 	fsMerged := stressFS(t)
 	for g := range parts {
-		parts[g] = NewCollector(cfg)
+		parts[g] = MustCollector(cfg)
 	}
 	for g := 0; g < stressGoroutines; g++ {
 		wg.Add(1)
@@ -170,7 +170,7 @@ func TestConcurrentStressByteIdentical(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	merged := NewCollector(cfg)
+	merged := MustCollector(cfg)
 	for _, p := range parts {
 		if err := merged.Merge(p); err != nil {
 			t.Fatal(err)

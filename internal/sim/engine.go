@@ -2,11 +2,13 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"datalife/internal/blockstats"
+	"datalife/internal/faults"
 	"datalife/internal/iotrace"
 	"datalife/internal/stats"
 	"datalife/internal/vfs"
@@ -62,23 +64,51 @@ type Engine struct {
 	// Trace, when non-nil, receives every completed operation with resolved
 	// offsets and timing — the capture half of trace-based emulation.
 	Trace TraceSink
+	// Faults, when non-nil and non-empty, injects the schedule's failures
+	// (node crashes, transient I/O errors, tier slowdowns, link outages).
+	// A nil or empty schedule leaves every code path — and therefore every
+	// output byte — identical to a fault-free run.
+	Faults *faults.Schedule
+	// Retry tunes the recovery policy when faults are active; zero fields
+	// fall back to faults.DefaultRetryPolicy.
+	Retry faults.RetryPolicy
 
-	now    float64
-	eq     eventHeap
-	seq    int64
-	pool   []*event // free list; retired events recycle through schedule()
-	flows  map[*vfs.Tier]map[*flow]struct{}
-	meta   map[*vfs.Tier]float64 // metadata server next-free time
-	nodes  map[string]*nodeState
-	tasks  map[string]*taskState
-	ready  []*taskState
-	unfin  int
-	result *Result
+	now      float64
+	eq       eventHeap
+	seq      int64
+	pool     []*event // free list; retired events recycle through schedule()
+	flows    map[*vfs.Tier]map[*flow]struct{}
+	flowSeq  int64                 // creation order; reshare iterates flows in this order
+	meta     map[*vfs.Tier]float64 // metadata server next-free time
+	nodes    map[string]*nodeState
+	tasks    map[string]*taskState
+	order    []*taskState // workload order, for deterministic iteration
+	ready    []*taskState
+	unfin    int
+	result   *Result
+	failure  *TaskError
+	faultsOn bool
+	retry    faults.RetryPolicy
+	// Fault-recovery bookkeeping (nil unless faultsOn): file provenance for
+	// the DFL-driven re-stage/re-run decision, the static path → consumer
+	// index, and the set of lost files awaiting a producer re-run.
+	prov        map[string]*fileProv
+	consumers   map[string][]*taskState
+	pendingLost map[string]*taskState
+}
+
+// fileProv records how a file's current placement came to be: the task that
+// last wrote it and, when it arrived by staging, the tier it was staged
+// from. This is the engine-side view of the file's producing flows.
+type fileProv struct {
+	producer   *taskState
+	stagedFrom *vfs.Tier
 }
 
 type nodeState struct {
 	node      *Node
 	freeCores int
+	down      bool
 }
 
 type taskRun uint8
@@ -87,6 +117,8 @@ const (
 	tWaiting taskRun = iota
 	tReady
 	tRunning
+	tRetrying
+	tFailed
 	tDone
 )
 
@@ -110,6 +142,12 @@ type taskState struct {
 	// has ended and is waiting for them to flush.
 	outstanding int
 	draining    bool
+	// recovery state: attempt is 1-based; gen invalidates in-flight events
+	// across restarts; rerun marks attempts that re-execute from pc 0 so
+	// their duration is charged to Result.RecoverySeconds.
+	attempt int
+	gen     int64
+	rerun   bool
 }
 
 type flow struct {
@@ -123,6 +161,7 @@ type flow struct {
 	extra   float64 // fixed post-transfer delay (per-access latency)
 	async   bool    // buffered write: does not block the owner
 	started float64 // issue time, for per-flow tier-time accounting
+	id      int64   // creation order, for deterministic re-sharing
 }
 
 type evKind uint8
@@ -132,6 +171,9 @@ const (
 	evDelayDone
 	evMetaDone
 	evAsyncDone
+	evRetry
+	evCrash
+	evTierChange
 )
 
 type event struct {
@@ -141,6 +183,9 @@ type event struct {
 	fl      *flow
 	version int64
 	ts      *taskState
+	gen     int64     // task incarnation the event belongs to
+	node    string    // evCrash payload
+	tier    *vfs.Tier // evTierChange payload
 }
 
 type eventHeap []*event
@@ -158,24 +203,49 @@ func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]
 func (e *Engine) push(ev *event)       { e.seq++; ev.seq = e.seq; heap.Push(&e.eq, ev) }
 func (e *Engine) at(t float64) float64 { return math.Max(t, e.now) }
 
+// newEvent draws an event struct from the free list.
+func (e *Engine) newEvent() *event {
+	if n := len(e.pool); n > 0 {
+		ev := e.pool[n-1]
+		e.pool = e.pool[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
 // schedule queues an event at time t, drawing the struct from the free list.
 // Flow reschedules pass the flow and its version; task wakeups pass ts.
 func (e *Engine) schedule(t float64, kind evKind, fl *flow, version int64, ts *taskState) {
-	var ev *event
-	if n := len(e.pool); n > 0 {
-		ev = e.pool[n-1]
-		e.pool = e.pool[:n-1]
-	} else {
-		ev = &event{}
-	}
+	ev := e.newEvent()
 	ev.t, ev.kind, ev.fl, ev.version, ev.ts = t, kind, fl, version, ts
+	if ts != nil {
+		ev.gen = ts.gen
+	} else {
+		ev.gen = 0
+	}
+	e.push(ev)
+}
+
+// scheduleCrash queues a node-crash event.
+func (e *Engine) scheduleCrash(t float64, node string) {
+	ev := e.newEvent()
+	ev.t, ev.kind, ev.fl, ev.version, ev.ts, ev.gen = t, evCrash, nil, 0, nil, 0
+	ev.node = node
+	e.push(ev)
+}
+
+// scheduleTierChange queues a fault-window boundary on a tier.
+func (e *Engine) scheduleTierChange(t float64, tier *vfs.Tier) {
+	ev := e.newEvent()
+	ev.t, ev.kind, ev.fl, ev.version, ev.ts, ev.gen = t, evTierChange, nil, 0, nil, 0
+	ev.tier = tier
 	e.push(ev)
 }
 
 // free returns a popped event to the free list, dropping its pointers so the
 // pool does not pin flows or tasks.
 func (e *Engine) free(ev *event) {
-	ev.fl, ev.ts = nil, nil
+	ev.fl, ev.ts, ev.tier, ev.node = nil, nil, nil, ""
 	e.pool = append(e.pool, ev)
 }
 
@@ -203,6 +273,29 @@ type Result struct {
 	MetaWait map[string]float64
 	// ComputeTime accumulates task compute seconds across all tasks.
 	ComputeTime float64
+
+	// Fault-injection extensions; all remain zero/nil on fault-free runs so
+	// fault-free results are unchanged.
+
+	// Attempts maps task name to its execution-attempt count (>= 1);
+	// populated only when a fault schedule is active.
+	Attempts map[string]int
+	// Failures lists every task failure in virtual-time order, recovered
+	// or fatal.
+	Failures []Failure
+	// RecoverySeconds is virtual time spent recovering: backoff waits plus
+	// the durations of restarted attempts and producer re-runs.
+	RecoverySeconds float64
+	// NodeCrashes counts injected crashes that took a node down.
+	NodeCrashes int
+	// LostFiles counts files lost on crashed nodes' local tiers.
+	LostFiles int
+	// Restagings counts lost files recovered by re-staging from a shared
+	// tier (the file's producing flow came from one).
+	Restagings int
+	// ProducerReruns counts lost files recovered by re-running the
+	// producing task.
+	ProducerReruns int
 }
 
 // StageDuration returns the duration of a stage tag, or 0.
@@ -230,7 +323,9 @@ func (r *Result) StageNames() []string {
 	return names
 }
 
-// Run executes the workload to completion and returns the result.
+// Run executes the workload to completion and returns the result. A task
+// that cannot complete — after recovery when a fault schedule is active —
+// surfaces as a *TaskError.
 func (e *Engine) Run(w *Workload) (*Result, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
@@ -246,13 +341,17 @@ func (e *Engine) Run(w *Workload) (*Result, error) {
 	}
 	e.now = 0
 	e.eq = nil
+	e.failure = nil
 	e.flows = make(map[*vfs.Tier]map[*flow]struct{})
+	e.flowSeq = 0
 	e.meta = make(map[*vfs.Tier]float64)
 	e.nodes = make(map[string]*nodeState, len(e.Cluster.Nodes))
 	for _, n := range e.Cluster.Nodes {
 		e.nodes[n.Name] = &nodeState{node: n, freeCores: n.Cores}
 	}
 	e.tasks = make(map[string]*taskState, len(w.Tasks))
+	e.order = e.order[:0]
+	e.ready = nil
 	e.result = &Result{
 		Tasks:     make(map[string]TaskTime),
 		Stages:    make(map[string]TaskTime),
@@ -264,7 +363,9 @@ func (e *Engine) Run(w *Workload) (*Result, error) {
 
 	// Build dependency graph.
 	for _, t := range w.Tasks {
-		e.tasks[t.Name] = &taskState{task: t, deps: len(t.Deps), offsets: make(map[string]int64)}
+		ts := &taskState{task: t, deps: len(t.Deps), offsets: make(map[string]int64), attempt: 1}
+		e.tasks[t.Name] = ts
+		e.order = append(e.order, ts)
 	}
 	for _, t := range w.Tasks {
 		ts := e.tasks[t.Name]
@@ -272,9 +373,11 @@ func (e *Engine) Run(w *Workload) (*Result, error) {
 			e.tasks[d].children = append(e.tasks[d].children, ts)
 		}
 	}
+	if err := e.initFaults(); err != nil {
+		return nil, err
+	}
 	e.unfin = len(w.Tasks)
-	for _, t := range w.Tasks { // preserve submission order for determinism
-		ts := e.tasks[t.Name]
+	for _, ts := range e.order { // preserve submission order for determinism
 		if ts.deps == 0 {
 			ts.state = tReady
 			e.ready = append(e.ready, ts)
@@ -283,14 +386,21 @@ func (e *Engine) Run(w *Workload) (*Result, error) {
 	e.startReady()
 
 	for e.unfin > 0 {
+		if e.failure != nil {
+			return nil, e.failure
+		}
 		if e.eq.Len() == 0 {
 			return nil, fmt.Errorf("sim: deadlock with %d unfinished tasks (unsatisfiable placement or cyclic deps)", e.unfin)
 		}
 		ev := heap.Pop(&e.eq).(*event)
-		kind, fl, version, ts, t := ev.kind, ev.fl, ev.version, ev.ts, ev.t
+		kind, fl, version, ts, t, gen := ev.kind, ev.fl, ev.version, ev.ts, ev.t, ev.gen
+		node, tier := ev.node, ev.tier
 		e.free(ev)
 		if kind == evFlowDone && version != fl.version {
 			continue // stale reschedule
+		}
+		if ts != nil && gen != ts.gen {
+			continue // event from a pre-failure incarnation of the task
 		}
 		e.now = t
 		switch kind {
@@ -300,10 +410,319 @@ func (e *Engine) Run(w *Workload) (*Result, error) {
 			e.step(ts)
 		case evAsyncDone:
 			e.asyncDone(ts)
+		case evRetry:
+			e.retryTask(ts)
+		case evCrash:
+			e.crashNode(node)
+		case evTierChange:
+			e.reshare(tier)
 		}
 	}
+	if e.failure != nil {
+		return nil, e.failure
+	}
 	e.result.Makespan = e.now
+	if e.faultsOn {
+		e.result.Attempts = make(map[string]int, len(e.order))
+		for _, ts := range e.order {
+			e.result.Attempts[ts.task.Name] = ts.attempt
+		}
+	}
 	return e.result, nil
+}
+
+// initFaults validates the fault schedule against the cluster, schedules
+// its crash and tier-window events, and builds the recovery indices. With a
+// nil or empty schedule it leaves the engine byte-identical to a fault-free
+// run: no extra events, no extra state.
+func (e *Engine) initFaults() error {
+	e.faultsOn = e.Faults != nil && !e.Faults.Empty()
+	e.prov, e.consumers, e.pendingLost = nil, nil, nil
+	if !e.faultsOn {
+		return nil
+	}
+	if err := e.Faults.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	e.retry = e.Retry.WithDefaults()
+	for _, c := range e.Faults.Crashes {
+		if _, ok := e.nodes[c.Node]; !ok {
+			return fmt.Errorf("sim: fault schedule crashes unknown node %q", c.Node)
+		}
+		e.scheduleCrash(c.Time, c.Node)
+	}
+	rateTiers := make([]string, 0, len(e.Faults.IOErrorRates))
+	for tier := range e.Faults.IOErrorRates {
+		rateTiers = append(rateTiers, tier)
+	}
+	sort.Strings(rateTiers)
+	for _, tier := range rateTiers {
+		if _, err := e.FS.Tier(tier); err != nil {
+			return fmt.Errorf("sim: fault schedule injects I/O errors on unknown tier %q", tier)
+		}
+	}
+	bounds := e.Faults.TierBoundaries()
+	names := make([]string, 0, len(bounds))
+	for name := range bounds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tier, err := e.FS.Tier(name)
+		if err != nil {
+			return fmt.Errorf("sim: fault schedule degrades unknown tier %q", name)
+		}
+		for _, t := range bounds[name] {
+			e.scheduleTierChange(t, tier)
+		}
+	}
+	// Recovery indices: who consumes each path (the consuming flows of the
+	// DFL graph, read off the scripts) and, filled as the run proceeds, who
+	// produced each file (the producing flows).
+	e.prov = make(map[string]*fileProv)
+	e.pendingLost = make(map[string]*taskState)
+	e.consumers = make(map[string][]*taskState)
+	for _, ts := range e.order {
+		seen := make(map[string]bool)
+		for _, op := range ts.task.Script {
+			if op.Path == "" {
+				continue
+			}
+			if op.Kind == OpRead || op.Kind == OpStage || op.Kind == OpOpen {
+				if !seen[op.Path] {
+					seen[op.Path] = true
+					e.consumers[op.Path] = append(e.consumers[op.Path], ts)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// injectedIOErr draws the deterministic transient-failure decision for the
+// current op against a tier; nil when faults are off or the draw passes.
+func (e *Engine) injectedIOErr(ts *taskState, tier *vfs.Tier) error {
+	if !e.faultsOn {
+		return nil
+	}
+	if e.Faults.ShouldFailIO(tier.Name, ts.task.Name, ts.pc, ts.attempt) {
+		return transientError{tier: tier.Name}
+	}
+	return nil
+}
+
+// classify maps an op error to its failure kind: injected transient errors
+// and reads of files lost to a crash (whose producer is re-running) are
+// retryable; everything else is a hard I/O failure.
+func (e *Engine) classify(path string, err error) FailureKind {
+	var te transientError
+	if errors.As(err, &te) {
+		return FailTransient
+	}
+	if e.pendingLost != nil {
+		if _, lost := e.pendingLost[path]; lost {
+			return FailTransient
+		}
+	}
+	return FailIO
+}
+
+// opFail handles a failed op or attempt: retryable failures re-enter the
+// script after a capped exponential backoff (crash restarts re-run from pc
+// 0 on a surviving node); everything else aborts the run with a typed
+// *TaskError.
+func (e *Engine) opFail(ts *taskState, opIdx int, op *Op, kind FailureKind, cause error) {
+	terr := &TaskError{
+		Task: ts.task.Name, OpIndex: opIdx, Node: ts.node,
+		Attempt: ts.attempt, Kind: kind, Cause: cause,
+	}
+	if op != nil {
+		terr.Op, terr.Path = op.Kind, op.Path
+	}
+	recovered := e.faultsOn && kind.Retryable() && ts.attempt < e.retry.MaxAttempts
+	e.result.Failures = append(e.result.Failures, Failure{
+		Task: ts.task.Name, Time: e.now, OpIndex: opIdx,
+		Kind: kind.String(), Detail: cause.Error(), Recovered: recovered,
+	})
+	if !recovered {
+		ts.state = tFailed
+		e.failure = terr
+		return
+	}
+	ts.attempt++
+	ts.gen++ // invalidate in-flight events from the failed incarnation
+	ts.parts = nil
+	ts.state = tRetrying
+	delay := e.retry.Delay(ts.attempt)
+	e.result.RecoverySeconds += delay
+	e.schedule(e.now+delay, evRetry, nil, 0, ts)
+}
+
+// retryTask re-enters a retrying task: transient op failures resume at the
+// failing op; crash restarts (node cleared) re-queue for placement on a
+// surviving node; a task whose lost-input producer is still re-running
+// waits for it.
+func (e *Engine) retryTask(ts *taskState) {
+	if ts.state != tRetrying {
+		return
+	}
+	if ts.deps > 0 {
+		// A producer this task needs was resurrected after data loss; wait
+		// for it to finish (finishTask promotes waiting tasks).
+		ts.state = tWaiting
+		return
+	}
+	if ts.node == "" {
+		ts.state = tReady
+		e.ready = append(e.ready, ts)
+		e.startReady()
+		return
+	}
+	ts.state = tRunning
+	e.step(ts)
+}
+
+// crashNode takes a node down: every task running on it fails and is
+// rescheduled, its in-flight flows are cancelled, and all data on its
+// node-local tiers is lost and recovered through the files' producing
+// flows (re-stage from a shared tier, or re-run the producer).
+func (e *Engine) crashNode(name string) {
+	ns := e.nodes[name]
+	if ns == nil || ns.down {
+		return
+	}
+	ns.down = true
+	e.result.NodeCrashes++
+
+	// Cancel every flow owned by a task on the crashed node, in sorted tier
+	// order for deterministic event sequencing.
+	tiers := make([]*vfs.Tier, 0, len(e.flows))
+	for tier := range e.flows {
+		tiers = append(tiers, tier)
+	}
+	sort.Slice(tiers, func(i, j int) bool { return tiers[i].Name < tiers[j].Name })
+	for _, tier := range tiers {
+		set := e.flows[tier]
+		touched := false
+		for fl := range set {
+			if fl.owner != nil && fl.owner.node == name && fl.owner.state == tRunning {
+				fl.version++ // orphan the pending completion event
+				delete(set, fl)
+				touched = true
+			}
+		}
+		if touched {
+			e.reshare(tier)
+		}
+	}
+
+	// Fail the victims: tasks running on the node restart from the top of
+	// their script on a surviving node after backoff.
+	for _, ts := range e.order {
+		if ts.state != tRunning || ts.node != name {
+			continue
+		}
+		opIdx := -1
+		var op *Op
+		if ts.pc < len(ts.task.Script) {
+			opIdx, op = ts.pc, &ts.task.Script[ts.pc]
+		}
+		e.opFail(ts, opIdx, op, FailNodeCrash, fmt.Errorf("node %s crashed", name))
+		if ts.state != tRetrying {
+			continue // out of attempts; run is aborting
+		}
+		ts.node = ""
+		ts.pc = 0
+		ts.offsets = make(map[string]int64)
+		ts.outstanding, ts.draining = 0, false
+		ts.rerun = true
+	}
+
+	// Lose the node-local data and walk each file's producing flows to
+	// decide recovery. FS.Files is path-sorted, keeping this deterministic.
+	for _, f := range e.FS.Files() {
+		if f.Tier.Node != name {
+			continue
+		}
+		size := f.Size
+		path := f.Path
+		_ = e.FS.Remove(path)
+		e.result.LostFiles++
+		e.recoverFile(path, size)
+	}
+	e.startReady()
+}
+
+// recoverFile decides how to restore a file lost with a crashed node. The
+// decision is the paper's lifetime reasoning made operational: if no live
+// consumer remains, the file's lifetime was over and nothing is done; if
+// its producing flow staged it off a shared tier, the bytes still exist
+// there and are re-materialized (re-staging); otherwise the producing task
+// is re-run.
+func (e *Engine) recoverFile(path string, size int64) {
+	live := false
+	for _, c := range e.consumers[path] {
+		if c.state != tDone {
+			live = true
+			break
+		}
+	}
+	if !live {
+		return
+	}
+	p := e.prov[path]
+	switch {
+	case p != nil && p.stagedFrom != nil && p.stagedFrom.Shared:
+		// Stage is a copy in real systems even though vfs models a move:
+		// the source tier still holds the bytes, so restore them there and
+		// let consumers (or their re-run stage ops) pull them again.
+		if _, err := e.FS.CreateSized(path, p.stagedFrom.Name, size); err == nil {
+			e.result.Restagings++
+		}
+	case p != nil && p.producer != nil:
+		prod := p.producer
+		if prod.state == tDone {
+			e.resurrect(prod)
+			e.result.ProducerReruns++
+		}
+		// A producer that is running or already retrying re-produces the
+		// file as part of its own recovery.
+		e.pendingLost[path] = prod
+	default:
+		// A seeded input with no recorded producing flow is unrecoverable;
+		// a future reader will surface the loss as a hard I/O failure.
+	}
+}
+
+// resurrect re-queues a completed producer task whose output was lost,
+// re-blocking dependents that have not yet consumed it.
+func (e *Engine) resurrect(ts *taskState) {
+	for _, c := range ts.children {
+		switch c.state {
+		case tWaiting, tRetrying:
+			c.deps++
+		case tReady:
+			c.deps++
+			c.state = tWaiting
+			for i, r := range e.ready {
+				if r == c {
+					e.ready = append(e.ready[:i], e.ready[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	e.unfin++
+	ts.attempt++
+	ts.gen++
+	ts.pc = 0
+	ts.parts = nil
+	ts.offsets = make(map[string]int64)
+	ts.outstanding, ts.draining = 0, false
+	ts.node = ""
+	ts.rerun = true
+	ts.state = tReady
+	e.ready = append(e.ready, ts)
 }
 
 // startReady launches as many ready tasks as fit on free cores.
@@ -331,7 +750,8 @@ func (e *Engine) startReady() {
 	e.ready = rem
 }
 
-// pickNode selects the pinned node or the least-loaded node with room.
+// pickNode selects the pinned node or the least-loaded surviving node with
+// room.
 func (e *Engine) pickNode(t *Task) (string, bool) {
 	cores := t.Cores
 	if cores <= 0 {
@@ -339,7 +759,7 @@ func (e *Engine) pickNode(t *Task) (string, bool) {
 	}
 	if t.Node != "" {
 		ns, ok := e.nodes[t.Node]
-		if !ok {
+		if !ok || ns.down {
 			return "", false
 		}
 		return t.Node, ns.freeCores >= cores
@@ -348,6 +768,9 @@ func (e *Engine) pickNode(t *Task) (string, bool) {
 	bestFree := -1
 	for _, n := range e.Cluster.Nodes { // stable order
 		ns := e.nodes[n.Name]
+		if ns.down {
+			continue
+		}
 		if ns.freeCores >= cores && ns.freeCores > bestFree {
 			best, bestFree = n.Name, ns.freeCores
 		}
@@ -355,7 +778,7 @@ func (e *Engine) pickNode(t *Task) (string, bool) {
 	return best, best != ""
 }
 
-// step advances a task's script until it blocks or completes.
+// step advances a task's script until it blocks, fails, or completes.
 func (e *Engine) step(ts *taskState) {
 	for {
 		// Resume a multi-part I/O op.
@@ -364,7 +787,11 @@ func (e *Engine) step(ts *taskState) {
 				e.startPart(ts)
 				return
 			}
-			e.completeIOOp(ts)
+			op := &ts.task.Script[ts.pc]
+			if err := e.completeIOOp(ts); err != nil {
+				e.opFail(ts, ts.pc, op, e.classify(op.Path, err), err)
+				return
+			}
 			ts.parts = nil
 			ts.pc++
 			continue
@@ -390,25 +817,31 @@ func (e *Engine) step(ts *taskState) {
 			e.schedule(e.now+op.Seconds, evDelayDone, nil, 0, ts)
 			return
 		case OpOpen, OpClose, OpDelete:
-			if e.metaOp(ts, op) {
+			scheduled, err := e.metaOp(ts, op)
+			if err != nil {
+				e.opFail(ts, ts.pc, op, FailConfig, err)
+				return
+			}
+			if scheduled {
 				return // event scheduled
 			}
 			ts.pc++ // metadata op failed soft (missing file on delete) — skip
 		case OpRead, OpWrite, OpStage:
 			if op.Kind == OpWrite && ts.task.AsyncWrites {
 				if err := e.issueAsyncWrite(ts, op); err != nil {
-					panic(fmt.Sprintf("sim: task %s async write %s: %v",
-						ts.task.Name, op.Path, err))
+					e.opFail(ts, ts.pc, op, e.classify(op.Path, err), err)
+					return
 				}
 				ts.pc++
 				continue
 			}
 			if err := e.beginIOOp(ts, op); err != nil {
-				// Treat I/O setup errors as fatal: surface via panic with
-				// context, caught by Run callers in tests. Production-grade
-				// alternative would thread errors; keep the engine honest.
-				panic(fmt.Sprintf("sim: task %s op %d (%s %s): %v",
-					ts.task.Name, ts.pc, op.Kind, op.Path, err))
+				kind := e.classify(op.Path, err)
+				if errors.Is(err, errPlanner) {
+					kind = FailConfig
+				}
+				e.opFail(ts, ts.pc, op, kind, err)
+				return
 			}
 			if ts.parts == nil { // zero-byte op, nothing to do
 				ts.pc++
@@ -417,14 +850,15 @@ func (e *Engine) step(ts *taskState) {
 			e.startPart(ts)
 			return
 		default:
-			panic(fmt.Sprintf("sim: unknown op kind %d", op.Kind))
+			e.opFail(ts, ts.pc, op, FailConfig, fmt.Errorf("unknown op kind %d", op.Kind))
+			return
 		}
 	}
 }
 
 // metaOp performs open/close/delete with metadata-server queueing. Returns
 // true when an event was scheduled.
-func (e *Engine) metaOp(ts *taskState, op *Op) bool {
+func (e *Engine) metaOp(ts *taskState, op *Op) (bool, error) {
 	f, err := e.FS.Stat(op.Path)
 	var tier *vfs.Tier
 	if err == nil {
@@ -435,10 +869,10 @@ func (e *Engine) metaOp(ts *taskState, op *Op) bool {
 			// task's create tier.
 			tier, err = e.resolveTier(ts, ts.task.CreateTier)
 			if err != nil {
-				panic(fmt.Sprintf("sim: task %s open %s: %v", ts.task.Name, op.Path, err))
+				return false, err
 			}
 		} else {
-			return false // close/delete of missing file: no-op
+			return false, nil // close/delete of missing file: no-op
 		}
 	}
 	if op.Kind == OpDelete {
@@ -469,7 +903,7 @@ func (e *Engine) metaOp(ts *taskState, op *Op) bool {
 	}
 	ts.pc++
 	e.schedule(done, evMetaDone, nil, 0, ts)
-	return true
+	return true, nil
 }
 
 func fileSizeOrZero(fs *vfs.FS, path string) int64 {
@@ -478,6 +912,10 @@ func fileSizeOrZero(fs *vfs.FS, path string) int64 {
 	}
 	return 0
 }
+
+// errPlanner marks read-planner contract violations (configuration errors,
+// never retried).
+var errPlanner = errors.New("planner contract violation")
 
 // beginIOOp plans the parts of a read/write/stage op.
 func (e *Engine) beginIOOp(ts *taskState, op *Op) error {
@@ -492,6 +930,9 @@ func (e *Engine) beginIOOp(ts *taskState, op *Op) error {
 		}
 		if !vfs.VisibleFrom(f.Tier, ts.node) {
 			return fmt.Errorf("file on node-local tier %s not visible from node %s", f.Tier.Name, ts.node)
+		}
+		if err := e.injectedIOErr(ts, f.Tier); err != nil {
+			return err
 		}
 		off := op.Offset
 		if off < 0 {
@@ -531,7 +972,7 @@ func (e *Engine) beginIOOp(ts *taskState, op *Op) error {
 		// Planners may over-fetch (block granularity, readahead) but never
 		// under-deliver.
 		if sum < total {
-			return fmt.Errorf("planner returned %d bytes for a %d-byte read", sum, total)
+			return fmt.Errorf("%w: planner returned %d bytes for a %d-byte read", errPlanner, sum, total)
 		}
 	case OpWrite:
 		if op.Bytes == 0 {
@@ -551,6 +992,9 @@ func (e *Engine) beginIOOp(ts *taskState, op *Op) error {
 		if !vfs.VisibleFrom(f.Tier, ts.node) {
 			return fmt.Errorf("file on node-local tier %s not visible from node %s", f.Tier.Name, ts.node)
 		}
+		if err := e.injectedIOErr(ts, f.Tier); err != nil {
+			return err
+		}
 		ts.parts = []ReadPart{{Tier: f.Tier, Bytes: op.Bytes}}
 	case OpStage:
 		f, err := e.FS.Stat(op.Path)
@@ -564,6 +1008,9 @@ func (e *Engine) beginIOOp(ts *taskState, op *Op) error {
 		if f.Tier == dst || f.Size == 0 {
 			ts.parts = nil
 			return nil
+		}
+		if err := e.injectedIOErr(ts, f.Tier); err != nil {
+			return err
 		}
 		// Leg 1: read at source; leg 2 (write at target) is queued behind it.
 		ts.stageSrc = f.Tier
@@ -591,6 +1038,7 @@ func (e *Engine) startPart(ts *taskState) {
 	batches := (nAcc + int64(e.ChunkLatencyEvery) - 1) / int64(e.ChunkLatencyEvery)
 	extra := float64(batches) * part.Tier.LatencyS
 
+	e.flowSeq++
 	fl := &flow{
 		tier:    part.Tier,
 		write:   write,
@@ -599,6 +1047,7 @@ func (e *Engine) startPart(ts *taskState) {
 		owner:   ts,
 		extra:   extra,
 		started: e.now,
+		id:      e.flowSeq,
 	}
 	if e.flows[part.Tier] == nil {
 		e.flows[part.Tier] = make(map[*flow]struct{})
@@ -651,6 +1100,9 @@ func (e *Engine) issueAsyncWrite(ts *taskState, op *Op) error {
 	if !vfs.VisibleFrom(f.Tier, ts.node) {
 		return fmt.Errorf("file on node-local tier %s not visible from node %s", f.Tier.Name, ts.node)
 	}
+	if err := e.injectedIOErr(ts, f.Tier); err != nil {
+		return err
+	}
 	off := f.Size
 	if op.Offset >= 0 {
 		off = op.Offset
@@ -658,6 +1110,7 @@ func (e *Engine) issueAsyncWrite(ts *taskState, op *Op) error {
 	if err := e.FS.Extend(op.Path, off+op.Bytes); err != nil {
 		return err
 	}
+	e.noteWrite(ts, op.Path)
 	if e.Col != nil {
 		e.recordWrite(ts, op, off, 0)
 	}
@@ -670,6 +1123,7 @@ func (e *Engine) issueAsyncWrite(ts *taskState, op *Op) error {
 	}
 	nAcc := (op.Bytes + chunk - 1) / chunk
 	batches := (nAcc + int64(e.ChunkLatencyEvery) - 1) / int64(e.ChunkLatencyEvery)
+	e.flowSeq++
 	fl := &flow{
 		tier:    f.Tier,
 		write:   true,
@@ -679,6 +1133,7 @@ func (e *Engine) issueAsyncWrite(ts *taskState, op *Op) error {
 		extra:   float64(batches) * f.Tier.LatencyS,
 		async:   true,
 		started: e.now,
+		id:      e.flowSeq,
 	}
 	if e.flows[f.Tier] == nil {
 		e.flows[f.Tier] = make(map[*flow]struct{})
@@ -701,23 +1156,43 @@ func (e *Engine) asyncDone(ts *taskState) {
 
 // reshare recomputes fair-share rates for all flows on a tier and
 // reschedules their completion events. Reads share ReadBW; writes WriteBW.
+// Flows are visited in creation order so event sequencing is deterministic.
+// Under an active fault schedule, slowdown windows scale the tier bandwidth
+// and outage windows stall flows entirely until the window-close event
+// reshares the tier.
 func (e *Engine) reshare(tier *vfs.Tier) {
 	set := e.flows[tier]
 	var nr, nw int
+	list := make([]*flow, 0, len(set))
 	for fl := range set {
+		list = append(list, fl)
 		if fl.write {
 			nw++
 		} else {
 			nr++
 		}
 	}
-	for fl := range set {
+	sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
+	avail := true
+	factor := 1.0
+	if e.faultsOn {
+		avail = e.Faults.Available(tier.Name, e.now)
+		factor = e.Faults.BandwidthFactor(tier.Name, e.now)
+	}
+	for _, fl := range list {
 		// Settle progress at the old rate.
 		fl.rem -= fl.rate * (e.now - fl.lastT)
 		if fl.rem < 0 {
 			fl.rem = 0
 		}
 		fl.lastT = e.now
+		fl.version++
+		if !avail {
+			// Link outage: the flow stalls; the window-end tier-change
+			// event reshares and resumes it.
+			fl.rate = 0
+			continue
+		}
 		bw := tier.ReadBW
 		n := nr
 		if fl.write {
@@ -726,19 +1201,19 @@ func (e *Engine) reshare(tier *vfs.Tier) {
 		if bw <= 0 {
 			bw = 1e12 // effectively instantaneous
 		}
+		bw *= factor
 		// Client-count saturation: shared filesystems degrade past a knee.
 		if tier.DegradeAlpha > 0 && n > tier.DegradeKnee {
 			bw /= 1 + tier.DegradeAlpha*float64(n-tier.DegradeKnee)
 		}
 		fl.rate = bw / float64(n)
-		fl.version++
 		e.schedule(e.now+fl.rem/fl.rate, evFlowDone, fl, fl.version, nil)
 	}
 }
 
 // completeIOOp records the finished op into the collector and applies its
 // filesystem effects.
-func (e *Engine) completeIOOp(ts *taskState) {
+func (e *Engine) completeIOOp(ts *taskState) error {
 	op := &ts.task.Script[ts.pc]
 	dur := e.now - ts.opStart
 	switch op.Kind {
@@ -753,15 +1228,16 @@ func (e *Engine) completeIOOp(ts *taskState) {
 	case OpWrite:
 		f, err := e.FS.Stat(op.Path)
 		if err != nil {
-			panic(fmt.Sprintf("sim: write target vanished: %v", err))
+			return fmt.Errorf("write target vanished: %w", err)
 		}
 		off := f.Size
 		if op.Offset >= 0 {
 			off = op.Offset
 		}
 		if err := e.FS.Extend(op.Path, off+op.Bytes); err != nil {
-			panic(fmt.Sprintf("sim: task %s write %s: %v", ts.task.Name, op.Path, err))
+			return err
 		}
+		e.noteWrite(ts, op.Path)
 		if e.Col != nil {
 			e.recordWrite(ts, op, off, dur)
 		}
@@ -769,14 +1245,53 @@ func (e *Engine) completeIOOp(ts *taskState) {
 			e.Trace.Event(ts.task.Name, OpWrite, op.Path, off, op.Bytes, ts.opStart, dur)
 		}
 	case OpStage:
-		if _, err := e.FS.Migrate(op.Path, mustTier(e, ts, op.Tier).Name); err != nil {
-			panic(fmt.Sprintf("sim: task %s stage %s: %v", ts.task.Name, op.Path, err))
+		dst, err := e.resolveTier(ts, op.Tier)
+		if err != nil {
+			return err
 		}
+		if _, err := e.FS.Migrate(op.Path, dst.Name); err != nil {
+			return err
+		}
+		e.noteStage(ts, op.Path)
 		if e.Trace != nil {
 			sz := fileSizeOrZero(e.FS, op.Path)
 			e.Trace.Event(ts.task.Name, OpStage, op.Path, 0, sz, ts.opStart, dur)
 		}
 	}
+	return nil
+}
+
+// noteWrite records the file's producing flow (the last writer) for
+// crash-recovery decisions.
+func (e *Engine) noteWrite(ts *taskState, path string) {
+	if e.prov == nil {
+		return
+	}
+	p := e.prov[path]
+	if p == nil {
+		p = &fileProv{}
+		e.prov[path] = p
+	}
+	p.producer = ts
+	p.stagedFrom = nil
+	if prod, lost := e.pendingLost[path]; lost && prod == ts {
+		delete(e.pendingLost, path)
+	}
+}
+
+// noteStage records that the file's current placement was copied off
+// another tier; if that tier is shared, the bytes remain re-stageable.
+func (e *Engine) noteStage(ts *taskState, path string) {
+	if e.prov == nil || ts.stageSrc == nil {
+		return
+	}
+	p := e.prov[path]
+	if p == nil {
+		p = &fileProv{}
+		e.prov[path] = p
+	}
+	p.stagedFrom = ts.stageSrc
+	delete(e.pendingLost, path)
 }
 
 // resolveReadExtent recomputes the clamped (offset, length) a read op covered.
@@ -800,14 +1315,6 @@ func (e *Engine) resolveReadExtent(ts *taskState, op *Op) (int64, int64) {
 		n = 0
 	}
 	return off, n
-}
-
-func mustTier(e *Engine, ts *taskState, ref string) *vfs.Tier {
-	t, err := e.resolveTier(ts, ref)
-	if err != nil {
-		panic(err)
-	}
-	return t
 }
 
 // recordRead feeds the op's chunk accesses into the collector, spreading
@@ -902,6 +1409,19 @@ func (e *Engine) finishTask(ts *taskState) {
 	}
 	e.nodes[ts.node].freeCores += cores
 	e.unfin--
+	if ts.rerun {
+		// A restarted attempt or producer re-run: its whole duration is
+		// recovery cost the fault-free run would not have paid.
+		e.result.RecoverySeconds += ts.end - ts.start
+		ts.rerun = false
+	}
+	if e.pendingLost != nil {
+		for path, prod := range e.pendingLost {
+			if prod == ts {
+				delete(e.pendingLost, path)
+			}
+		}
+	}
 	if e.Col != nil {
 		e.Col.TaskEnded(ts.task.Name, e.now)
 	}

@@ -1,0 +1,96 @@
+package sim
+
+import "fmt"
+
+// FailureKind classifies why a task attempt failed.
+type FailureKind uint8
+
+const (
+	// FailConfig is an unsatisfiable setup: unknown tier, unknown op kind,
+	// a planner contract violation. Never retried.
+	FailConfig FailureKind = iota
+	// FailIO is a filesystem-semantic error: missing file, tier capacity
+	// exhausted, node-local visibility violation. Never retried — re-running
+	// the same op against the same state fails the same way.
+	FailIO
+	// FailTransient is an injected transient I/O error (faults.Schedule
+	// IOErrorRates). Retried with capped exponential backoff.
+	FailTransient
+	// FailNodeCrash is an injected node crash (faults.Schedule Crashes).
+	// The task is re-executed from the top of its script on a surviving
+	// node.
+	FailNodeCrash
+)
+
+var failureKindNames = [...]string{"config", "io", "transient", "node-crash"}
+
+func (k FailureKind) String() string {
+	if int(k) < len(failureKindNames) {
+		return failureKindNames[k]
+	}
+	return fmt.Sprintf("failure(%d)", k)
+}
+
+// Retryable reports whether the engine's recovery policies apply to this
+// failure kind.
+func (k FailureKind) Retryable() bool {
+	return k == FailTransient || k == FailNodeCrash
+}
+
+// TaskError is the typed error Engine.Run returns when a task cannot
+// complete: which task, which script op, on which node, after how many
+// attempts, and why. It replaces the engine's former run-path panics.
+type TaskError struct {
+	// Task is the failing task's name.
+	Task string
+	// OpIndex is the script index of the failing op (-1 when the failure is
+	// not tied to one op, e.g. a node crash mid-compute).
+	OpIndex int
+	// Op is the failing op's kind.
+	Op OpKind
+	// Path is the file the op addressed ("" for compute).
+	Path string
+	// Node is where the attempt ran ("" if never placed).
+	Node string
+	// Attempt is the 1-based attempt number that failed.
+	Attempt int
+	// Kind classifies the failure.
+	Kind FailureKind
+	// Cause is the underlying error.
+	Cause error
+}
+
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("sim: task %s op %d (%s %s) attempt %d on %s failed (%s): %v",
+		e.Task, e.OpIndex, e.Op, e.Path, e.Attempt, e.Node, e.Kind, e.Cause)
+}
+
+// Unwrap exposes the cause to errors.Is/As chains.
+func (e *TaskError) Unwrap() error { return e.Cause }
+
+// transientError is the sentinel cause for injected transient I/O failures;
+// the engine classifies it as FailTransient.
+type transientError struct {
+	tier string
+}
+
+func (t transientError) Error() string {
+	return fmt.Sprintf("injected transient I/O error on tier %s", t.tier)
+}
+
+// Failure is one recorded task failure in a Result — fatal or recovered.
+type Failure struct {
+	// Task is the failing task.
+	Task string
+	// Time is the virtual time of the failure.
+	Time float64
+	// OpIndex is the failing script op (-1 for mid-task node crashes).
+	OpIndex int
+	// Kind is the FailureKind string.
+	Kind string
+	// Detail describes the cause.
+	Detail string
+	// Recovered reports whether a retry was scheduled (false means the run
+	// aborted here).
+	Recovered bool
+}

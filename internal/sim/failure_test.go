@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -8,25 +9,24 @@ import (
 	"datalife/internal/vfs"
 )
 
-// expectPanic runs f and asserts it panics with a message containing substr.
-func expectPanic(t *testing.T, substr string, f func()) {
+// expectTaskError asserts that err unwraps to a *TaskError of the given
+// kind whose message contains substr, and returns it.
+func expectTaskError(t *testing.T, err error, kind FailureKind, substr string) *TaskError {
 	t.Helper()
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatalf("expected panic containing %q", substr)
-		}
-		msg, ok := r.(string)
-		if !ok {
-			if err, isErr := r.(error); isErr {
-				msg = err.Error()
-			}
-		}
-		if !strings.Contains(msg, substr) {
-			t.Fatalf("panic %q does not contain %q", msg, substr)
-		}
-	}()
-	f()
+	if err == nil {
+		t.Fatalf("expected a *TaskError containing %q, got nil", substr)
+	}
+	var terr *TaskError
+	if !errors.As(err, &terr) {
+		t.Fatalf("expected a *TaskError, got %T: %v", err, err)
+	}
+	if terr.Kind != kind {
+		t.Fatalf("failure kind = %s, want %s (err: %v)", terr.Kind, kind, terr)
+	}
+	if !strings.Contains(terr.Error(), substr) {
+		t.Fatalf("error %q does not contain %q", terr.Error(), substr)
+	}
+	return terr
 }
 
 func TestCapacityExhaustionSurfaces(t *testing.T) {
@@ -46,13 +46,15 @@ func TestCapacityExhaustionSurfaces(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := &Engine{FS: fs, Cluster: c}
-	expectPanic(t, "full", func() {
-		eng.Run(&Workload{Tasks: []*Task{{
-			Name:       "w",
-			CreateTier: "local:shm",
-			Script:     []Op{Write("big", 10<<20, 1<<20)},
-		}}})
-	})
+	_, err = eng.Run(&Workload{Tasks: []*Task{{
+		Name:       "w",
+		CreateTier: "local:shm",
+		Script:     []Op{Write("big", 10<<20, 1<<20)},
+	}}})
+	terr := expectTaskError(t, err, FailIO, "full")
+	if terr.Task != "w" || terr.Op != OpWrite || terr.Path != "big" {
+		t.Fatalf("TaskError fields = %+v, want task w / write big", terr)
+	}
 }
 
 func TestStageCapacityExhaustionSurfaces(t *testing.T) {
@@ -73,12 +75,14 @@ func TestStageCapacityExhaustionSurfaces(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := &Engine{FS: fs, Cluster: c}
-	expectPanic(t, "full", func() {
-		eng.Run(&Workload{Tasks: []*Task{{
-			Name:   "s",
-			Script: []Op{Stage("input", "local:shm")},
-		}}})
-	})
+	_, err = eng.Run(&Workload{Tasks: []*Task{{
+		Name:   "s",
+		Script: []Op{Stage("input", "local:shm")},
+	}}})
+	terr := expectTaskError(t, err, FailIO, "full")
+	if terr.Op != OpStage || terr.Path != "input" {
+		t.Fatalf("TaskError fields = %+v, want stage input", terr)
+	}
 }
 
 // brokenPlanner returns fewer bytes than requested.
@@ -94,35 +98,35 @@ func TestBrokenPlannerDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := &Engine{FS: fs, Cluster: c, Planner: brokenPlanner{}}
-	expectPanic(t, "planner", func() {
-		eng.Run(&Workload{Tasks: []*Task{{
-			Name:   "r",
-			Script: []Op{Read("f", 1000, 100)},
-		}}})
-	})
+	_, err := eng.Run(&Workload{Tasks: []*Task{{
+		Name:   "r",
+		Script: []Op{Read("f", 1000, 100)},
+	}}})
+	expectTaskError(t, err, FailConfig, "planner")
 }
 
 func TestMissingReadTargetSurfaces(t *testing.T) {
 	fs, c := testCluster(t, 1, 1)
 	eng := &Engine{FS: fs, Cluster: c}
-	expectPanic(t, "no such file", func() {
-		eng.Run(&Workload{Tasks: []*Task{{
-			Name:   "r",
-			Script: []Op{Read("ghost", 100, 10)},
-		}}})
-	})
+	_, err := eng.Run(&Workload{Tasks: []*Task{{
+		Name:   "r",
+		Script: []Op{Read("ghost", 100, 10)},
+	}}})
+	terr := expectTaskError(t, err, FailIO, "no such file")
+	if terr.Attempt != 1 {
+		t.Fatalf("attempt = %d, want 1 (no retries without a fault schedule)", terr.Attempt)
+	}
 }
 
 func TestUnknownCreateTierSurfaces(t *testing.T) {
 	fs, c := testCluster(t, 1, 1)
 	eng := &Engine{FS: fs, Cluster: c}
-	expectPanic(t, "tier", func() {
-		eng.Run(&Workload{Tasks: []*Task{{
-			Name:       "w",
-			CreateTier: "local:tape",
-			Script:     []Op{Write("x", 100, 10)},
-		}}})
-	})
+	_, err := eng.Run(&Workload{Tasks: []*Task{{
+		Name:       "w",
+		CreateTier: "local:tape",
+		Script:     []Op{Write("x", 100, 10)},
+	}}})
+	expectTaskError(t, err, FailIO, "tier")
 }
 
 func TestQuickMakespanLowerBounds(t *testing.T) {

@@ -123,7 +123,7 @@ func TestReadClampsToFileSize(t *testing.T) {
 	if _, err := fs.CreateSized("small.dat", "nfs", 100); err != nil {
 		t.Fatal(err)
 	}
-	eng := &Engine{FS: fs, Cluster: c, Col: iotrace.NewCollector(blockstats.DefaultConfig())}
+	eng := &Engine{FS: fs, Cluster: c, Col: iotrace.MustCollector(blockstats.DefaultConfig())}
 	if _, err := eng.Run(&Workload{Tasks: []*Task{
 		{Name: "r", Script: []Op{Read("small.dat", 1000, 50)}},
 	}}); err != nil {
@@ -232,14 +232,10 @@ func TestNodeLocalVisibilityEnforced(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := &Engine{FS: fs, Cluster: c}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("cross-node local read did not fail")
-		}
-	}()
-	eng.Run(&Workload{Tasks: []*Task{
+	_, err := eng.Run(&Workload{Tasks: []*Task{
 		{Name: "r", Node: "node1", Script: []Op{Read("f.dat", 1000, 100)}},
 	}})
+	expectTaskError(t, err, FailIO, "not visible")
 }
 
 func TestMetadataContention(t *testing.T) {
@@ -276,7 +272,7 @@ func TestMetadataContention(t *testing.T) {
 
 func TestCollectorIntegration(t *testing.T) {
 	fs, c := testCluster(t, 1, 2)
-	col := iotrace.NewCollector(blockstats.DefaultConfig())
+	col := iotrace.MustCollector(blockstats.DefaultConfig())
 	eng := &Engine{FS: fs, Cluster: c, Col: col}
 	_, err := eng.Run(&Workload{Tasks: []*Task{
 		{Name: "w", Script: []Op{Open("d.dat"), Write("d.dat", 1000, 100), Close("d.dat")}},
@@ -519,7 +515,7 @@ func TestAsyncWritesFlushBeforeTaskEnd(t *testing.T) {
 	// Without trailing compute, buffering cannot beat the flush time, and
 	// the file must be fully sized when the dependent starts.
 	fs, c := testCluster(t, 1, 2)
-	eng := &Engine{FS: fs, Cluster: c, Col: iotrace.NewCollector(blockstats.DefaultConfig())}
+	eng := &Engine{FS: fs, Cluster: c, Col: iotrace.MustCollector(blockstats.DefaultConfig())}
 	res, err := eng.Run(&Workload{Tasks: []*Task{
 		{Name: "w", AsyncWrites: true, Script: []Op{Write("f", 50_000_000, 1<<20)}},
 		{Name: "r", Deps: []string{"w"}, Script: []Op{Read("f", 50_000_000, 1<<20)}},

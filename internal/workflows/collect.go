@@ -66,7 +66,10 @@ func RunCollector(spec *Spec, opts RunOptions) (*iotrace.Collector, *sim.Result,
 	if err := spec.Seed(fs, tier); err != nil {
 		return nil, nil, err
 	}
-	col := iotrace.NewCollector(opts.Hist)
+	col, err := iotrace.NewCollector(opts.Hist)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workflows: %s: %w", spec.Name, err)
+	}
 	eng := &sim.Engine{FS: fs, Cluster: cl, Col: col, Planner: opts.Planner}
 	res, err := eng.Run(spec.Workload)
 	if err != nil {
