@@ -380,6 +380,44 @@ func BenchmarkAblation_Advisor(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_AdvisorParallel measures the advisor's two re-planning
+// accelerations: concurrent plan computation over one shared finished graph
+// (the indexed snapshot is built once and read by every goroutine), and
+// memoized re-analysis keyed by the graph's content hash — the fault-sweep
+// path, where seeds producing identical measured DFLs skip analysis entirely.
+func BenchmarkAblation_AdvisorParallel(b *testing.B) {
+	p := workflows.DefaultGenomes()
+	g, _, err := workflows.RunAndCollect(workflows.Genomes(p), workflows.RunOptions{Nodes: 10, Cores: 24})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("concurrent", func(b *testing.B) {
+		b.ReportAllocs()
+		g.Index() // warm the shared snapshot outside the timer
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := advisor.Advise(g, advisor.Config{Nodes: 10}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("memoized", func(b *testing.B) {
+		b.ReportAllocs()
+		var memo advisor.Memo
+		if _, err := memo.Advise(g, advisor.Config{Nodes: 10}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := memo.Advise(g, advisor.Config{Nodes: 10}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkAblation_StdioBuffering contrasts collector load between raw
 // descriptor reads and stdio-buffered reads of the same logical volume.
 func BenchmarkAblation_StdioBuffering(b *testing.B) {

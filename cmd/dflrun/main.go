@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] [-faults SPEC] [-seeds N] fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|faults|all ...
+//	dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] [-faults SPEC] [-seeds N] [-advise] fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|faults|all ...
 //
 // With -svg DIR, Sankey diagrams for the five workflows (Fig. 2) and the
 // chr1 caterpillar (Fig. 5) are written as SVG files into DIR.
@@ -15,7 +15,10 @@
 // recovery-demo workflows under the -faults schedule (default
 // experiments.DefaultFaultSpec), one run per seed starting at the spec's
 // seed. It is deliberately not part of `all`: with no -faults spec, every
-// other subcommand's output is byte-identical to a fault-free build.
+// other subcommand's output is byte-identical to a fault-free build. With
+// -advise, each sweep run's measured DFL is re-analyzed through a memoized
+// advisor keyed by the graph's content hash, so seeds producing identical
+// lifecycles reuse one cached plan.
 //
 // Before any experiment executes, every workflow DAG it would run is
 // statically validated (internal/analysis/dflcheck); -novalidate skips the
@@ -51,9 +54,10 @@ func main() {
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "experiments to run concurrently")
 	faultSpec := flag.String("faults", "", "fault schedule for the faults sweep, e.g. "+experiments.DefaultFaultSpec)
 	seeds := flag.Int("seeds", 3, "seeds per fault sweep (consecutive from the spec's seed)")
+	advise := flag.Bool("advise", false, "re-analyze each fault-sweep run's measured DFL through the memoized advisor")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] [-faults SPEC] [-seeds N] <fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|faults|all> ...")
+		fmt.Fprintln(os.Stderr, "usage: dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] [-faults SPEC] [-seeds N] [-advise] <fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|faults|all> ...")
 		os.Exit(2)
 	}
 	var scale experiments.Scale
@@ -67,7 +71,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := runValidated(flag.Args(), scale, *svgDir, *noValidate, *jobs, *faultSpec, *seeds); err != nil {
+	if err := runValidated(flag.Args(), scale, *svgDir, *noValidate, *jobs, *faultSpec, *seeds, *advise); err != nil {
 		fmt.Fprintf(os.Stderr, "dflrun: %v\n", err)
 		os.Exit(1)
 	}
@@ -75,18 +79,18 @@ func main() {
 
 // runValidated gates run behind the mandatory pre-run DAG validation unless
 // -novalidate was passed.
-func runValidated(cmds []string, scale experiments.Scale, svgDir string, noValidate bool, jobs int, faultSpec string, seeds int) error {
+func runValidated(cmds []string, scale experiments.Scale, svgDir string, noValidate bool, jobs int, faultSpec string, seeds int, advise bool) error {
 	if !noValidate {
 		if err := preflight(); err != nil {
 			return err
 		}
 	}
-	return run(os.Stdout, cmds, scale, svgDir, jobs, faultSpec, seeds)
+	return run(os.Stdout, cmds, scale, svgDir, jobs, faultSpec, seeds, advise)
 }
 
 // run executes the selected experiments, jobs at a time, writing their
 // reports to out in the order they were requested.
-func run(out io.Writer, cmds []string, scale experiments.Scale, svgDir string, jobs int, faultSpec string, seeds int) error {
+func run(out io.Writer, cmds []string, scale experiments.Scale, svgDir string, jobs int, faultSpec string, seeds int, advise bool) error {
 	var names []string
 	for _, cmd := range cmds {
 		if cmd == "all" {
@@ -123,7 +127,7 @@ func run(out io.Writer, cmds []string, scale experiments.Scale, svgDir string, j
 	for i, name := range names {
 		name := name
 		jobList[i] = experiments.Job{Name: name, Run: func(w io.Writer) error {
-			return runOne(w, name, scale, svgDir, dfls, faultSpec, seeds)
+			return runOne(w, name, scale, svgDir, dfls, faultSpec, seeds, advise)
 		}}
 	}
 	errw := io.Writer(nil)
@@ -143,7 +147,7 @@ func isExperiment(name string) bool {
 }
 
 // runOne executes a single experiment, writing its report to w.
-func runOne(w io.Writer, name string, scale experiments.Scale, svgDir string, dfls []experiments.WorkflowDFL, faultSpec string, seeds int) error {
+func runOne(w io.Writer, name string, scale experiments.Scale, svgDir string, dfls []experiments.WorkflowDFL, faultSpec string, seeds int, advise bool) error {
 	switch name {
 	case "faults":
 		spec := faultSpec
@@ -166,6 +170,14 @@ func runOne(w io.Writer, name string, scale experiments.Scale, svgDir string, df
 			return err
 		}
 		fmt.Fprintln(w, experiments.FaultSweepReport(sched, rows))
+		if advise {
+			// Opt-in: default faults output stays byte-identical without it.
+			adv, err := experiments.FaultSweepAnalyze(scale, sched, list)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, experiments.FaultAdviceReport(adv))
+		}
 	case "fig2":
 		fmt.Fprintln(w, experiments.Fig2Report(dfls, true))
 		if svgDir != "" {

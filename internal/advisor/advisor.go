@@ -19,8 +19,11 @@ package advisor
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"datalife/internal/cpa"
 	"datalife/internal/dfl"
@@ -148,13 +151,21 @@ func Advise(g *dfl.Graph, cfg Config) (*Plan, error) {
 			plan.TaskNode[t] = th.Node
 		}
 	}
+	// Placement scoring and opportunity mining are independent read-only
+	// passes over the graph; overlap them. The merge is deterministic: each
+	// result lands in its own Plan field.
+	opps := make(chan []patterns.Opportunity, 1)
+	go func() {
+		// Attach the opportunity evidence, narrowed to the primary caterpillar.
+		var found []patterns.Opportunity
+		if path, err := cpa.CriticalPath(g, cpa.ByVolume, nil); err == nil {
+			cat := cpa.DFLCaterpillar(g, path)
+			found = patterns.Analyze(g, cat, patterns.Config{})
+		}
+		opps <- found
+	}()
 	plan.Placements = placeFiles(g, cfg, threads, threadOf)
-
-	// Attach the opportunity evidence, narrowed to the primary caterpillar.
-	if path, err := cpa.CriticalPath(g, cpa.ByVolume, nil); err == nil {
-		cat := cpa.DFLCaterpillar(g, path)
-		plan.Opportunities = patterns.Analyze(g, cat, patterns.Config{})
-	}
+	plan.Opportunities = <-opps
 	return plan, nil
 }
 
@@ -171,11 +182,7 @@ func ExtractThreads(g *dfl.Graph, cfg Config) []Thread {
 	vweight := func(gr *dfl.Graph, v *dfl.Vertex) float64 {
 		return (1 - cfg.LocalityWeight) * v.Task.Lifetime
 	}
-	paths, err := cpa.NearCriticalPaths(g, weight, vweight, g.NumVertices())
-	if err != nil {
-		paths = nil // unreachable for DAGs; fall through to singletons
-	}
-
+	numTasks := len(g.Tasks())
 	claimed := make(map[dfl.ID]bool)
 	var threads []Thread
 	addThread := func(tasks []dfl.ID) {
@@ -186,7 +193,13 @@ func ExtractThreads(g *dfl.Graph, cfg Config) []Thread {
 		threads = append(threads, th)
 	}
 
-	for _, p := range paths {
+	// Stream near-critical paths in rank order, stopping as soon as every
+	// task is claimed: once no task is unclaimed, further paths contribute
+	// empty threads, so halting early leaves the output unchanged while
+	// skipping reconstruction of the long near-critical tail.
+	// (Errors are unreachable for DAGs; on error no paths are yielded and all
+	// tasks fall through to singleton threads, as before.)
+	_ = cpa.ForEachNearCriticalPath(g, weight, vweight, func(p cpa.Path) bool {
 		var tasks []dfl.ID
 		claim := func(id dfl.ID) {
 			if id.Kind == dfl.TaskVertex && !claimed[id] {
@@ -209,7 +222,8 @@ func ExtractThreads(g *dfl.Graph, cfg Config) []Thread {
 			}
 		}
 		addThread(tasks)
-	}
+		return len(claimed) < numTasks
+	})
 	// Any tasks not reachable from a sink path become singletons.
 	for _, v := range g.Tasks() {
 		if !claimed[v.ID] {
@@ -242,8 +256,9 @@ func ExtractThreads(g *dfl.Graph, cfg Config) []Thread {
 		for _, e := range g.Out(v.ID) {
 			vol += e.Props.Volume
 		}
+		// Scan producers then consumers in place — no concatenated copy.
 		home, internal := -2, true
-		for _, t := range append(append([]dfl.ID{}, producers...), consumers...) {
+		scan := func(t dfl.ID) {
 			id := threadOf[t]
 			if home == -2 {
 				home = id
@@ -251,13 +266,22 @@ func ExtractThreads(g *dfl.Graph, cfg Config) []Thread {
 				internal = false
 			}
 		}
+		for _, t := range producers {
+			scan(t)
+		}
+		for _, t := range consumers {
+			scan(t)
+		}
 		if home < 0 {
 			continue
 		}
 		if internal {
 			threads[home].InternalFlow += vol
 		} else {
-			for _, t := range append(append([]dfl.ID{}, producers...), consumers...) {
+			for _, t := range producers {
+				threads[threadOf[t]].ExternalFlow += vol
+			}
+			for _, t := range consumers {
 				threads[threadOf[t]].ExternalFlow += vol
 			}
 		}
@@ -291,14 +315,27 @@ func BalanceThreads(threads []Thread, nodes int) {
 	}
 }
 
-// placeFiles classifies every data vertex.
+// placeFilesParallelMin is the file count below which placement scoring stays
+// sequential; tiny graphs don't amortize the worker handoff.
+const placeFilesParallelMin = 64
+
+// placeFiles classifies every data vertex. Scoring is embarrassingly parallel
+// — each file's placement depends only on the (read-only) graph and thread
+// map — so large graphs fan the per-file work across a worker pool. The merge
+// is deterministic: worker i writes slot i of a pre-sized slice, and the
+// final sort sees the exact sequence the sequential loop produced.
 func placeFiles(g *dfl.Graph, cfg Config, threads []Thread, threadOf map[dfl.ID]int) []FilePlacement {
 	nodeOfThread := make(map[int]int, len(threads))
 	for _, th := range threads {
 		nodeOfThread[th.ID] = th.Node
 	}
-	var out []FilePlacement
-	for _, v := range g.DataFiles() {
+	files := g.DataFiles()
+	if len(files) == 0 {
+		return nil
+	}
+	out := make([]FilePlacement, len(files))
+	score := func(i int) {
+		v := files[i]
 		producers := g.Producers(v.ID)
 		consumers := g.Consumers(v.ID)
 		var vol uint64
@@ -310,11 +347,12 @@ func placeFiles(g *dfl.Graph, cfg Config, threads []Thread, threadOf map[dfl.ID]
 		}
 		fp := FilePlacement{File: v.ID, Thread: -1, Consumers: len(consumers), Volume: vol}
 
-		// Which nodes touch this file?
+		// Which nodes touch this file? Scan producers then consumers in
+		// place — no concatenated copy.
 		nodes := make(map[int]struct{})
 		sameThread := true
 		home := -1
-		for _, t := range append(append([]dfl.ID{}, producers...), consumers...) {
+		touch := func(t dfl.ID) {
 			th := threadOf[t]
 			if home == -1 {
 				home = th
@@ -322,6 +360,12 @@ func placeFiles(g *dfl.Graph, cfg Config, threads []Thread, threadOf map[dfl.ID]
 				sameThread = false
 			}
 			nodes[nodeOfThread[th]] = struct{}{}
+		}
+		for _, t := range producers {
+			touch(t)
+		}
+		for _, t := range consumers {
+			touch(t)
 		}
 		switch {
 		case len(producers) == 0 && len(consumers) >= cfg.StageThreshold:
@@ -355,7 +399,33 @@ func placeFiles(g *dfl.Graph, cfg Config, threads []Thread, threadOf map[dfl.ID]
 			}
 			fp.RerunCost = fp.RerunRisk * rerun
 		}
-		out = append(out, fp)
+		out[i] = fp
+	}
+	if len(files) < placeFilesParallelMin {
+		for i := range files {
+			score(i)
+		}
+	} else {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(files) {
+			workers = len(files)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(files) {
+						return
+					}
+					score(i)
+				}
+			}()
+		}
+		wg.Wait()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Volume > out[j].Volume })
 	return out

@@ -1,0 +1,98 @@
+package advisor
+
+import (
+	"testing"
+
+	"datalife/internal/dfl"
+)
+
+func memoGraph(t *testing.T, vol uint64) *dfl.Graph {
+	t.Helper()
+	g := dfl.New()
+	g.AddTask("produce").Task.Lifetime = 5
+	g.AddTask("consume").Task.Lifetime = 3
+	g.AddData("mid").Data.Size = int64(vol)
+	if _, err := g.AddEdge(dfl.TaskID("produce"), dfl.DataID("mid"), dfl.Producer,
+		dfl.FlowProps{Volume: vol, Latency: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(dfl.DataID("mid"), dfl.TaskID("consume"), dfl.Consumer,
+		dfl.FlowProps{Volume: vol, Latency: 2}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMemoHitOnIdenticalGraph(t *testing.T) {
+	var m Memo
+	cfg := Config{Nodes: 2}
+
+	p1, err := m.Advise(memoGraph(t, 100), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := m.Stats(); hits != 0 || misses != 1 {
+		t.Fatalf("after first Advise: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+
+	// A separately built but content-identical graph must hit and return the
+	// same cached plan.
+	p2, err := m.Advise(memoGraph(t, 100), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p1 {
+		t.Fatal("content-identical graph did not return the cached plan pointer")
+	}
+	if hits, misses := m.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("after identical Advise: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("memo holds %d plans, want 1", m.Len())
+	}
+}
+
+func TestMemoMissOnContentOrConfigChange(t *testing.T) {
+	var m Memo
+	cfg := Config{Nodes: 2}
+	if _, err := m.Advise(memoGraph(t, 100), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different edge volume → different fingerprint → miss.
+	if _, err := m.Advise(memoGraph(t, 101), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := m.Stats(); hits != 0 || misses != 2 {
+		t.Fatalf("after content change: hits=%d misses=%d, want 0/2", hits, misses)
+	}
+
+	// Same graph, different config → miss.
+	if _, err := m.Advise(memoGraph(t, 100), Config{Nodes: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := m.Stats(); hits != 0 || misses != 3 {
+		t.Fatalf("after config change: hits=%d misses=%d, want 0/3", hits, misses)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("memo holds %d plans, want 3", m.Len())
+	}
+}
+
+func TestMemoMatchesDirectAdvise(t *testing.T) {
+	var m Memo
+	g := memoGraph(t, 4096)
+	cfg := Config{Nodes: 2}
+	direct, err := Advise(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memoized, err := m.Advise(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Report(0) != memoized.Report(0) {
+		t.Fatalf("memoized plan differs from direct Advise:\n%s\n---\n%s",
+			memoized.Report(0), direct.Report(0))
+	}
+}

@@ -16,6 +16,7 @@ package cpa
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"datalife/internal/dfl"
@@ -40,14 +41,12 @@ func ByFootprint(_ *dfl.Graph, e *dfl.Edge) float64 { return float64(e.Props.Foo
 func ByLatency(_ *dfl.Graph, e *dfl.Edge) float64 { return e.Props.Latency }
 
 // ByRateDeficit weights edges by volume divided by achieved rate relative to
-// the graph's best rate — slow flows carrying much data score high.
+// the graph's best rate — slow flows carrying much data score high. The best
+// rate is the graph's cached aggregate (dfl.Graph.BestRate), computed once
+// per graph generation rather than rescanned per edge, which keeps GCPA under
+// this weight linear instead of O(E²).
 func ByRateDeficit(g *dfl.Graph, e *dfl.Edge) float64 {
-	best := 0.0
-	for _, o := range g.Edges() {
-		if r := o.Props.Rate(); r > best {
-			best = r
-		}
-	}
+	best := g.BestRate()
 	r := e.Props.Rate()
 	if best == 0 || r == 0 {
 		return 0
@@ -119,93 +118,141 @@ func (p Path) Contains(id dfl.ID) bool {
 // given edge and vertex weights via one topological dynamic program — O(V+E).
 // Either weight may be nil to ignore that component.
 func CriticalPath(g *dfl.Graph, ew EdgeWeight, vw VertexWeight) (Path, error) {
-	paths, err := criticalPaths(g, ew, vw, 1)
+	dp, err := solvePaths(g, ew, vw)
 	if err != nil {
 		return Path{}, err
 	}
-	if len(paths) == 0 {
+	if dp == nil || len(dp.sinks) == 0 {
 		return Path{}, fmt.Errorf("cpa: empty graph")
 	}
-	return paths[0], nil
+	return dp.path(0), nil
 }
 
 // NearCriticalPaths returns up to k maximal paths ranked by weight, one per
 // distinct sink — the paper's "critical and near-critical" caterpillar
-// candidates.
+// candidates. Only the k requested paths are materialized; enumeration stops
+// at the requested rank.
 func NearCriticalPaths(g *dfl.Graph, ew EdgeWeight, vw VertexWeight, k int) ([]Path, error) {
-	return criticalPaths(g, ew, vw, k)
+	dp, err := solvePaths(g, ew, vw)
+	if err != nil || dp == nil {
+		return nil, err
+	}
+	if k > len(dp.sinks) {
+		k = len(dp.sinks)
+	}
+	out := make([]Path, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, dp.path(i))
+	}
+	return out, nil
 }
 
-func criticalPaths(g *dfl.Graph, ew EdgeWeight, vw VertexWeight, k int) ([]Path, error) {
+// ForEachNearCriticalPath streams the ranked maximal paths (one per sink,
+// heaviest first) to yield, reconstructing each path only when it is asked
+// for; returning false stops the enumeration. Callers that consume a prefix
+// of unknown length — the advisor claims tasks until every task is covered —
+// avoid materializing the long tail of near-critical paths this way.
+func ForEachNearCriticalPath(g *dfl.Graph, ew EdgeWeight, vw VertexWeight, yield func(Path) bool) error {
+	dp, err := solvePaths(g, ew, vw)
+	if err != nil || dp == nil {
+		return err
+	}
+	for i := range dp.sinks {
+		if !yield(dp.path(i)) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// pathDP holds one solved GCPA dynamic program over the graph's dense index:
+// accumulated weights, predecessor choices, and the sinks in rank order.
+type pathDP struct {
+	ix    *dfl.Index
+	dist  []float64
+	pred  []int32 // -1 = source
+	sinks []int32 // ranked by (weight desc, ID string asc)
+}
+
+// solvePaths runs the maximum-weight topological DP once — O(V+E) over the
+// indexed core, with dense slices instead of per-vertex maps. A nil, nil
+// return means the graph is empty.
+func solvePaths(g *dfl.Graph, ew EdgeWeight, vw VertexWeight) (*pathDP, error) {
 	if ew == nil {
 		ew = ZeroEdge
 	}
 	if vw == nil {
 		vw = ZeroVertex
 	}
-	order, err := g.TopoSort()
+	ix := g.Index()
+	order, err := ix.Topo()
 	if err != nil {
 		return nil, fmt.Errorf("cpa: critical path needs a DAG: %w", err)
 	}
-	if len(order) == 0 {
+	n := ix.Len()
+	if n == 0 {
 		return nil, nil
 	}
-
-	dist := make(map[dfl.ID]float64, len(order))
-	pred := make(map[dfl.ID]dfl.ID, len(order))
-	havePred := make(map[dfl.ID]bool, len(order))
-	for _, id := range order {
-		dist[id] += vw(g, g.Vertex(id)) // own vertex weight; dist may hold best-in so far
-		for _, e := range g.Out(id) {
-			cand := dist[id] + ew(g, e)
-			if cand > dist[e.Dst] || !havePred[e.Dst] && cand >= dist[e.Dst] {
-				dist[e.Dst] = cand
-				pred[e.Dst] = id
-				havePred[e.Dst] = true
+	dist := make([]float64, n)
+	pred := make([]int32, n)
+	for i := range pred {
+		pred[i] = -1
+	}
+	for _, vi := range order {
+		dist[vi] += vw(g, ix.VertexAt(vi)) // own vertex weight; dist held best-in so far
+		edges, dsts := ix.Out(vi)
+		for k, e := range edges {
+			di := dsts[k]
+			cand := dist[vi] + ew(g, e)
+			if cand > dist[di] || pred[di] < 0 && cand >= dist[di] {
+				dist[di] = cand
+				pred[di] = vi
 			}
 		}
 	}
 
 	// Rank sinks (no outgoing edges) by accumulated weight.
-	var sinks []dfl.ID
-	for _, id := range order {
-		if g.OutDegree(id) == 0 {
-			sinks = append(sinks, id)
+	var sinks []int32
+	for _, vi := range order {
+		if ix.OutDegree(vi) == 0 {
+			sinks = append(sinks, vi)
 		}
 	}
 	sort.Slice(sinks, func(i, j int) bool {
 		if dist[sinks[i]] != dist[sinks[j]] {
 			return dist[sinks[i]] > dist[sinks[j]]
 		}
-		return sinks[i].String() < sinks[j].String()
+		return ix.IDAt(sinks[i]).String() < ix.IDAt(sinks[j]).String()
 	})
-	if k > len(sinks) {
-		k = len(sinks)
+	return &pathDP{ix: ix, dist: dist, pred: pred, sinks: sinks}, nil
+}
+
+// path reconstructs the i-th ranked path by walking predecessors from its
+// sink.
+func (dp *pathDP) path(i int) Path {
+	s := dp.sinks[i]
+	depth := 1
+	for cur := s; dp.pred[cur] >= 0; cur = dp.pred[cur] {
+		depth++
 	}
-	out := make([]Path, 0, k)
-	for _, s := range sinks[:k] {
-		var rev []dfl.ID
-		for cur := s; ; {
-			rev = append(rev, cur)
-			p, ok := pred[cur]
-			if !ok {
-				break
-			}
-			cur = p
+	vs := make([]dfl.ID, depth)
+	for cur, at := s, depth-1; ; cur, at = dp.pred[cur], at-1 {
+		vs[at] = dp.ix.IDAt(cur)
+		if dp.pred[cur] < 0 {
+			break
 		}
-		vs := make([]dfl.ID, len(rev))
-		for i, id := range rev {
-			vs[len(rev)-1-i] = id
-		}
-		out = append(out, Path{Vertices: vs, Weight: dist[s]})
 	}
-	return out, nil
+	return Path{Vertices: vs, Weight: dp.dist[s]}
 }
 
 // Caterpillar is a DFL caterpillar tree: the spine (critical path), the
 // distance-one legs, and — per the paper's DFL extension — distance-two
 // producer tasks attached to data-vertex legs, so that every data leaf keeps
 // its producer relation.
+//
+// Membership is a dense bitset over the graph's indexed core, so the
+// detectors' per-edge Contains checks cost one position lookup plus a bool
+// index instead of hashing an ID into a set.
 type Caterpillar struct {
 	Spine Path
 	// Legs are the distance-one vertices not on the spine, sorted.
@@ -213,22 +260,36 @@ type Caterpillar struct {
 	// Extended are the distance-two producer tasks added by the DFL rule,
 	// sorted.
 	Extended []dfl.ID
-	members  map[dfl.ID]struct{}
+
+	ix     *dfl.Index
+	member []bool              // dense membership, indexed by ix position
+	extra  map[dfl.ID]struct{} // spine IDs absent from the graph (rare)
+	n      int
 }
 
 // Contains reports membership of id in the full caterpillar.
 func (c *Caterpillar) Contains(id dfl.ID) bool {
-	_, ok := c.members[id]
+	if c.ix != nil {
+		if p := c.ix.Pos(id); p >= 0 {
+			return c.member[p]
+		}
+	}
+	_, ok := c.extra[id]
 	return ok
 }
 
 // Size returns the number of vertices in the caterpillar.
-func (c *Caterpillar) Size() int { return len(c.members) }
+func (c *Caterpillar) Size() int { return c.n }
 
 // Members returns all caterpillar vertices, sorted.
 func (c *Caterpillar) Members() []dfl.ID {
-	out := make([]dfl.ID, 0, len(c.members))
-	for id := range c.members {
+	out := make([]dfl.ID, 0, c.n)
+	for p, in := range c.member {
+		if in {
+			out = append(out, c.ix.IDAt(int32(p)))
+		}
+	}
+	for id := range c.extra {
 		out = append(out, id)
 	}
 	sortIDs(out)
@@ -239,48 +300,82 @@ func (c *Caterpillar) Members() []dfl.ID {
 // every vertex within distance one of the spine, plus — when a distance-one
 // vertex is a data vertex — its producer tasks at distance two (§5.1, Fig. 3b:
 // a plain caterpillar would sever those producer/consumer relations because
-// DFL graphs interleave two vertex types).
+// DFL graphs interleave two vertex types). Construction walks the CSR
+// adjacency with dense indices; no per-vertex map operations.
 func DFLCaterpillar(g *dfl.Graph, spine Path) *Caterpillar {
-	c := &Caterpillar{Spine: spine, members: make(map[dfl.ID]struct{})}
-	onSpine := make(map[dfl.ID]struct{}, len(spine.Vertices))
-	for _, id := range spine.Vertices {
-		onSpine[id] = struct{}{}
-		c.members[id] = struct{}{}
-	}
-	var legs, ext []dfl.ID
-	addLeg := func(id dfl.ID) {
-		if _, dup := c.members[id]; dup {
-			return
+	ix := g.Index()
+	c := &Caterpillar{Spine: spine, ix: ix, member: make([]bool, ix.Len())}
+	add := func(p int32) bool {
+		if c.member[p] {
+			return false
 		}
-		c.members[id] = struct{}{}
-		legs = append(legs, id)
+		c.member[p] = true
+		c.n++
+		return true
 	}
+	spinePos := make([]int32, 0, len(spine.Vertices))
 	for _, id := range spine.Vertices {
-		for _, e := range g.Out(id) {
-			addLeg(e.Dst)
+		p := ix.Pos(id)
+		if p < 0 {
+			// Malformed spine vertex not in the graph: track it separately so
+			// Contains/Size still see it.
+			if c.extra == nil {
+				c.extra = make(map[dfl.ID]struct{})
+			}
+			if _, dup := c.extra[id]; !dup {
+				c.extra[id] = struct{}{}
+				c.n++
+			}
+			continue
 		}
-		for _, e := range g.In(id) {
-			addLeg(e.Src)
+		add(p)
+		spinePos = append(spinePos, p)
+	}
+	var legs, ext []int32
+	for _, p := range spinePos {
+		_, dsts := ix.Out(p)
+		for _, d := range dsts {
+			if add(d) {
+				legs = append(legs, d)
+			}
+		}
+		_, srcs := ix.In(p)
+		for _, s := range srcs {
+			if add(s) {
+				legs = append(legs, s)
+			}
 		}
 	}
 	// DFL extension: data-vertex legs pull in their distance-two producers.
-	for _, leg := range legs {
-		if leg.Kind != dfl.DataVertex {
+	for _, lp := range legs {
+		if ix.IDAt(lp).Kind != dfl.DataVertex {
 			continue
 		}
-		for _, e := range g.In(leg) {
-			if _, dup := c.members[e.Src]; dup {
-				continue
+		_, srcs := ix.In(lp)
+		for _, s := range srcs {
+			if add(s) {
+				ext = append(ext, s)
 			}
-			c.members[e.Src] = struct{}{}
-			ext = append(ext, e.Src)
 		}
 	}
-	sortIDs(legs)
-	sortIDs(ext)
-	c.Legs = legs
-	c.Extended = ext
+	// Dense position order is (kind, name) order, so sorting the int32
+	// positions reproduces the ID sort exactly.
+	slices.Sort(legs)
+	slices.Sort(ext)
+	c.Legs = idsAt(ix, legs)
+	c.Extended = idsAt(ix, ext)
 	return c
+}
+
+func idsAt(ix *dfl.Index, pos []int32) []dfl.ID {
+	if len(pos) == 0 {
+		return nil
+	}
+	out := make([]dfl.ID, len(pos))
+	for i, p := range pos {
+		out[i] = ix.IDAt(p)
+	}
+	return out
 }
 
 // Subgraph extracts the caterpillar's induced subgraph from g, preserving
@@ -288,7 +383,7 @@ func DFLCaterpillar(g *dfl.Graph, spine Path) *Caterpillar {
 // rendering (Fig. 4).
 func (c *Caterpillar) Subgraph(g *dfl.Graph) *dfl.Graph {
 	sub := dfl.New()
-	for id := range c.members {
+	for _, id := range c.Members() {
 		v := g.Vertex(id)
 		if v == nil {
 			continue
@@ -449,37 +544,41 @@ func Slack(g *dfl.Graph, ew EdgeWeight, vw VertexWeight) (map[dfl.ID]float64, er
 	if vw == nil {
 		vw = ZeroVertex
 	}
-	order, err := g.TopoSort()
+	ix := g.Index()
+	order, err := ix.Topo()
 	if err != nil {
 		return nil, err
 	}
-	fwd := make(map[dfl.ID]float64, len(order))
-	for _, id := range order {
-		fwd[id] += vw(g, g.Vertex(id))
-		for _, e := range g.Out(id) {
-			if c := fwd[id] + ew(g, e); c > fwd[e.Dst] {
-				fwd[e.Dst] = c
+	n := ix.Len()
+	fwd := make([]float64, n)
+	for _, vi := range order {
+		fwd[vi] += vw(g, ix.VertexAt(vi))
+		edges, dsts := ix.Out(vi)
+		for k, e := range edges {
+			if c := fwd[vi] + ew(g, e); c > fwd[dsts[k]] {
+				fwd[dsts[k]] = c
 			}
 		}
 	}
-	bwd := make(map[dfl.ID]float64, len(order))
+	bwd := make([]float64, n)
 	for i := len(order) - 1; i >= 0; i-- {
-		id := order[i]
-		for _, e := range g.Out(id) {
-			if c := bwd[e.Dst] + ew(g, e); c > bwd[id] {
-				bwd[id] = c
+		vi := order[i]
+		edges, dsts := ix.Out(vi)
+		for k, e := range edges {
+			if c := bwd[dsts[k]] + ew(g, e); c > bwd[vi] {
+				bwd[vi] = c
 			}
 		}
 	}
 	var best float64 = math.Inf(-1)
-	for _, id := range order {
-		if t := fwd[id] + bwd[id]; t > best {
+	for _, vi := range order {
+		if t := fwd[vi] + bwd[vi]; t > best {
 			best = t
 		}
 	}
-	slack := make(map[dfl.ID]float64, len(order))
-	for _, id := range order {
-		slack[id] = best - (fwd[id] + bwd[id])
+	slack := make(map[dfl.ID]float64, n)
+	for _, vi := range order {
+		slack[ix.IDAt(vi)] = best - (fwd[vi] + bwd[vi])
 	}
 	return slack, nil
 }

@@ -1,0 +1,113 @@
+package cpa
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"datalife/internal/dfl"
+)
+
+// randomFanDAG builds a multi-sink DAG: a shared source fanning out into
+// several producer→data→consumer chains of random depth and random volumes,
+// so near-critical ranking is exercised across many sinks.
+func randomFanDAG(t *testing.T, rng *rand.Rand, chains int) *dfl.Graph {
+	t.Helper()
+	g := dfl.New()
+	src := g.AddTask("src")
+	for c := 0; c < chains; c++ {
+		prev := src.ID
+		depth := 1 + rng.Intn(4)
+		for d := 0; d < depth; d++ {
+			data := dfl.DataID(fmt.Sprintf("c%02d-d%d", c, d))
+			task := dfl.TaskID(fmt.Sprintf("c%02d-t%d", c, d))
+			vol := uint64(1 + rng.Intn(1000))
+			if _, err := g.AddEdge(prev, data, dfl.Producer, dfl.FlowProps{Volume: vol, Latency: 1}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := g.AddEdge(data, task, dfl.Consumer, dfl.FlowProps{Volume: vol, Latency: 1}); err != nil {
+				t.Fatal(err)
+			}
+			prev = task
+		}
+	}
+	return g
+}
+
+func pathsEqual(a, b []Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Weight != b[i].Weight || len(a[i].Vertices) != len(b[i].Vertices) {
+			return false
+		}
+		for j := range a[i].Vertices {
+			if a[i].Vertices[j] != b[i].Vertices[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestForEachMatchesNearCriticalPaths checks that the lazy enumeration
+// yields exactly the NearCriticalPaths sequence, and that stopping early
+// yields exactly its prefix.
+func TestForEachMatchesNearCriticalPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := randomFanDAG(t, rng, 2+rng.Intn(8))
+		want, err := NearCriticalPaths(g, ByVolume, nil, g.NumVertices())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Path
+		if err := ForEachNearCriticalPath(g, ByVolume, nil, func(p Path) bool {
+			got = append(got, p)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !pathsEqual(got, want) {
+			t.Fatalf("trial %d: ForEach sequence differs from NearCriticalPaths", trial)
+		}
+
+		for _, k := range []int{0, 1, len(want) / 2} {
+			var prefix []Path
+			if err := ForEachNearCriticalPath(g, ByVolume, nil, func(p Path) bool {
+				prefix = append(prefix, p)
+				return len(prefix) < k
+			}); err != nil {
+				t.Fatal(err)
+			}
+			wantK := k
+			if wantK == 0 {
+				wantK = 1 // yield runs once before the stop signal is read
+			}
+			if wantK > len(want) {
+				wantK = len(want)
+			}
+			if !pathsEqual(prefix, want[:wantK]) {
+				t.Fatalf("trial %d: early-stop prefix (k=%d) differs", trial, k)
+			}
+		}
+	}
+}
+
+// TestForEachCycleError checks the enumeration surfaces the DAG requirement
+// the same way NearCriticalPaths does.
+func TestForEachCycleError(t *testing.T) {
+	g := cyclic()
+	called := false
+	err := ForEachNearCriticalPath(g, ByVolume, nil, func(Path) bool {
+		called = true
+		return true
+	})
+	if err == nil {
+		t.Fatal("expected cycle error")
+	}
+	if called {
+		t.Fatal("yield called on a cyclic graph")
+	}
+}

@@ -12,6 +12,8 @@ package dfl
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // VertexKind distinguishes the two vertex sets D (data) and T (tasks) of §4.1.
@@ -166,11 +168,21 @@ func (e *Edge) Other(id ID) ID {
 // Graph is a DFL graph: a property graph over task and data vertices. A
 // DFL-DAG (one vertex per task instance) is acyclic by construction; a DFL-T
 // (template) may contain cycles.
+//
+// Queries that need sorted snapshots or whole-graph aggregates (Vertices,
+// Edges, TopoSort, TotalVolume, BestRate, Producers/Consumers, ...) are
+// served from a lazily built indexed core (see Index) that structural
+// mutations invalidate, so repeated analysis passes over a finished graph
+// cost slice iterations, not re-sorts. A fully built graph is safe for
+// concurrent readers; mutation is not safe concurrently with queries.
 type Graph struct {
 	vertices map[ID]*Vertex
 	out      map[ID][]*Edge
 	in       map[ID][]*Edge
 	edges    []*Edge
+
+	mu  sync.Mutex // serializes index construction
+	idx atomic.Pointer[Index]
 }
 
 // New creates an empty graph.
@@ -198,6 +210,7 @@ func (g *Graph) ensure(id ID) *Vertex {
 			v.Data.Instances = 1
 		}
 		g.vertices[id] = v
+		g.invalidate()
 	}
 	return v
 }
@@ -229,6 +242,7 @@ func (g *Graph) AddEdge(src, dst ID, kind EdgeKind, props FlowProps) (*Edge, err
 	g.edges = append(g.edges, e)
 	g.out[src] = append(g.out[src], e)
 	g.in[dst] = append(g.in[dst], e)
+	g.invalidate()
 	return e, nil
 }
 
@@ -260,45 +274,27 @@ func (g *Graph) NumVertices() int { return len(g.vertices) }
 // NumEdges returns |E|.
 func (g *Graph) NumEdges() int { return len(g.edges) }
 
-// Vertices returns all vertices sorted by (kind, name) for determinism.
-func (g *Graph) Vertices() []*Vertex {
-	out := make([]*Vertex, 0, len(g.vertices))
-	for _, v := range g.vertices {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return less(out[i].ID, out[j].ID) })
-	return out
+// Vertices returns all vertices sorted by (kind, name) for determinism. The
+// slice is a shared snapshot from the indexed core — do not modify.
+func (g *Graph) Vertices() []*Vertex { return g.Index().verts }
+
+// Tasks returns all task vertices sorted by name (shared snapshot — do not
+// modify).
+func (g *Graph) Tasks() []*Vertex {
+	ix := g.Index()
+	return ix.verts[:ix.nTasks]
 }
 
-// Tasks returns all task vertices sorted by name.
-func (g *Graph) Tasks() []*Vertex { return g.byKind(TaskVertex) }
-
-// DataFiles returns all data vertices sorted by name.
-func (g *Graph) DataFiles() []*Vertex { return g.byKind(DataVertex) }
-
-func (g *Graph) byKind(k VertexKind) []*Vertex {
-	var out []*Vertex
-	for _, v := range g.vertices {
-		if v.ID.Kind == k {
-			out = append(out, v)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID.Name < out[j].ID.Name })
-	return out
+// DataFiles returns all data vertices sorted by name (shared snapshot — do
+// not modify).
+func (g *Graph) DataFiles() []*Vertex {
+	ix := g.Index()
+	return ix.verts[ix.nTasks:]
 }
 
-// Edges returns all edges sorted by (src, dst).
-func (g *Graph) Edges() []*Edge {
-	out := make([]*Edge, len(g.edges))
-	copy(out, g.edges)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Src != out[j].Src {
-			return less(out[i].Src, out[j].Src)
-		}
-		return less(out[i].Dst, out[j].Dst)
-	})
-	return out
-}
+// Edges returns all edges sorted by (src, dst) (shared snapshot — do not
+// modify).
+func (g *Graph) Edges() []*Edge { return g.Index().edges }
 
 func less(a, b ID) bool {
 	if a.Kind != b.Kind {
@@ -308,40 +304,13 @@ func less(a, b ID) bool {
 }
 
 // TopoSort returns the vertices in a topological order, or an error if the
-// graph has a cycle (e.g. a DFL-T with merged loop instances).
+// graph has a cycle (e.g. a DFL-T with merged loop instances). The order is
+// the deterministic Kahn order (sorted zero-indegree seeds, sorted freed
+// successors), served from the indexed core (shared snapshot — do not
+// modify).
 func (g *Graph) TopoSort() ([]ID, error) {
-	indeg := make(map[ID]int, len(g.vertices))
-	for id := range g.vertices {
-		indeg[id] = len(g.in[id])
-	}
-	// Seed queue with sorted zero-indegree vertices for determinism.
-	var queue []ID
-	for id, d := range indeg {
-		if d == 0 {
-			queue = append(queue, id)
-		}
-	}
-	sort.Slice(queue, func(i, j int) bool { return less(queue[i], queue[j]) })
-	order := make([]ID, 0, len(g.vertices))
-	for len(queue) > 0 {
-		id := queue[0]
-		queue = queue[1:]
-		order = append(order, id)
-		var freed []ID
-		for _, e := range g.out[id] {
-			indeg[e.Dst]--
-			if indeg[e.Dst] == 0 {
-				freed = append(freed, e.Dst)
-			}
-		}
-		sort.Slice(freed, func(i, j int) bool { return less(freed[i], freed[j]) })
-		queue = append(queue, freed...)
-	}
-	if len(order) != len(g.vertices) {
-		return nil, fmt.Errorf("dfl: graph has a cycle (%d of %d vertices ordered)",
-			len(order), len(g.vertices))
-	}
-	return order, nil
+	ix := g.Index()
+	return ix.topoIDs, ix.topoErr
 }
 
 // IsDAG reports whether the graph is acyclic.
@@ -356,20 +325,26 @@ func (g *Graph) UseConcurrency(data ID) int {
 	if data.Kind != DataVertex {
 		return 0
 	}
-	seen := make(map[ID]struct{})
-	for _, e := range g.out[data] {
-		seen[e.Dst] = struct{}{}
-	}
-	return len(seen)
+	return len(g.Consumers(data))
 }
 
-// Producers returns the distinct producer tasks of a data vertex, sorted.
+// Producers returns the distinct producer tasks of a data vertex, sorted
+// (shared snapshot — do not modify).
 func (g *Graph) Producers(data ID) []ID {
+	ix := g.Index()
+	if p := ix.Pos(data); p >= 0 && data.Kind == DataVertex {
+		return ix.prod[p]
+	}
 	return g.neighborTasks(g.in[data])
 }
 
-// Consumers returns the distinct consumer tasks of a data vertex, sorted.
+// Consumers returns the distinct consumer tasks of a data vertex, sorted
+// (shared snapshot — do not modify).
 func (g *Graph) Consumers(data ID) []ID {
+	ix := g.Index()
+	if p := ix.Pos(data); p >= 0 && data.Kind == DataVertex {
+		return ix.cons[p]
+	}
 	return g.neighborTasks(g.out[data])
 }
 
@@ -391,11 +366,11 @@ func (g *Graph) neighborTasks(edges []*Edge) []ID {
 	return out
 }
 
-// TotalVolume sums edge volumes over the whole graph.
-func (g *Graph) TotalVolume() uint64 {
-	var v uint64
-	for _, e := range g.edges {
-		v += e.Props.Volume
-	}
-	return v
-}
+// TotalVolume sums edge volumes over the whole graph (cached per-graph
+// aggregate).
+func (g *Graph) TotalVolume() uint64 { return g.Index().totalVolume }
+
+// BestRate returns the maximum effective flow rate (Volume/Latency, B/s)
+// over all edges — the cached per-graph aggregate GCPA's rate-deficit weight
+// normalizes against. Zero when no edge has a measurable rate.
+func (g *Graph) BestRate() float64 { return g.Index().bestRate }

@@ -1,0 +1,89 @@
+package dfl
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// fnv64Offset and fnv64Prime are the FNV-1a 64-bit parameters.
+const (
+	fnv64Offset = 14695981039346656037
+	fnv64Prime  = 1099511628211
+)
+
+// hasher accumulates an FNV-1a 64 hash over typed fields.
+type hasher uint64
+
+func (h *hasher) bytes(p []byte) {
+	x := uint64(*h)
+	for _, b := range p {
+		x = (x ^ uint64(b)) * fnv64Prime
+	}
+	*h = hasher(x)
+}
+
+func (h *hasher) u64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.bytes(buf[:])
+}
+
+func (h *hasher) f64(v float64) { h.u64(math.Float64bits(v)) }
+
+func (h *hasher) str(s string) {
+	h.u64(uint64(len(s)))
+	h.bytes([]byte(s))
+}
+
+func (h *hasher) id(id ID) {
+	h.bytes([]byte{byte(id.Kind)})
+	h.str(id.Name)
+}
+
+// fingerprint hashes the whole graph snapshot — vertex and edge sets with all
+// lifecycle properties — in canonical order, so structurally and numerically
+// identical graphs collide exactly and any content difference (a property, a
+// vertex, an edge) changes the hash.
+func fingerprint(ix *Index) uint64 {
+	h := hasher(fnv64Offset)
+	h.u64(uint64(len(ix.ids)))
+	for _, v := range ix.verts {
+		h.id(v.ID)
+		switch v.ID.Kind {
+		case TaskVertex:
+			p := v.Task
+			h.f64(p.Lifetime)
+			h.u64(p.ReadOps)
+			h.u64(p.WriteOps)
+			h.u64(p.InVolume)
+			h.u64(p.OutVolume)
+			h.f64(p.ReadLatency)
+			h.f64(p.WriteLatency)
+			h.u64(uint64(p.Instances))
+		case DataVertex:
+			p := v.Data
+			h.u64(uint64(p.Size))
+			h.f64(p.Lifetime)
+			h.u64(uint64(p.Instances))
+		}
+	}
+	h.u64(uint64(len(ix.edges)))
+	for _, e := range ix.edges {
+		h.id(e.Src)
+		h.id(e.Dst)
+		h.bytes([]byte{byte(e.Kind)})
+		p := e.Props
+		h.u64(p.Ops)
+		h.u64(p.Volume)
+		h.u64(p.Footprint)
+		h.f64(p.Latency)
+		h.f64(p.MeanDistance)
+		h.f64(p.ZeroDistFrac)
+		h.f64(p.SmallDistFrac)
+		h.u64(uint64(p.Samples))
+	}
+	return uint64(h)
+}
+
+// Fingerprint returns the graph's 64-bit content hash (see Index.Fingerprint).
+func (g *Graph) Fingerprint() uint64 { return g.Index().Fingerprint() }

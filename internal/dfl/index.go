@@ -1,0 +1,278 @@
+package dfl
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+)
+
+// Index is the graph's compact indexed core: a dense-integer view of the
+// vertex set plus CSR-style adjacency, sorted vertex/edge snapshots, the
+// deterministic topological order, and per-graph aggregates (total volume,
+// best flow rate, distinct producer/consumer sets per data vertex).
+//
+// An Index is an immutable snapshot — it is built once per graph generation
+// (lazily, on first query) and shared by every reader, so analysis passes
+// that used to re-sort edges or re-walk maps per call now cost one slice
+// iteration. Mutating the graph (AddEdge, a new vertex, or an explicit
+// Invalidate) discards the snapshot; the next query rebuilds it. All slices
+// returned by Index (and by the Graph query methods backed by it) are shared
+// views: callers must not modify them.
+//
+// Dense vertex indices follow the canonical (kind, name) order, so index
+// comparisons agree with ID ordering: tasks sort before data, names
+// ascending within a kind.
+type Index struct {
+	ids   []ID
+	pos   map[ID]int32
+	verts []*Vertex
+	// nTasks splits verts/ids: [0,nTasks) are tasks, [nTasks,n) are data.
+	nTasks int
+
+	edges []*Edge // sorted by (src, dst)
+
+	// CSR adjacency. Out edges of dense vertex i are
+	// outEdges[outOff[i]:outOff[i+1]], in the per-vertex insertion order the
+	// map-based adjacency had; outDst holds the matching destination dense
+	// indices so relaxation loops never touch a map. Likewise for in/inSrc.
+	outOff, inOff     []int32
+	outEdges, inEdges []*Edge
+	outDst, inSrc     []int32
+
+	topo    []int32
+	topoIDs []ID
+	topoErr error
+
+	totalVolume uint64
+	bestRate    float64
+
+	// prod/cons hold, per dense data vertex index, the distinct producer and
+	// consumer task IDs, sorted. Entries for task vertices are nil.
+	prod, cons [][]ID
+
+	fpOnce sync.Once
+	fp     uint64
+}
+
+// Index returns the graph's indexed core, building it on first use. The
+// returned snapshot is safe for concurrent readers; it is discarded when the
+// graph mutates.
+func (g *Graph) Index() *Index {
+	if ix := g.idx.Load(); ix != nil {
+		return ix
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if ix := g.idx.Load(); ix != nil {
+		return ix
+	}
+	ix := buildIndex(g)
+	g.idx.Store(ix)
+	return ix
+}
+
+// invalidate discards the cached index; the next query rebuilds it.
+func (g *Graph) invalidate() {
+	g.idx.Store(nil)
+}
+
+// Invalidate discards the graph's cached indexed core. Structural mutations
+// (AddEdge, new vertices) invalidate automatically; call this only after
+// mutating vertex or edge properties through previously-obtained pointers
+// once analysis queries have already run (e.g. edge props via FindEdge).
+func (g *Graph) Invalidate() { g.invalidate() }
+
+func buildIndex(g *Graph) *Index {
+	n := len(g.vertices)
+	ix := &Index{
+		ids: make([]ID, 0, n),
+		pos: make(map[ID]int32, n),
+	}
+	for id := range g.vertices {
+		ix.ids = append(ix.ids, id)
+	}
+	slices.SortFunc(ix.ids, func(a, b ID) int {
+		if a.Kind != b.Kind {
+			return int(a.Kind) - int(b.Kind)
+		}
+		if a.Name < b.Name {
+			return -1
+		}
+		if a.Name > b.Name {
+			return 1
+		}
+		return 0
+	})
+	ix.verts = make([]*Vertex, n)
+	for i, id := range ix.ids {
+		ix.pos[id] = int32(i)
+		ix.verts[i] = g.vertices[id]
+		if id.Kind == TaskVertex {
+			ix.nTasks = i + 1
+		}
+	}
+
+	// CSR adjacency, preserving each vertex's insertion-order edge lists.
+	m := len(g.edges)
+	ix.outOff = make([]int32, n+1)
+	ix.inOff = make([]int32, n+1)
+	ix.outEdges = make([]*Edge, 0, m)
+	ix.inEdges = make([]*Edge, 0, m)
+	ix.outDst = make([]int32, 0, m)
+	ix.inSrc = make([]int32, 0, m)
+	for i, id := range ix.ids {
+		for _, e := range g.out[id] {
+			ix.outEdges = append(ix.outEdges, e)
+			ix.outDst = append(ix.outDst, ix.pos[e.Dst])
+		}
+		ix.outOff[i+1] = int32(len(ix.outEdges))
+		for _, e := range g.in[id] {
+			ix.inEdges = append(ix.inEdges, e)
+			ix.inSrc = append(ix.inSrc, ix.pos[e.Src])
+		}
+		ix.inOff[i+1] = int32(len(ix.inEdges))
+	}
+
+	// Sorted edge snapshot: order by (src, dst) using dense indices, which
+	// agree with ID ordering.
+	ix.edges = make([]*Edge, m)
+	copy(ix.edges, g.edges)
+	slices.SortFunc(ix.edges, func(a, b *Edge) int {
+		if c := ix.pos[a.Src] - ix.pos[b.Src]; c != 0 {
+			return int(c)
+		}
+		return int(ix.pos[a.Dst] - ix.pos[b.Dst])
+	})
+
+	// Aggregates: one pass over the edge set.
+	for _, e := range g.edges {
+		ix.totalVolume += e.Props.Volume
+		if r := e.Props.Rate(); r > ix.bestRate {
+			ix.bestRate = r
+		}
+	}
+
+	ix.buildTopo()
+	ix.buildNeighbors()
+	return ix
+}
+
+// buildTopo computes the deterministic Kahn order: the queue is seeded with
+// zero-indegree vertices in canonical order and each pop appends its freed
+// successors sorted — identical to the order the map-based TopoSort produced,
+// but over dense integers.
+func (ix *Index) buildTopo() {
+	n := len(ix.ids)
+	indeg := make([]int32, n)
+	for i := range indeg {
+		indeg[i] = ix.inOff[i+1] - ix.inOff[i]
+	}
+	queue := make([]int32, 0, n)
+	for i := int32(0); i < int32(n); i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int32, 0, n)
+	var freed []int32
+	for head := 0; head < len(queue); head++ {
+		vi := queue[head]
+		order = append(order, vi)
+		freed = freed[:0]
+		for _, di := range ix.outDst[ix.outOff[vi]:ix.outOff[vi+1]] {
+			indeg[di]--
+			if indeg[di] == 0 {
+				freed = append(freed, di)
+			}
+		}
+		slices.Sort(freed)
+		queue = append(queue, freed...)
+	}
+	if len(order) != n {
+		ix.topoErr = fmt.Errorf("dfl: graph has a cycle (%d of %d vertices ordered)",
+			len(order), n)
+		return
+	}
+	ix.topo = order
+	ix.topoIDs = make([]ID, n)
+	for i, vi := range order {
+		ix.topoIDs[i] = ix.ids[vi]
+	}
+}
+
+// buildNeighbors computes, per data vertex, the distinct producer and
+// consumer task sets in canonical order.
+func (ix *Index) buildNeighbors() {
+	n := len(ix.ids)
+	ix.prod = make([][]ID, n)
+	ix.cons = make([][]ID, n)
+	var scratch []int32
+	distinct := func(poss []int32) []ID {
+		if len(poss) == 0 {
+			return nil
+		}
+		scratch = append(scratch[:0], poss...)
+		slices.Sort(scratch)
+		scratch = slices.Compact(scratch)
+		out := make([]ID, len(scratch))
+		for i, p := range scratch {
+			out[i] = ix.ids[p]
+		}
+		return out
+	}
+	for i := ix.nTasks; i < n; i++ {
+		vi := int32(i)
+		ix.prod[i] = distinct(ix.inSrc[ix.inOff[vi]:ix.inOff[vi+1]])
+		ix.cons[i] = distinct(ix.outDst[ix.outOff[vi]:ix.outOff[vi+1]])
+	}
+}
+
+// Len returns the number of vertices.
+func (ix *Index) Len() int { return len(ix.ids) }
+
+// Pos returns the dense index of id, or -1 when absent.
+func (ix *Index) Pos(id ID) int32 {
+	if p, ok := ix.pos[id]; ok {
+		return p
+	}
+	return -1
+}
+
+// IDAt returns the ID at dense index i.
+func (ix *Index) IDAt(i int32) ID { return ix.ids[i] }
+
+// VertexAt returns the vertex at dense index i.
+func (ix *Index) VertexAt(i int32) *Vertex { return ix.verts[i] }
+
+// Topo returns the deterministic topological order as dense indices, or the
+// cycle error. The slice is shared — do not modify.
+func (ix *Index) Topo() ([]int32, error) { return ix.topo, ix.topoErr }
+
+// Out returns the outgoing edges of dense vertex i together with their
+// destination dense indices. Both slices are shared — do not modify.
+func (ix *Index) Out(i int32) ([]*Edge, []int32) {
+	lo, hi := ix.outOff[i], ix.outOff[i+1]
+	return ix.outEdges[lo:hi], ix.outDst[lo:hi]
+}
+
+// In returns the incoming edges of dense vertex i together with their source
+// dense indices. Both slices are shared — do not modify.
+func (ix *Index) In(i int32) ([]*Edge, []int32) {
+	lo, hi := ix.inOff[i], ix.inOff[i+1]
+	return ix.inEdges[lo:hi], ix.inSrc[lo:hi]
+}
+
+// OutDegree returns the out-degree of dense vertex i.
+func (ix *Index) OutDegree(i int32) int { return int(ix.outOff[i+1] - ix.outOff[i]) }
+
+// InDegree returns the in-degree of dense vertex i.
+func (ix *Index) InDegree(i int32) int { return int(ix.inOff[i+1] - ix.inOff[i]) }
+
+// Fingerprint returns a 64-bit content hash of the snapshot, covering every
+// vertex, edge, and property in canonical order. Two graphs with identical
+// content hash equal; it keys analysis memoization (advisor.Memo), so
+// fault-sweep seeds that produce identical DFLs skip re-analysis.
+func (ix *Index) Fingerprint() uint64 {
+	ix.fpOnce.Do(func() { ix.fp = fingerprint(ix) })
+	return ix.fp
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"datalife/internal/cpa"
 	"datalife/internal/dfl"
@@ -153,27 +154,66 @@ func (c Config) withDefaults() Config {
 // Analyze runs every Table 1 detector over the graph. When cat is non-nil the
 // search is narrowed to the caterpillar tree (§5.1); otherwise the whole
 // graph is scanned. Results are ranked by severity.
+//
+// The detectors are independent read-only passes, so they run concurrently;
+// each writes a fixed slot, the slots are concatenated in declaration order,
+// and the final stable sort sees the exact sequence the sequential loop
+// produced — output is byte-identical regardless of scheduling.
 func Analyze(g *dfl.Graph, cat *cpa.Caterpillar, cfg Config) []Opportunity {
 	cfg = cfg.withDefaults()
 	inScope := func(id dfl.ID) bool { return cat == nil || cat.Contains(id) }
 
-	var out []Opportunity
-	out = append(out, detectDataVolume(g, inScope, cfg)...)
-	out = append(out, detectMismatchedRate(g, inScope, cfg)...)
-	out = append(out, detectDataNonUse(g, inScope, cfg)...)
-	out = append(out, detectIntraTaskLocality(g, inScope, cfg)...)
-	out = append(out, detectInterTaskLocality(g, inScope, cfg)...)
-	out = append(out, detectCriticalFlow(g, cat)...)
-	out = append(out, detectParallelismTradeoff(g, inScope, cfg)...)
-	out = append(out, detectTaskCompositions(g, inScope, cfg)...)
+	detectors := []func() []Opportunity{
+		func() []Opportunity { return detectDataVolume(g, inScope, cfg) },
+		func() []Opportunity { return detectMismatchedRate(g, inScope, cfg) },
+		func() []Opportunity { return detectDataNonUse(g, inScope, cfg) },
+		func() []Opportunity { return detectIntraTaskLocality(g, inScope, cfg) },
+		func() []Opportunity { return detectInterTaskLocality(g, inScope, cfg) },
+		func() []Opportunity { return detectCriticalFlow(g, cat) },
+		func() []Opportunity { return detectParallelismTradeoff(g, inScope, cfg) },
+		func() []Opportunity { return detectTaskCompositions(g, inScope, cfg) },
+	}
+	// Warm the graph's indexed core before fanning out, so the workers share
+	// one snapshot instead of racing to build it.
+	g.Index()
+	found := make([][]Opportunity, len(detectors))
+	var wg sync.WaitGroup
+	wg.Add(len(detectors))
+	for i, det := range detectors {
+		go func(i int, det func() []Opportunity) {
+			defer wg.Done()
+			found[i] = det()
+		}(i, det)
+	}
+	wg.Wait()
 
-	sort.SliceStable(out, func(i, j int) bool {
+	var out []Opportunity
+	for _, f := range found {
+		out = append(out, f...)
+	}
+	// Rank by (severity desc, rendered string asc). The tie-break key is
+	// rendered once per opportunity, not once per comparison — String()
+	// allocates, and the comparator runs O(n log n) times.
+	keys := make([]string, len(out))
+	for i := range out {
+		keys[i] = out[i].String()
+	}
+	idx := make([]int, len(out))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
 		if out[i].Severity != out[j].Severity {
 			return out[i].Severity > out[j].Severity
 		}
-		return out[i].String() < out[j].String()
+		return keys[i] < keys[j]
 	})
-	return out
+	ranked := make([]Opportunity, len(out))
+	for k, i := range idx {
+		ranked[k] = out[i]
+	}
+	return ranked
 }
 
 func newOpp(k Kind, sev float64, detail string, mustValidate bool, vs ...dfl.ID) Opportunity {

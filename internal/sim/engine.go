@@ -76,8 +76,8 @@ type Engine struct {
 	now      float64
 	eq       eventHeap
 	seq      int64
-	pool     []*event // free list; retired events recycle through schedule()
-	flows    map[*vfs.Tier]map[*flow]struct{}
+	pool     []*event              // free list; retired events recycle through schedule()
+	flows    map[*vfs.Tier][]*flow // per tier, in creation (id) order
 	flowSeq  int64                 // creation order; reshare iterates flows in this order
 	meta     map[*vfs.Tier]float64 // metadata server next-free time
 	nodes    map[string]*nodeState
@@ -342,7 +342,7 @@ func (e *Engine) Run(w *Workload) (*Result, error) {
 	e.now = 0
 	e.eq = nil
 	e.failure = nil
-	e.flows = make(map[*vfs.Tier]map[*flow]struct{})
+	e.flows = make(map[*vfs.Tier][]*flow)
 	e.flowSeq = 0
 	e.meta = make(map[*vfs.Tier]float64)
 	e.nodes = make(map[string]*nodeState, len(e.Cluster.Nodes))
@@ -602,16 +602,20 @@ func (e *Engine) crashNode(name string) {
 	}
 	sort.Slice(tiers, func(i, j int) bool { return tiers[i].Name < tiers[j].Name })
 	for _, tier := range tiers {
-		set := e.flows[tier]
-		touched := false
-		for fl := range set {
+		list := e.flows[tier]
+		keep := list[:0] // in-place filter preserves creation order
+		for _, fl := range list {
 			if fl.owner != nil && fl.owner.node == name && fl.owner.state == tRunning {
 				fl.version++ // orphan the pending completion event
-				delete(set, fl)
-				touched = true
+				continue
 			}
+			keep = append(keep, fl)
 		}
-		if touched {
+		if len(keep) != len(list) {
+			for i := len(keep); i < len(list); i++ {
+				list[i] = nil
+			}
+			e.flows[tier] = keep
 			e.reshare(tier)
 		}
 	}
@@ -1049,18 +1053,32 @@ func (e *Engine) startPart(ts *taskState) {
 		started: e.now,
 		id:      e.flowSeq,
 	}
-	if e.flows[part.Tier] == nil {
-		e.flows[part.Tier] = make(map[*flow]struct{})
-	}
-	e.flows[part.Tier][fl] = struct{}{}
+	// Flow ids are monotonically increasing, so appending keeps the tier's
+	// list in creation order — reshare never re-sorts.
+	e.flows[part.Tier] = append(e.flows[part.Tier], fl)
 	e.result.TierBytes[part.Tier.Name] += uint64(part.Bytes)
 	e.reshare(part.Tier)
+}
+
+// removeFlow deletes fl from its tier's list, preserving creation order.
+// Flows complete roughly in start order, so the linear scan usually stops
+// within the first few slots.
+func (e *Engine) removeFlow(fl *flow) {
+	list := e.flows[fl.tier]
+	for i, f := range list {
+		if f == fl {
+			copy(list[i:], list[i+1:])
+			list[len(list)-1] = nil
+			e.flows[fl.tier] = list[:len(list)-1]
+			return
+		}
+	}
 }
 
 // finishFlow settles a completed flow, charges its fixed latency, and either
 // advances to the next part or lets the task continue.
 func (e *Engine) finishFlow(fl *flow) {
-	delete(e.flows[fl.tier], fl)
+	e.removeFlow(fl)
 	e.reshare(fl.tier)
 	ts := fl.owner
 	e.result.TierTime[fl.tier.Name] += e.now - fl.started
@@ -1135,10 +1153,7 @@ func (e *Engine) issueAsyncWrite(ts *taskState, op *Op) error {
 		started: e.now,
 		id:      e.flowSeq,
 	}
-	if e.flows[f.Tier] == nil {
-		e.flows[f.Tier] = make(map[*flow]struct{})
-	}
-	e.flows[f.Tier][fl] = struct{}{}
+	e.flows[f.Tier] = append(e.flows[f.Tier], fl)
 	e.result.TierBytes[f.Tier.Name] += uint64(op.Bytes)
 	ts.outstanding++
 	e.reshare(f.Tier)
@@ -1161,18 +1176,17 @@ func (e *Engine) asyncDone(ts *taskState) {
 // and outage windows stall flows entirely until the window-close event
 // reshares the tier.
 func (e *Engine) reshare(tier *vfs.Tier) {
-	set := e.flows[tier]
+	// The tier's flow list is maintained in creation (id) order by
+	// startPart/startAsyncWrite/removeFlow, so no snapshot or sort per call.
+	list := e.flows[tier]
 	var nr, nw int
-	list := make([]*flow, 0, len(set))
-	for fl := range set {
-		list = append(list, fl)
+	for _, fl := range list {
 		if fl.write {
 			nw++
 		} else {
 			nr++
 		}
 	}
-	sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
 	avail := true
 	factor := 1.0
 	if e.faultsOn {

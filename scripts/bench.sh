@@ -12,6 +12,12 @@
 #
 # BENCH_TIME overrides the timestamp (for reproducible filenames in CI);
 # BENCH_FLAGS appends extra `go test` flags (e.g. BENCH_FLAGS="-benchtime 5s").
+#
+# After writing the snapshot, the script compares the analysis hot-path
+# benchmarks (AnalysisLinearity/chain-10000, Advisor) against the newest
+# checked-in BENCH_*.json and exits non-zero on a >20% ns/op regression.
+# BENCH_WARN_ONLY=1 downgrades the failure to a warning (used in CI, where
+# shared-runner noise makes hard gating flaky).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -46,3 +52,44 @@ END   { printf "\n]\n" }
 ' "$raw" > "$out"
 
 echo "wrote $out" >&2
+
+# Regression check: compare the analysis hot-path rows against the newest
+# checked-in snapshot (repo root, not the one just written).
+outbase="$(basename "$out")"
+baseline=""
+for f in $(ls -1 BENCH_*.json 2>/dev/null | sort); do
+    [ "$f" = "$outbase" ] && continue
+    baseline="$f"
+done
+if [ -z "$baseline" ]; then
+    echo "bench.sh: no baseline BENCH_*.json; skipping regression check" >&2
+    exit 0
+fi
+
+# ns_for FILE NAME — print NAME's ns_per_op, tolerating the machine-dependent
+# -GOMAXPROCS suffix go test appends to benchmark names.
+ns_for() {
+    grep -E "\"name\": \"BenchmarkAblation_$2(-[0-9]+)?\"" "$1" |
+        sed -n 's/.*"ns_per_op": \([0-9.e+]*\),.*/\1/p' | head -n 1
+}
+
+status=0
+for name in 'AnalysisLinearity/chain-10000' 'Advisor'; do
+    old="$(ns_for "$baseline" "$name")"
+    new="$(ns_for "$out" "$name")"
+    if [ -z "$old" ] || [ -z "$new" ]; then
+        echo "bench.sh: $name missing from $baseline or $out; skipping" >&2
+        continue
+    fi
+    if awk -v o="$old" -v n="$new" 'BEGIN { exit !(n > o * 1.2) }'; then
+        echo "bench.sh: REGRESSION: $name ${old} -> ${new} ns/op (>20% vs $baseline)" >&2
+        status=1
+    else
+        echo "bench.sh: ok: $name ${old} -> ${new} ns/op (baseline $baseline)" >&2
+    fi
+done
+if [ "$status" -ne 0 ] && [ "${BENCH_WARN_ONLY:-0}" = "1" ]; then
+    echo "bench.sh: BENCH_WARN_ONLY=1 — reporting regression as a warning only" >&2
+    status=0
+fi
+exit "$status"
