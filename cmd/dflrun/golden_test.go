@@ -18,7 +18,7 @@ const faultFreeStdoutSHA256 = "b9e13f1643318cd5a6cb71c6c378ed789484952157bfdd62e
 
 func TestFaultFreeOutputByteIdenticalToSeed(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, []string{"whatif", "fig6", "fig7"}, experiments.Small, "", 1, "", 3, false); err != nil {
+	if err := run(&buf, []string{"whatif", "fig6", "fig7"}, experiments.Small, "", 1, faultsOptions{Seeds: 3}); err != nil {
 		t.Fatal(err)
 	}
 	sum := sha256.Sum256(buf.Bytes())
@@ -31,7 +31,7 @@ func TestFaultSweepStdoutDeterministic(t *testing.T) {
 	sweep := func() string {
 		var buf bytes.Buffer
 		if err := run(&buf, []string{"faults"}, experiments.Small, "", 1,
-			"seed=5;crash=node0@40;ioerr=nfs:0.05", 3, true); err != nil {
+			faultsOptions{Spec: "seed=5;crash=node0@40;ioerr=nfs:0.05", Seeds: 3, Advise: true}); err != nil {
 			t.Fatal(err)
 		}
 		return buf.String()

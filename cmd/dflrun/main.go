@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] [-faults SPEC] [-seeds N] [-advise] fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|faults|all ...
+//	dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] [-faults SPEC] [-seeds N] [-advise] [-checkpoint TIER] [-resume DIR] fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|faults|all ...
 //
 // With -svg DIR, Sankey diagrams for the five workflows (Fig. 2) and the
 // chr1 caterpillar (Fig. 5) are written as SVG files into DIR.
@@ -19,6 +19,18 @@
 // -advise, each sweep run's measured DFL is re-analyzed through a memoized
 // advisor keyed by the graph's content hash, so seeds producing identical
 // lifecycles reuse one cached plan.
+//
+// With -checkpoint TIER, every sweep cell runs twice — recovery-only and
+// with DFL-planned checkpoints to the named durable tier — and the report
+// compares the two side by side (including the ddmd pipeline demo whose
+// node-local intermediates are what the planner protects).
+//
+// With -resume DIR, the sweep appends every finished cell to a
+// crash-consistent run journal in DIR (CRC-framed, synced per record). A
+// run killed mid-sweep is resumed by re-running the same command: cells
+// recovered from the journal's valid prefix are not recomputed, and the
+// resumed stdout is byte-identical to an uninterrupted run because every
+// cell is a pure function of (spec, seed).
 //
 // Before any experiment executes, every workflow DAG it would run is
 // statically validated (internal/analysis/dflcheck); -novalidate skips the
@@ -55,9 +67,11 @@ func main() {
 	faultSpec := flag.String("faults", "", "fault schedule for the faults sweep, e.g. "+experiments.DefaultFaultSpec)
 	seeds := flag.Int("seeds", 3, "seeds per fault sweep (consecutive from the spec's seed)")
 	advise := flag.Bool("advise", false, "re-analyze each fault-sweep run's measured DFL through the memoized advisor")
+	ckptTier := flag.String("checkpoint", "", "durable tier for DFL-planned checkpoints; the faults sweep compares recovery-only vs checkpoint-enabled runs")
+	resume := flag.String("resume", "", "directory for the fault sweep's crash-consistent run journal; re-running with the same flags resumes from it")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] [-faults SPEC] [-seeds N] [-advise] <fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|faults|all> ...")
+		fmt.Fprintln(os.Stderr, "usage: dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] [-faults SPEC] [-seeds N] [-advise] [-checkpoint TIER] [-resume DIR] <fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|faults|all> ...")
 		os.Exit(2)
 	}
 	var scale experiments.Scale
@@ -71,26 +85,49 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := runValidated(flag.Args(), scale, *svgDir, *noValidate, *jobs, *faultSpec, *seeds, *advise); err != nil {
+	fo := faultsOptions{
+		Spec:       *faultSpec,
+		Seeds:      *seeds,
+		Advise:     *advise,
+		Checkpoint: *ckptTier,
+		Resume:     *resume,
+	}
+	if err := runValidated(flag.Args(), scale, *svgDir, *noValidate, *jobs, fo); err != nil {
 		fmt.Fprintf(os.Stderr, "dflrun: %v\n", err)
 		os.Exit(1)
 	}
 }
 
+// faultsOptions carries the fault-sweep flags to the faults subcommand.
+type faultsOptions struct {
+	// Spec is the -faults schedule (DefaultFaultSpec when empty).
+	Spec string
+	// Seeds is the number of consecutive seeds swept from the spec's seed.
+	Seeds int
+	// Advise re-analyzes each run's measured DFL through the memoized
+	// advisor.
+	Advise bool
+	// Checkpoint names the durable tier for DFL-planned checkpoints; empty
+	// runs a plain recovery-only sweep.
+	Checkpoint string
+	// Resume is the run-journal directory; empty disables journaling.
+	Resume string
+}
+
 // runValidated gates run behind the mandatory pre-run DAG validation unless
 // -novalidate was passed.
-func runValidated(cmds []string, scale experiments.Scale, svgDir string, noValidate bool, jobs int, faultSpec string, seeds int, advise bool) error {
+func runValidated(cmds []string, scale experiments.Scale, svgDir string, noValidate bool, jobs int, fo faultsOptions) error {
 	if !noValidate {
 		if err := preflight(); err != nil {
 			return err
 		}
 	}
-	return run(os.Stdout, cmds, scale, svgDir, jobs, faultSpec, seeds, advise)
+	return run(os.Stdout, cmds, scale, svgDir, jobs, fo)
 }
 
 // run executes the selected experiments, jobs at a time, writing their
 // reports to out in the order they were requested.
-func run(out io.Writer, cmds []string, scale experiments.Scale, svgDir string, jobs int, faultSpec string, seeds int, advise bool) error {
+func run(out io.Writer, cmds []string, scale experiments.Scale, svgDir string, jobs int, fo faultsOptions) error {
 	var names []string
 	for _, cmd := range cmds {
 		if cmd == "all" {
@@ -127,7 +164,7 @@ func run(out io.Writer, cmds []string, scale experiments.Scale, svgDir string, j
 	for i, name := range names {
 		name := name
 		jobList[i] = experiments.Job{Name: name, Run: func(w io.Writer) error {
-			return runOne(w, name, scale, svgDir, dfls, faultSpec, seeds, advise)
+			return runOne(w, name, scale, svgDir, dfls, fo)
 		}}
 	}
 	errw := io.Writer(nil)
@@ -147,10 +184,10 @@ func isExperiment(name string) bool {
 }
 
 // runOne executes a single experiment, writing its report to w.
-func runOne(w io.Writer, name string, scale experiments.Scale, svgDir string, dfls []experiments.WorkflowDFL, faultSpec string, seeds int, advise bool) error {
+func runOne(w io.Writer, name string, scale experiments.Scale, svgDir string, dfls []experiments.WorkflowDFL, fo faultsOptions) error {
 	switch name {
 	case "faults":
-		spec := faultSpec
+		spec := fo.Spec
 		if spec == "" {
 			spec = experiments.DefaultFaultSpec
 		}
@@ -158,6 +195,7 @@ func runOne(w io.Writer, name string, scale experiments.Scale, svgDir string, df
 		if err != nil {
 			return err
 		}
+		seeds := fo.Seeds
 		if seeds < 1 {
 			seeds = 1
 		}
@@ -165,12 +203,41 @@ func runOne(w io.Writer, name string, scale experiments.Scale, svgDir string, df
 		for i := range list {
 			list[i] = sched.Seed + uint64(i)
 		}
-		rows, err := experiments.FaultSweep(scale, sched, list)
+		opts := experiments.SweepOptions{Checkpoint: fo.Checkpoint}
+		var done map[experiments.RowKey]experiments.FaultSweepRow
+		var record func(experiments.FaultSweepRow) error
+		if fo.Resume != "" {
+			if err := os.MkdirAll(fo.Resume, 0o755); err != nil {
+				return err
+			}
+			j, err := experiments.OpenRunJournal(filepath.Join(fo.Resume, "faultsweep.journal"),
+				experiments.RunHeader{
+					Spec:       sched.String(),
+					Scale:      uint8(scale),
+					Seeds:      list,
+					Checkpoint: fo.Checkpoint,
+				})
+			if err != nil {
+				return err
+			}
+			defer j.Close()
+			if n := j.Resumed(); n > 0 {
+				// Stderr, not w: resumed stdout must stay byte-identical to
+				// an uninterrupted run.
+				fmt.Fprintf(os.Stderr, "dflrun: resuming, %d sweep cell(s) recovered from the run journal\n", n)
+			}
+			done, record = j.Done(), j.Record
+		}
+		rows, err := experiments.FaultSweepResumable(scale, sched, list, opts, done, record)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(w, experiments.FaultSweepReport(sched, rows))
-		if advise {
+		if fo.Checkpoint != "" {
+			fmt.Fprintln(w, experiments.FaultSweepCheckpointReport(sched, fo.Checkpoint, rows))
+		} else {
+			fmt.Fprintln(w, experiments.FaultSweepReport(sched, rows))
+		}
+		if fo.Advise {
 			// Opt-in: default faults output stays byte-identical without it.
 			adv, err := experiments.FaultSweepAnalyze(scale, sched, list)
 			if err != nil {

@@ -11,24 +11,24 @@ import (
 
 func TestRunFastSubcommands(t *testing.T) {
 	for _, cmd := range []string{"fig3", "fig2f", "fig5", "sweep"} {
-		if err := run(io.Discard, []string{cmd}, experiments.Small, "", 1, "", 3, false); err != nil {
+		if err := run(io.Discard, []string{cmd}, experiments.Small, "", 1, faultsOptions{Seeds: 3}); err != nil {
 			t.Fatalf("%s: %v", cmd, err)
 		}
 	}
-	if err := run(io.Discard, []string{"fig99"}, experiments.Small, "", 1, "", 3, false); err == nil {
+	if err := run(io.Discard, []string{"fig99"}, experiments.Small, "", 1, faultsOptions{Seeds: 3}); err == nil {
 		t.Fatal("unknown subcommand accepted")
 	}
 }
 
 func TestRunMultipleParallel(t *testing.T) {
-	if err := run(io.Discard, []string{"fig3", "fig2f"}, experiments.Small, "", 4, "", 3, false); err != nil {
+	if err := run(io.Discard, []string{"fig3", "fig2f"}, experiments.Small, "", 4, faultsOptions{Seeds: 3}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWritesSVGs(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(io.Discard, []string{"fig5"}, experiments.Small, dir, 1, "", 3, false); err != nil {
+	if err := run(io.Discard, []string{"fig5"}, experiments.Small, dir, 1, faultsOptions{Seeds: 3}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig5-genomes-caterpillar.svg"))

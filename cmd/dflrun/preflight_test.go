@@ -30,7 +30,7 @@ func TestRunRefusesInvalidDAG(t *testing.T) {
 	extraSpecs = []*workflows.Spec{cyclicSpec()}
 	defer func() { extraSpecs = nil }()
 
-	err := runValidated([]string{"fig3"}, experiments.Small, "", false, 1, "", 3, false)
+	err := runValidated([]string{"fig3"}, experiments.Small, "", false, 1, faultsOptions{Seeds: 3})
 	if err == nil {
 		t.Fatal("runValidated executed despite a cyclic workflow DAG")
 	}
@@ -39,7 +39,7 @@ func TestRunRefusesInvalidDAG(t *testing.T) {
 	}
 
 	// -novalidate opts out of the check and the experiment proceeds.
-	if err := runValidated([]string{"fig3"}, experiments.Small, "", true, 1, "", 3, false); err != nil {
+	if err := runValidated([]string{"fig3"}, experiments.Small, "", true, 1, faultsOptions{Seeds: 3}); err != nil {
 		t.Fatalf("-novalidate still refused to run: %v", err)
 	}
 }

@@ -2,7 +2,8 @@
 // over the repository: vet-style checks that enforce the measurement-layer
 // invariants the paper's methodology rests on — all task I/O through the
 // iotrace collector, no wall-clock time in discrete-event code, no locks
-// held across blocking operations, no leaked handles.
+// held across blocking operations, no leaked handles, no panics or
+// discarded Engine.Run errors on the simulator run path.
 //
 // Usage:
 //

@@ -19,6 +19,9 @@
 //   - closecheck: flags iotrace handles whose Close is missing on some path
 //     within the opening function — leaked handles corrupt the lifecycle
 //     (first-open/last-close) measurements of §4.2.
+//   - runerr: flags call sites that discard Engine.Run's error — since the
+//     fault-injection work that error is the only way an unrecovered
+//     failure surfaces, and dropping it silently corrupts results.
 //
 // A diagnostic can be suppressed by placing a "//dflvet:ignore" comment on
 // the offending line or on the line directly above it.
@@ -154,7 +157,7 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 
 // All returns the registered DataLife analyzers in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{IOTraceOnly, SimClock, LockHeld, CloseCheck, NoPanic}
+	return []*Analyzer{IOTraceOnly, SimClock, LockHeld, CloseCheck, NoPanic, RunErr}
 }
 
 // ByName returns the analyzer with the given name, or nil.

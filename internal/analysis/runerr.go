@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RunErr flags call sites that discard Engine.Run's error. Since the
+// fault-injection work, Run's error is the only way an unrecovered failure
+// (a task out of retry attempts, an unrecoverable lost file) surfaces —
+// dropping it turns a modeled outage into silently wrong results, exactly
+// the failure mode the typed *sim.TaskError hierarchy exists to prevent.
+var RunErr = &Analyzer{
+	Name: "runerr",
+	Doc:  "Engine.Run's error must be handled, not discarded",
+	Run:  runRunErr,
+}
+
+func runRunErr(pass *Pass) {
+	report := func(call *ast.CallExpr) {
+		pass.Reportf(call.Pos(), "call discards Engine.Run's error; an unrecovered fault must be handled or propagated")
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok && isEngineRun(pass.Info, call) {
+					report(call)
+				}
+			case *ast.GoStmt:
+				if isEngineRun(pass.Info, st.Call) {
+					report(st.Call)
+				}
+			case *ast.DeferStmt:
+				if isEngineRun(pass.Info, st.Call) {
+					report(st.Call)
+				}
+			case *ast.AssignStmt:
+				// res, _ := eng.Run(w) — the error result assigned to blank.
+				if len(st.Rhs) != 1 || len(st.Lhs) != 2 {
+					return true
+				}
+				call, ok := st.Rhs[0].(*ast.CallExpr)
+				if !ok || !isEngineRun(pass.Info, call) {
+					return true
+				}
+				if id, ok := st.Lhs[1].(*ast.Ident); ok && id.Name == "_" {
+					report(call)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isEngineRun reports whether call statically resolves to the Run method of
+// datalife/internal/sim.Engine.
+func isEngineRun(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Name() != "Run" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Engine" && obj.Pkg() != nil && obj.Pkg().Path() == "datalife/internal/sim"
+}

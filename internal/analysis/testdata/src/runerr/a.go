@@ -1,0 +1,48 @@
+// Package runerr seeds violations for the runerr analyzer: call sites that
+// discard Engine.Run's error, the only channel an unrecovered fault uses.
+package runerr
+
+import "datalife/internal/sim"
+
+func discardAll(eng *sim.Engine, w *sim.Workload) {
+	eng.Run(w) // want "discards Engine.Run's error"
+}
+
+func blankErr(eng *sim.Engine, w *sim.Workload) *sim.Result {
+	res, _ := eng.Run(w) // want "discards Engine.Run's error"
+	return res
+}
+
+func blankBoth(eng *sim.Engine, w *sim.Workload) {
+	_, _ = eng.Run(w) // want "discards Engine.Run's error"
+}
+
+func inGoroutine(eng *sim.Engine, w *sim.Workload) {
+	go eng.Run(w) // want "discards Engine.Run's error"
+}
+
+func deferred(eng *sim.Engine, w *sim.Workload) {
+	defer eng.Run(w) // want "discards Engine.Run's error"
+}
+
+func handled(eng *sim.Engine, w *sim.Workload) error {
+	_, err := eng.Run(w)
+	return err
+}
+
+func propagated(eng *sim.Engine, w *sim.Workload) (*sim.Result, error) {
+	return eng.Run(w)
+}
+
+func suppressed(eng *sim.Engine, w *sim.Workload) {
+	eng.Run(w) //dflvet:ignore — throwaway warm-up run in a benchmark harness
+}
+
+// runner has its own Run method; calls to it must not be flagged.
+type runner struct{}
+
+func (runner) Run(w *sim.Workload) {}
+
+func notEngine(r runner, w *sim.Workload) {
+	r.Run(w)
+}

@@ -78,6 +78,7 @@ func TestSimClockGolden(t *testing.T)    { runGolden(t, SimClock, "simclock") }
 func TestLockHeldGolden(t *testing.T)    { runGolden(t, LockHeld, "lockheld") }
 func TestCloseCheckGolden(t *testing.T)  { runGolden(t, CloseCheck, "closecheck") }
 func TestNoPanicGolden(t *testing.T)     { runGolden(t, NoPanic, "nopanic") }
+func TestRunErrGolden(t *testing.T)      { runGolden(t, RunErr, "runerr") }
 
 func TestAnalyzerScopes(t *testing.T) {
 	cases := []struct {

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+
+	"datalife/internal/journal"
+)
+
+// A RunJournal makes a fault sweep crash-resumable: every finished row is
+// appended to a CRC-framed journal and synced before the sweep moves on, so
+// a killed process leaves at most one torn record at the tail. Re-opening
+// the journal recovers the valid prefix, and FaultSweepResumable skips the
+// recovered cells — a resumed sweep produces rows bit-identical to an
+// uninterrupted one because every cell is deterministic in (spec, seed).
+
+// RunHeader pins the configuration a journal belongs to. A resume with a
+// different spec, scale, seed list, or checkpoint tier would silently mix
+// incomparable rows; the header check turns that into an error.
+type RunHeader struct {
+	Spec       string   `json:"spec"`
+	Scale      uint8    `json:"scale"`
+	Seeds      []uint64 `json:"seeds"`
+	Checkpoint string   `json:"checkpoint,omitempty"`
+}
+
+// RunJournal is an open sweep journal positioned for appending.
+type RunJournal struct {
+	f    *os.File
+	jw   *journal.Writer
+	done map[RowKey]FaultSweepRow
+}
+
+// OpenRunJournal opens or creates the journal at path. An existing journal
+// must carry a matching header; its valid prefix of rows becomes Done(),
+// the file is truncated to that prefix (dropping any torn tail), and new
+// rows append after it. A journal whose header record itself is torn is
+// restarted from scratch — it holds no usable rows.
+func OpenRunJournal(path string, hdr RunHeader) (*RunJournal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: opening run journal: %w", err)
+	}
+	j := &RunJournal{f: f, jw: journal.NewWriter(f), done: map[RowKey]FaultSweepRow{}}
+
+	s := journal.NewScanner(f)
+	sawHeader := false
+	for s.Scan() {
+		if !sawHeader {
+			var got RunHeader
+			if err := json.Unmarshal(s.Bytes(), &got); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("experiments: run journal header: %w", err)
+			}
+			if !reflect.DeepEqual(got, hdr) {
+				f.Close()
+				return nil, fmt.Errorf("experiments: run journal %s was written by a different sweep (%+v, resuming %+v)",
+					path, got, hdr)
+			}
+			sawHeader = true
+			continue
+		}
+		var row FaultSweepRow
+		if err := json.Unmarshal(s.Bytes(), &row); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("experiments: run journal row: %w", err)
+		}
+		j.done[row.Key()] = row
+	}
+	if err := s.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiments: reading run journal: %w", err)
+	}
+
+	off := s.Offset()
+	if !sawHeader {
+		off = 0
+	}
+	if err := f.Truncate(off); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiments: truncating run journal tail: %w", err)
+	}
+	if _, err := f.Seek(off, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if !sawHeader {
+		payload, err := json.Marshal(hdr)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := j.jw.Append(payload); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// Done returns the rows recovered at open time, keyed for
+// FaultSweepResumable.
+func (j *RunJournal) Done() map[RowKey]FaultSweepRow { return j.done }
+
+// Resumed returns how many finished cells the journal carried at open.
+func (j *RunJournal) Resumed() int { return len(j.done) }
+
+// Record appends one finished row and syncs it to disk before returning, so
+// a crash after Record never loses the row.
+func (j *RunJournal) Record(row FaultSweepRow) error {
+	payload, err := json.Marshal(row)
+	if err != nil {
+		return fmt.Errorf("experiments: encoding sweep row: %w", err)
+	}
+	if err := j.jw.Append(payload); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close closes the underlying file.
+func (j *RunJournal) Close() error { return j.f.Close() }

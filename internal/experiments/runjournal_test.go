@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"datalife/internal/faults"
+)
+
+// journalSched is the fixed schedule the journal tests sweep under.
+func journalSched(t *testing.T) *faults.Schedule {
+	t.Helper()
+	sched, err := faults.ParseSpec(DefaultFaultSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
+// runJournaledSweep runs a full sweep recording into a journal at path and
+// returns its rows.
+func runJournaledSweep(t *testing.T, path string, hdr RunHeader, sched *faults.Schedule,
+	seeds []uint64, opts SweepOptions) []FaultSweepRow {
+	t.Helper()
+	j, err := OpenRunJournal(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	rows, err := FaultSweepResumable(Small, sched, seeds, opts, j.Done(), j.Record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestRunJournalKillAndResumeBitIdentical is the kill-and-resume gate: a
+// journal cut at EVERY byte offset (simulating SIGKILL at an arbitrary
+// point, including mid-record) must reopen to a valid prefix, and the
+// resumed sweep must reproduce the uninterrupted rows bit for bit.
+func TestRunJournalKillAndResumeBitIdentical(t *testing.T) {
+	sched := journalSched(t)
+	seeds := []uint64{1, 2}
+	opts := SweepOptions{Checkpoint: "nfs"}
+	hdr := RunHeader{Spec: sched.String(), Scale: uint8(Small), Seeds: seeds, Checkpoint: "nfs"}
+
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.journal")
+	want := runJournaledSweep(t, full, hdr, sched, seeds, opts)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sweep the cut point across the whole journal. Byte-level cuts cover
+	// torn headers, torn row frames, and clean record boundaries alike.
+	// Stride keeps the test fast while still hitting tears inside every
+	// record; the exact end-of-record boundaries are covered by cut=len.
+	for cut := 0; cut <= len(data); cut += 37 {
+		trunc := filepath.Join(dir, "trunc.journal")
+		if err := os.WriteFile(trunc, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := runJournaledSweep(t, trunc, hdr, sched, seeds, opts)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cut at byte %d of %d: resumed rows differ\ngot:  %+v\nwant: %+v",
+				cut, len(data), got, want)
+		}
+	}
+
+	// The final cut (the complete journal) resumes every cell without
+	// recomputing anything.
+	j, err := OpenRunJournal(full, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Resumed() != len(want) {
+		t.Fatalf("complete journal resumed %d cells, want %d", j.Resumed(), len(want))
+	}
+}
+
+// TestRunJournalRejectsMismatchedHeader: resuming under different sweep
+// parameters must fail loudly, not silently mix incomparable rows.
+func TestRunJournalRejectsMismatchedHeader(t *testing.T) {
+	sched := journalSched(t)
+	seeds := []uint64{1}
+	hdr := RunHeader{Spec: sched.String(), Scale: uint8(Small), Seeds: seeds}
+
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	runJournaledSweep(t, path, hdr, sched, seeds, SweepOptions{})
+
+	for _, bad := range []RunHeader{
+		{Spec: "seed=9", Scale: uint8(Small), Seeds: seeds},
+		{Spec: hdr.Spec, Scale: uint8(Paper), Seeds: seeds},
+		{Spec: hdr.Spec, Scale: uint8(Small), Seeds: []uint64{1, 2}},
+		{Spec: hdr.Spec, Scale: uint8(Small), Seeds: seeds, Checkpoint: "nfs"},
+	} {
+		if _, err := OpenRunJournal(path, bad); err == nil {
+			t.Errorf("header %+v accepted a journal written under %+v", bad, hdr)
+		}
+	}
+}
+
+// TestFaultSweepCheckpointBeatsRecovery pins the tentpole's payoff: on the
+// demos whose intermediates live on node-local tiers, checkpoint-enabled
+// cells must show strictly fewer producer re-runs and strictly lower
+// recovery time than the recovery-only cells of the same (workflow, seed).
+func TestFaultSweepCheckpointBeatsRecovery(t *testing.T) {
+	sched := journalSched(t)
+	seeds := []uint64{1, 2}
+	rows, err := FaultSweepResumable(Small, sched, seeds, SweepOptions{Checkpoint: "nfs"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[RowKey]FaultSweepRow{}
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Fatalf("%s/%d/%s did not recover: %s", r.Workflow, r.Seed, r.Mode, r.Err)
+		}
+		byKey[r.Key()] = r
+	}
+	// restage recovers off the shared tier either way; rerun and ddmd lose
+	// node-local intermediates, which is where checkpoints pay.
+	improved := 0
+	for _, wf := range []string{"rerun", "ddmd"} {
+		for _, seed := range seeds {
+			rec, ok := byKey[RowKey{wf, seed, ModeRecovery}]
+			if !ok {
+				t.Fatalf("missing recovery row for %s/%d", wf, seed)
+			}
+			ck, ok := byKey[RowKey{wf, seed, ModeCheckpoint}]
+			if !ok {
+				t.Fatalf("missing checkpoint row for %s/%d", wf, seed)
+			}
+			if ck.CheckpointPlan == "" || ck.CheckpointRestores == 0 {
+				t.Fatalf("%s/%d checkpoint row has no plan or restores: %+v", wf, seed, ck)
+			}
+			if ck.ProducerReruns >= rec.ProducerReruns {
+				t.Errorf("%s/%d: checkpoint reruns %d not below recovery-only %d",
+					wf, seed, ck.ProducerReruns, rec.ProducerReruns)
+			}
+			if ck.RecoverySeconds >= rec.RecoverySeconds {
+				t.Errorf("%s/%d: checkpoint recovery %.2fs not below recovery-only %.2fs",
+					wf, seed, ck.RecoverySeconds, rec.RecoverySeconds)
+			}
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Fatal("no checkpoint/recovery pairs compared")
+	}
+}

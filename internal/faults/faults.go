@@ -88,15 +88,17 @@ func (s *Schedule) Validate() error {
 		}
 	}
 	for _, d := range s.Slowdowns {
-		if d.Start < 0 || d.End <= d.Start {
+		// !(End > Start) rather than End <= Start so a NaN endpoint is
+		// rejected instead of slipping through both comparisons.
+		if d.Start < 0 || math.IsNaN(d.Start) || !(d.End > d.Start) {
 			return fmt.Errorf("faults: slowdown on %s has invalid window [%v,%v)", d.Tier, d.Start, d.End)
 		}
-		if d.Factor <= 0 || d.Factor > 1 {
+		if !(d.Factor > 0) || d.Factor > 1 {
 			return fmt.Errorf("faults: slowdown on %s has factor %v outside (0,1]", d.Tier, d.Factor)
 		}
 	}
 	for _, o := range s.Outages {
-		if o.Start < 0 || o.End <= o.Start {
+		if o.Start < 0 || math.IsNaN(o.Start) || !(o.End > o.Start) {
 			return fmt.Errorf("faults: outage on %s has invalid window [%v,%v)", o.Tier, o.Start, o.End)
 		}
 	}

@@ -1,0 +1,48 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSpec checks the round-trip property the sweep journals depend on
+// (a resumed sweep re-validates its header by comparing rendered specs):
+// for any spec that parses, ParseSpec(s.String()) must reproduce s exactly,
+// and String must be a fixed point. The example-based tests only cover the
+// documented syntax; the fuzzer walks the corners — hex floats, signed
+// infinities, duplicate clauses, embedded whitespace in names.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"seed=42",
+		"seed=1;crash=node0@40;ioerr=nfs:0.02",
+		"seed=42;crash=node0@30;ioerr=nfs:0.05;slow=nfs@100-200x0.5;outage=wan@50-80",
+		"crash=a@0;crash=a@1e9;slow=t@0-1x1;outage=t@0-0.5",
+		"ioerr=shm:1;ioerr=nfs:0.5;ioerr=shm:0.25",
+		"seed=18446744073709551615",
+		";;seed=0;; crash=n@0x1p3 ;",
+		"crash=node0@+Inf",
+		"slow=nfs@0-1xNaN",
+		"outage=wan@NaN-5",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s1, err := ParseSpec(spec)
+		if err != nil {
+			return // rejecting a spec is fine; crashing or mis-parsing is not
+		}
+		str := s1.String()
+		s2, err := ParseSpec(str)
+		if err != nil {
+			t.Fatalf("String() %q of accepted spec %q does not re-parse: %v", str, spec, err)
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("round trip of %q changed the schedule:\nfirst:  %+v\nsecond: %+v\nvia %q",
+				spec, s1, s2, str)
+		}
+		if again := s2.String(); again != str {
+			t.Fatalf("String() is not a fixed point: %q then %q", str, again)
+		}
+	})
+}

@@ -1,0 +1,51 @@
+package iotrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"datalife/internal/journal"
+)
+
+// Crash-consistent measurement: instead of one SaveJSON at the end of a run
+// (which a crash loses entirely), a collector can append periodic snapshots
+// to a CRC-framed journal. A run killed mid-flight leaves a journal whose
+// valid prefix still loads — the analyzer gets the last durable snapshot and
+// a Partial flag instead of nothing.
+
+// AppendSnapshot writes the collector's current state as one journal record.
+// The payload is the same document SaveJSON writes (compactly encoded), so a
+// snapshot and a final save describe the run identically.
+func (c *Collector) AppendSnapshot(jw *journal.Writer) error {
+	payload, err := json.Marshal(c.persistDoc())
+	if err != nil {
+		return fmt.Errorf("iotrace: encoding snapshot: %w", err)
+	}
+	return jw.Append(payload)
+}
+
+// LoadJournalJSON recovers a measurement database from a snapshot journal.
+// It returns the last snapshot in the journal's valid prefix; Partial is set
+// when the journal ends in a torn record (the writing run was killed). A
+// journal with no complete snapshot is an error.
+func LoadJournalJSON(r io.Reader) (*SavedState, error) {
+	s := journal.NewScanner(r)
+	var last []byte
+	for s.Scan() {
+		last = s.Bytes()
+	}
+	if err := s.Err(); err != nil {
+		return nil, fmt.Errorf("iotrace: reading snapshot journal: %w", err)
+	}
+	if last == nil {
+		return nil, fmt.Errorf("iotrace: snapshot journal holds no complete snapshot")
+	}
+	var doc persistDoc
+	if err := json.Unmarshal(last, &doc); err != nil {
+		return nil, fmt.Errorf("iotrace: decoding snapshot: %w", err)
+	}
+	st := docToState(doc)
+	st.Partial = s.Truncated()
+	return st, nil
+}

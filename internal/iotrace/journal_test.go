@@ -1,0 +1,108 @@
+package iotrace
+
+import (
+	"bytes"
+	"testing"
+
+	"datalife/internal/journal"
+)
+
+// collectJournaled replays the collectSample workload, appending a snapshot
+// after each task — the way a crash-consistent run would — and returns the
+// journal bytes plus the record boundaries.
+func collectJournaled(t *testing.T) ([]byte, []int64) {
+	t.Helper()
+	var buf bytes.Buffer
+	jw := journal.NewWriter(&buf)
+	bounds := []int64{0}
+	snap := func(c *Collector) {
+		if err := c.AppendSnapshot(jw); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, int64(buf.Len()))
+	}
+
+	e := newEnv(t)
+	e.col.TaskStarted("w", 0)
+	tr := e.tracer("w")
+	h, err := tr.Open("data.bin", WRONLY|CREATE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		h.Write(1000)
+	}
+	h.Close()
+	e.col.TaskEnded("w", e.clk.Now())
+	snap(e.col)
+
+	e.col.TaskStarted("r", e.clk.Now())
+	rd := e.tracer("r")
+	rh, err := rd.Open("data.bin", RDONLY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh.Read(4000)
+	rh.Close()
+	e.col.TaskEnded("r", e.clk.Now())
+	snap(e.col)
+	return buf.Bytes(), bounds
+}
+
+func TestJournalLoadsFinalSnapshot(t *testing.T) {
+	data, _ := collectJournaled(t)
+	st, err := LoadJournalJSON(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Partial {
+		t.Fatal("intact journal flagged partial")
+	}
+	if len(st.Tasks) != 2 || len(st.Flows) != 2 {
+		t.Fatalf("tasks=%d flows=%d, want 2/2", len(st.Tasks), len(st.Flows))
+	}
+	// The journal's last snapshot must match what SaveJSON/LoadJSON give.
+	var buf bytes.Buffer
+	if err := collectSample(t).SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Flows) != len(st.Flows) {
+		t.Fatalf("journal flows %d != direct flows %d", len(st.Flows), len(direct.Flows))
+	}
+}
+
+// TestJournalKilledMidRecord simulates a run killed while appending the
+// second snapshot: the loader must fall back to the first snapshot and flag
+// the state partial.
+func TestJournalKilledMidRecord(t *testing.T) {
+	data, bounds := collectJournaled(t)
+	cut := bounds[1] + (bounds[2]-bounds[1])/2
+	st, err := LoadJournalJSON(bytes.NewReader(data[:cut]))
+	if err != nil {
+		t.Fatalf("torn journal must still load: %v", err)
+	}
+	if !st.Partial {
+		t.Fatal("torn journal not flagged partial")
+	}
+	// Only the writer task had completed at the surviving snapshot.
+	if len(st.Tasks) != 1 || st.Tasks[0].Name != "w" {
+		t.Fatalf("recovered tasks = %+v, want just w", st.Tasks)
+	}
+	if len(st.Flows) != 1 || st.Flows[0].Task != "w" {
+		t.Fatalf("recovered flows = %+v, want just w", st.Flows)
+	}
+}
+
+func TestJournalWithNoCompleteSnapshotFails(t *testing.T) {
+	data, bounds := collectJournaled(t)
+	if _, err := LoadJournalJSON(bytes.NewReader(data[:bounds[1]/2])); err == nil {
+		t.Fatal("journal with no complete snapshot must not load")
+	}
+	if _, err := LoadJournalJSON(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty journal must not load")
+	}
+}

@@ -58,6 +58,13 @@ type persistDoc struct {
 
 // SaveJSON writes the collector state as a stable JSON document.
 func (c *Collector) SaveJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.persistDoc())
+}
+
+// persistDoc snapshots the collector into its stable serialized form.
+func (c *Collector) persistDoc() persistDoc {
 	doc := persistDoc{Config: c.Config()}
 	for _, ti := range c.Tasks() {
 		doc.Tasks = append(doc.Tasks, persistTask{Name: ti.Name, Start: ti.Start, End: ti.End})
@@ -78,9 +85,7 @@ func (c *Collector) SaveJSON(w io.Writer) error {
 			TotalFootprint: fl.TotalFootprint(),
 		})
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	return doc
 }
 
 // SavedFlow is a loaded task-file record with the derived metrics the graph
@@ -104,6 +109,10 @@ type SavedState struct {
 	Config blockstats.Config
 	Tasks  []TaskInfo
 	Flows  []SavedFlow
+	// Partial reports that the state was recovered from a journal whose
+	// tail was torn (the run was killed mid-flight): the snapshot is the
+	// last durable one, not necessarily the run's final state.
+	Partial bool
 }
 
 // LoadJSON reads a measurement database written by SaveJSON.
@@ -112,6 +121,10 @@ func LoadJSON(r io.Reader) (*SavedState, error) {
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
 		return nil, fmt.Errorf("iotrace: decoding saved state: %w", err)
 	}
+	return docToState(doc), nil
+}
+
+func docToState(doc persistDoc) *SavedState {
 	st := &SavedState{Config: doc.Config}
 	for _, pt := range doc.Tasks {
 		st.Tasks = append(st.Tasks, TaskInfo{Name: pt.Name, Start: pt.Start, End: pt.End,
@@ -135,5 +148,5 @@ func LoadJSON(r io.Reader) (*SavedState, error) {
 		}
 		st.Flows = append(st.Flows, sf)
 	}
-	return st, nil
+	return st
 }

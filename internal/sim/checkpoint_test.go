@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"testing"
+
+	"datalife/internal/faults"
+	"datalife/internal/vfs"
+)
+
+// ckptRerunWorkload mirrors rerunWorkload but gives the producer a compute
+// phase, so re-running it has a real cost for checkpoint restores to beat.
+func ckptRerunWorkload(midBytes int64) *Workload {
+	return &Workload{Tasks: []*Task{
+		{
+			Name:       "produce",
+			CreateTier: "local:shm",
+			Script:     []Op{Compute(10), Write("mid", midBytes, 1<<20)},
+		},
+		{
+			Name: "consume",
+			Deps: []string{"produce"},
+			Script: []Op{
+				Compute(50),
+				Read("mid", midBytes, 1<<20),
+				Write("final", 1<<20, 1<<20),
+			},
+		},
+	}}
+}
+
+func TestCheckpointRestoreAvoidsProducerRerun(t *testing.T) {
+	crash := &faults.Schedule{Seed: 1, Crashes: []faults.NodeCrash{{Node: "node0", Time: 15}}}
+
+	// Recovery-only baseline: losing mid forces a producer re-run.
+	fs, c := testCluster(t, 2, 1)
+	baseEng := &Engine{FS: fs, Cluster: c, Faults: crash}
+	base, err := baseEng.Run(ckptRerunWorkload(1 << 20))
+	if err != nil {
+		t.Fatalf("baseline run did not recover: %v", err)
+	}
+	if base.ProducerReruns != 1 {
+		t.Fatalf("baseline producer reruns = %d, want 1", base.ProducerReruns)
+	}
+
+	// With mid checkpointed to nfs the copy is durable long before the
+	// crash, so triage restores it instead of resurrecting the producer.
+	fs, c = testCluster(t, 2, 1)
+	eng := &Engine{FS: fs, Cluster: c, Faults: crash,
+		Checkpoint: &CheckpointPolicy{Tier: "nfs", Files: []string{"mid"}}}
+	res, err := eng.Run(ckptRerunWorkload(1 << 20))
+	if err != nil {
+		t.Fatalf("checkpointed run did not recover: %v", err)
+	}
+	if res.CheckpointCopies != 1 || res.CheckpointBytes != 1<<20 {
+		t.Fatalf("copies/bytes = %d/%d, want 1/%d", res.CheckpointCopies, res.CheckpointBytes, 1<<20)
+	}
+	if res.CheckpointRestores != 1 || res.ProducerReruns != 0 || res.Restagings != 0 {
+		t.Fatalf("restores/reruns/restagings = %d/%d/%d, want 1/0/0",
+			res.CheckpointRestores, res.ProducerReruns, res.Restagings)
+	}
+	if res.ProducerReruns >= base.ProducerReruns {
+		t.Fatalf("checkpointing must cut producer reruns: %d vs baseline %d",
+			res.ProducerReruns, base.ProducerReruns)
+	}
+	if res.RecoverySeconds >= base.RecoverySeconds {
+		t.Fatalf("checkpointing must cut recovery time: %.2fs vs baseline %.2fs",
+			res.RecoverySeconds, base.RecoverySeconds)
+	}
+	// The restored file lives on the checkpoint tier.
+	f, err := fs.Stat("mid")
+	if err != nil {
+		t.Fatalf("mid missing after restore: %v", err)
+	}
+	if f.Tier.Name != "nfs" || f.Size != 1<<20 {
+		t.Fatalf("restored mid on %s size %d, want nfs size %d", f.Tier.Name, f.Size, int64(1<<20))
+	}
+	if len(eng.pendingLost) != 0 {
+		t.Fatalf("pendingLost leaked: %v", eng.pendingLost)
+	}
+}
+
+// TestCheckpointCrashDuringCopyFallsBackToRerun covers the triage edge case
+// of a file lost while its checkpoint copy is still in flight: the copy
+// must be aborted (never durable, no restore from torn bytes), recovery
+// must fall back to the producer re-run, and pendingLost must drain.
+func TestCheckpointCrashDuringCopyFallsBackToRerun(t *testing.T) {
+	const mid = 256 << 20 // nfs write leg takes ~1.3s; crash at 10.5 hits it mid-copy
+	fs, c := testCluster(t, 2, 1)
+	eng := &Engine{FS: fs, Cluster: c,
+		Faults:     &faults.Schedule{Seed: 1, Crashes: []faults.NodeCrash{{Node: "node0", Time: 10.5}}},
+		Checkpoint: &CheckpointPolicy{Tier: "nfs", Files: []string{"mid"}}}
+	res, err := eng.Run(ckptRerunWorkload(mid))
+	if err != nil {
+		t.Fatalf("run did not recover: %v", err)
+	}
+	if res.CheckpointRestores != 0 {
+		t.Fatalf("restored %d files from an in-flight (torn) copy, want 0", res.CheckpointRestores)
+	}
+	if res.ProducerReruns != 1 {
+		t.Fatalf("producer reruns = %d, want 1 (in-flight copy cannot restore)", res.ProducerReruns)
+	}
+	// The re-run producer re-triggers the checkpoint, which completes this
+	// time — exactly one durable copy, not two.
+	if res.CheckpointCopies != 1 || res.CheckpointBytes != mid {
+		t.Fatalf("copies/bytes = %d/%d, want 1/%d", res.CheckpointCopies, res.CheckpointBytes, int64(mid))
+	}
+	if len(eng.pendingLost) != 0 {
+		t.Fatalf("pendingLost leaked: %v", eng.pendingLost)
+	}
+	if _, err := fs.Stat("final"); err != nil {
+		t.Fatalf("final missing after recovery: %v", err)
+	}
+}
+
+// TestCheckpointRewriteInvalidates ensures a later write to a protected
+// file invalidates the durable copy: the restore must materialize the
+// rewritten bytes, not the stale first version.
+func TestCheckpointRewriteInvalidates(t *testing.T) {
+	fs, c := testCluster(t, 2, 1)
+	w := &Workload{Tasks: []*Task{
+		{
+			Name:       "produce",
+			CreateTier: "local:shm",
+			Script:     []Op{Write("mid", 1<<20, 1<<20)},
+		},
+		{
+			// Appends to mid while the first copy is still in flight,
+			// invalidating it; the copy restarted after extend finishes is
+			// the only one that completes.
+			Name:   "extend",
+			Deps:   []string{"produce"},
+			Script: []Op{Write("mid", 1<<20, 1<<20), Compute(20)},
+		},
+		{
+			Name: "consume",
+			Deps: []string{"extend"},
+			Script: []Op{
+				Compute(30),
+				Read("mid", 2<<20, 1<<20),
+				Write("final", 1<<20, 1<<20),
+			},
+		},
+	}}
+	eng := &Engine{FS: fs, Cluster: c,
+		Faults:     &faults.Schedule{Seed: 1, Crashes: []faults.NodeCrash{{Node: "node0", Time: 25}}},
+		Checkpoint: &CheckpointPolicy{Tier: "nfs", Files: []string{"mid"}}}
+	res, err := eng.Run(w)
+	if err != nil {
+		t.Fatalf("run did not recover: %v", err)
+	}
+	if res.CheckpointCopies != 1 {
+		t.Fatalf("copies = %d, want 1 (the invalidated first copy must not complete)", res.CheckpointCopies)
+	}
+	if res.CheckpointBytes != 2<<20 {
+		t.Fatalf("checkpoint bytes = %d, want %d (the re-copy covers the full rewrite)",
+			res.CheckpointBytes, int64(2<<20))
+	}
+	if res.CheckpointRestores != 1 || res.ProducerReruns != 0 {
+		t.Fatalf("restores/reruns = %d/%d, want 1/0", res.CheckpointRestores, res.ProducerReruns)
+	}
+	f, err := fs.Stat("mid")
+	if err != nil {
+		t.Fatalf("mid missing after restore: %v", err)
+	}
+	if f.Size != 2<<20 {
+		t.Fatalf("restored stale copy: size %d, want %d", f.Size, int64(2<<20))
+	}
+}
+
+func TestCheckpointSecondCrashDoesNotDoubleRestore(t *testing.T) {
+	fs := vfs.New()
+	c, err := BuildCluster(fs, ClusterSpec{
+		Name: "test3", Nodes: 3, Cores: 1, DefaultTier: "nfs",
+		Shared:     []*vfs.Tier{vfs.NewNFS("nfs")},
+		LocalKinds: []LocalTierSpec{{Kind: "shm"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{FS: fs, Cluster: c,
+		Faults: &faults.Schedule{Seed: 1, Crashes: []faults.NodeCrash{
+			{Node: "node0", Time: 12}, {Node: "node1", Time: 20},
+		}},
+		Checkpoint: &CheckpointPolicy{Tier: "nfs", Files: []string{"mid"}}}
+	res, err := eng.Run(ckptRerunWorkload(1 << 20))
+	if err != nil {
+		t.Fatalf("run did not recover: %v", err)
+	}
+	// The first crash restores mid onto nfs; from there a second crash
+	// cannot lose it again, so exactly one restore happens.
+	if res.CheckpointRestores != 1 {
+		t.Fatalf("restores = %d, want exactly 1", res.CheckpointRestores)
+	}
+	if res.ProducerReruns != 0 {
+		t.Fatalf("producer reruns = %d, want 0", res.ProducerReruns)
+	}
+	if len(eng.pendingLost) != 0 {
+		t.Fatalf("pendingLost leaked: %v", eng.pendingLost)
+	}
+}
+
+func TestCheckpointPolicyValidation(t *testing.T) {
+	w := ckptRerunWorkload(1 << 20)
+
+	fs, c := testCluster(t, 2, 1)
+	eng := &Engine{FS: fs, Cluster: c,
+		Checkpoint: &CheckpointPolicy{Tier: "nope", Files: []string{"mid"}}}
+	if _, err := eng.Run(w); err == nil {
+		t.Fatal("unknown checkpoint tier must fail")
+	}
+
+	fs, c = testCluster(t, 2, 1)
+	eng = &Engine{FS: fs, Cluster: c,
+		Checkpoint: &CheckpointPolicy{Tier: LocalTierName("shm", "node0"), Files: []string{"mid"}}}
+	if _, err := eng.Run(w); err == nil {
+		t.Fatal("node-local checkpoint tier must fail")
+	}
+
+	// An empty file list disables checkpointing entirely.
+	fs, c = testCluster(t, 2, 1)
+	eng = &Engine{FS: fs, Cluster: c, Checkpoint: &CheckpointPolicy{Tier: "nope"}}
+	res, err := eng.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CheckpointCopies != 0 || res.CheckpointRestores != 0 {
+		t.Fatalf("empty policy must be inert, got copies=%d restores=%d",
+			res.CheckpointCopies, res.CheckpointRestores)
+	}
+}
+
+// TestCheckpointFaultFreeRunCopiesWithoutRecovery: with no faults the
+// protected file is still copied (the copy is proactive), but nothing is
+// ever restored and the workload result is unaffected.
+func TestCheckpointFaultFreeRunCopiesWithoutRecovery(t *testing.T) {
+	fs, c := testCluster(t, 2, 1)
+	plain, err := (&Engine{FS: fs, Cluster: c}).Run(ckptRerunWorkload(1 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, c = testCluster(t, 2, 1)
+	res, err := (&Engine{FS: fs, Cluster: c,
+		Checkpoint: &CheckpointPolicy{Tier: "nfs", Files: []string{"mid"}}}).Run(ckptRerunWorkload(1 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CheckpointCopies != 1 || res.CheckpointRestores != 0 {
+		t.Fatalf("copies/restores = %d/%d, want 1/0", res.CheckpointCopies, res.CheckpointRestores)
+	}
+	if res.Makespan != plain.Makespan {
+		// The copy runs while consume computes; with no shared-tier
+		// contention in this workload the makespan must not move.
+		t.Fatalf("fault-free makespan moved: %v vs %v", res.Makespan, plain.Makespan)
+	}
+}

@@ -72,6 +72,12 @@ type Engine struct {
 	// Retry tunes the recovery policy when faults are active; zero fields
 	// fall back to faults.DefaultRetryPolicy.
 	Retry faults.RetryPolicy
+	// Checkpoint, when non-nil with a non-empty file list, proactively
+	// copies the listed intermediate files to its durable tier as soon as
+	// a task that wrote them finishes, and the crash-recovery triage
+	// restores from those copies in preference to re-staging or re-running
+	// producers. Nil leaves every code path byte-identical.
+	Checkpoint *CheckpointPolicy
 
 	now      float64
 	eq       eventHeap
@@ -95,6 +101,12 @@ type Engine struct {
 	prov        map[string]*fileProv
 	consumers   map[string][]*taskState
 	pendingLost map[string]*taskState
+	// Checkpoint bookkeeping (zero-valued unless Checkpoint is set): the
+	// durable tier, the protected-path set, and per-path copy state.
+	ckptOn    bool
+	ckptTier  *vfs.Tier
+	ckptFiles map[string]bool
+	ckpt      map[string]*ckptState
 }
 
 // fileProv records how a file's current placement came to be: the task that
@@ -148,6 +160,9 @@ type taskState struct {
 	attempt int
 	gen     int64
 	rerun   bool
+	// wrote lists protected paths this incarnation wrote, in first-write
+	// order: the task's checkpoint triggers. Nil unless checkpointing is on.
+	wrote []string
 }
 
 type flow struct {
@@ -158,10 +173,11 @@ type flow struct {
 	rate    float64
 	version int64
 	owner   *taskState
-	extra   float64 // fixed post-transfer delay (per-access latency)
-	async   bool    // buffered write: does not block the owner
-	started float64 // issue time, for per-flow tier-time accounting
-	id      int64   // creation order, for deterministic re-sharing
+	extra   float64    // fixed post-transfer delay (per-access latency)
+	async   bool       // buffered write: does not block the owner
+	started float64    // issue time, for per-flow tier-time accounting
+	id      int64      // creation order, for deterministic re-sharing
+	ckpt    *ckptState // non-nil for checkpoint copy legs (owner is nil)
 }
 
 type evKind uint8
@@ -296,6 +312,18 @@ type Result struct {
 	// ProducerReruns counts lost files recovered by re-running the
 	// producing task.
 	ProducerReruns int
+
+	// Checkpoint extensions; all remain zero unless Engine.Checkpoint is
+	// set, so non-checkpointed results are unchanged.
+
+	// CheckpointCopies counts completed copies of protected files to the
+	// durable checkpoint tier.
+	CheckpointCopies int
+	// CheckpointBytes totals the bytes of completed checkpoint copies.
+	CheckpointBytes uint64
+	// CheckpointRestores counts crash-lost files re-materialized from
+	// their durable copy instead of re-staging or re-running a producer.
+	CheckpointRestores int
 }
 
 // StageDuration returns the duration of a stage tag, or 0.
@@ -374,6 +402,9 @@ func (e *Engine) Run(w *Workload) (*Result, error) {
 		}
 	}
 	if err := e.initFaults(); err != nil {
+		return nil, err
+	}
+	if err := e.initCheckpoint(); err != nil {
 		return nil, err
 	}
 	e.unfin = len(w.Tasks)
@@ -609,6 +640,12 @@ func (e *Engine) crashNode(name string) {
 				fl.version++ // orphan the pending completion event
 				continue
 			}
+			if fl.ckpt != nil && fl.ckpt.srcNode == name {
+				// The copy's source bytes just vanished with the node:
+				// abort the in-flight checkpoint; it never becomes durable.
+				e.abortCkptCopy(fl.ckpt, false)
+				continue
+			}
 			keep = append(keep, fl)
 		}
 		if len(keep) != len(list) {
@@ -640,30 +677,48 @@ func (e *Engine) crashNode(name string) {
 		ts.offsets = make(map[string]int64)
 		ts.outstanding, ts.draining = 0, false
 		ts.rerun = true
+		ts.wrote = nil
 	}
 
 	// Lose the node-local data and walk each file's producing flows to
 	// decide recovery. FS.Files is path-sorted, keeping this deterministic.
+	type lostFile struct {
+		path string
+		size int64
+	}
+	var dead []lostFile
 	for _, f := range e.FS.Files() {
 		if f.Tier.Node != name {
 			continue
 		}
-		size := f.Size
-		path := f.Path
-		_ = e.FS.Remove(path)
+		dead = append(dead, lostFile{f.Path, f.Size})
+		_ = e.FS.Remove(f.Path)
 		e.result.LostFiles++
-		e.recoverFile(path, size)
+	}
+	var skipped []lostFile
+	for _, lf := range dead {
+		if !e.recoverFile(lf.path, lf.size) {
+			skipped = append(skipped, lf)
+		}
+	}
+	// A resurrection in the first pass revives consumers: a file whose only
+	// reader looked finished may now be re-read by that reader's re-run (a
+	// re-run stage op needs its source back). Give the files written off as
+	// dead a second look against the final resurrection set.
+	for _, lf := range skipped {
+		e.recoverFile(lf.path, lf.size)
 	}
 	e.startReady()
 }
 
 // recoverFile decides how to restore a file lost with a crashed node. The
 // decision is the paper's lifetime reasoning made operational: if no live
-// consumer remains, the file's lifetime was over and nothing is done; if
-// its producing flow staged it off a shared tier, the bytes still exist
-// there and are re-materialized (re-staging); otherwise the producing task
-// is re-run.
-func (e *Engine) recoverFile(path string, size int64) {
+// consumer remains, the file's lifetime was over and nothing is done (and
+// recoverFile reports false so the caller can retry once resurrections are
+// settled); if its producing flow staged it off a shared tier, the bytes
+// still exist there and are re-materialized (re-staging); otherwise the
+// producing task is re-run.
+func (e *Engine) recoverFile(path string, size int64) bool {
 	live := false
 	for _, c := range e.consumers[path] {
 		if c.state != tDone {
@@ -672,7 +727,13 @@ func (e *Engine) recoverFile(path string, size int64) {
 		}
 	}
 	if !live {
-		return
+		return false
+	}
+	if e.ckptOn && e.restoreFromCheckpoint(path) {
+		// A durable checkpoint copy exists on the shared tier: restoring it
+		// is a metadata re-create, strictly cheaper than re-staging logic
+		// below and than re-running the producer.
+		return true
 	}
 	p := e.prov[path]
 	switch {
@@ -696,6 +757,7 @@ func (e *Engine) recoverFile(path string, size int64) {
 		// A seeded input with no recorded producing flow is unrecoverable;
 		// a future reader will surface the loss as a hard I/O failure.
 	}
+	return true
 }
 
 // resurrect re-queues a completed producer task whose output was lost,
@@ -725,6 +787,7 @@ func (e *Engine) resurrect(ts *taskState) {
 	ts.outstanding, ts.draining = 0, false
 	ts.node = ""
 	ts.rerun = true
+	ts.wrote = nil
 	ts.state = tReady
 	e.ready = append(e.ready, ts)
 }
@@ -1080,6 +1143,12 @@ func (e *Engine) removeFlow(fl *flow) {
 func (e *Engine) finishFlow(fl *flow) {
 	e.removeFlow(fl)
 	e.reshare(fl.tier)
+	if fl.ckpt != nil {
+		// Checkpoint copies have no owning task: they charge bandwidth
+		// through the shared flow machinery but no task-blocking tier time.
+		e.finishCkptFlow(fl)
+		return
+	}
 	ts := fl.owner
 	e.result.TierTime[fl.tier.Name] += e.now - fl.started
 	if fl.async {
@@ -1278,6 +1347,9 @@ func (e *Engine) completeIOOp(ts *taskState) error {
 // noteWrite records the file's producing flow (the last writer) for
 // crash-recovery decisions.
 func (e *Engine) noteWrite(ts *taskState, path string) {
+	if e.ckptOn {
+		e.noteCkptWrite(ts, path)
+	}
 	if e.prov == nil {
 		return
 	}
@@ -1435,6 +1507,9 @@ func (e *Engine) finishTask(ts *taskState) {
 				delete(e.pendingLost, path)
 			}
 		}
+	}
+	if e.ckptOn {
+		e.checkpointOutputs(ts)
 	}
 	if e.Col != nil {
 		e.Col.TaskEnded(ts.task.Name, e.now)

@@ -37,6 +37,36 @@ func (k FailureKind) Retryable() bool {
 	return k == FailTransient || k == FailNodeCrash
 }
 
+// Sentinel errors matching each FailureKind through errors.Is: callers
+// check a run's failure class without unpacking the *TaskError, e.g.
+// errors.Is(err, sim.ErrNodeCrash).
+var (
+	// ErrConfig matches TaskErrors with Kind FailConfig.
+	ErrConfig = fmt.Errorf("sim: configuration failure")
+	// ErrIO matches TaskErrors with Kind FailIO.
+	ErrIO = fmt.Errorf("sim: I/O failure")
+	// ErrTransient matches TaskErrors with Kind FailTransient.
+	ErrTransient = fmt.Errorf("sim: transient I/O failure")
+	// ErrNodeCrash matches TaskErrors with Kind FailNodeCrash.
+	ErrNodeCrash = fmt.Errorf("sim: node crash")
+)
+
+// Sentinel returns the errors.Is target for this failure kind, or nil for
+// kinds without one.
+func (k FailureKind) Sentinel() error {
+	switch k {
+	case FailConfig:
+		return ErrConfig
+	case FailIO:
+		return ErrIO
+	case FailTransient:
+		return ErrTransient
+	case FailNodeCrash:
+		return ErrNodeCrash
+	}
+	return nil
+}
+
 // TaskError is the typed error Engine.Run returns when a task cannot
 // complete: which task, which script op, on which node, after how many
 // attempts, and why. It replaces the engine's former run-path panics.
@@ -67,6 +97,14 @@ func (e *TaskError) Error() string {
 
 // Unwrap exposes the cause to errors.Is/As chains.
 func (e *TaskError) Unwrap() error { return e.Cause }
+
+// Is matches the sentinel for the error's failure kind, so
+// errors.Is(err, sim.ErrNodeCrash) works on errors wrapping a *TaskError.
+// Cause-chain matching still happens through Unwrap.
+func (e *TaskError) Is(target error) bool {
+	s := e.Kind.Sentinel()
+	return s != nil && target == s
+}
 
 // transientError is the sentinel cause for injected transient I/O failures;
 // the engine classifies it as FailTransient.

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestTaskErrorKindTable exercises every FailureKind through Error(),
+// errors.Is (via the per-kind sentinels), and errors.As.
+func TestTaskErrorKindTable(t *testing.T) {
+	kinds := []struct {
+		kind     FailureKind
+		name     string
+		sentinel error
+	}{
+		{FailConfig, "config", ErrConfig},
+		{FailIO, "io", ErrIO},
+		{FailTransient, "transient", ErrTransient},
+		{FailNodeCrash, "node-crash", ErrNodeCrash},
+	}
+	for _, c := range kinds {
+		t.Run(c.name, func(t *testing.T) {
+			cause := fmt.Errorf("boom")
+			te := &TaskError{
+				Task: "t1", OpIndex: 2, Op: OpRead, Path: "data/x",
+				Node: "node0", Attempt: 3, Kind: c.kind, Cause: cause,
+			}
+			msg := te.Error()
+			for _, want := range []string{"t1", "op 2", "data/x", "node0", "attempt 3", c.name, "boom"} {
+				if !strings.Contains(msg, want) {
+					t.Errorf("Error() = %q, missing %q", msg, want)
+				}
+			}
+			wrapped := fmt.Errorf("sweep cell failed: %w", te)
+			if !errors.Is(wrapped, c.sentinel) {
+				t.Errorf("errors.Is(wrapped, %v) = false, want true", c.sentinel)
+			}
+			if !errors.Is(wrapped, cause) {
+				t.Error("cause chain broken: errors.Is(wrapped, cause) = false")
+			}
+			for _, other := range kinds {
+				if other.kind != c.kind && errors.Is(wrapped, other.sentinel) {
+					t.Errorf("kind %v must not match sentinel %v", c.kind, other.sentinel)
+				}
+			}
+			var got *TaskError
+			if !errors.As(wrapped, &got) || got != te {
+				t.Error("errors.As failed to recover the *TaskError")
+			}
+			if s := c.kind.Sentinel(); s != c.sentinel {
+				t.Errorf("Sentinel() = %v, want %v", s, c.sentinel)
+			}
+		})
+	}
+	if s := FailureKind(99).Sentinel(); s != nil {
+		t.Errorf("unknown kind sentinel = %v, want nil", s)
+	}
+	if got := FailureKind(99).String(); got != "failure(99)" {
+		t.Errorf("unknown kind String() = %q", got)
+	}
+}
+
+// TestEngineRunErrorMatchesSentinel ties the sentinels to a real run: a
+// read of a missing file fails the run with an error matching ErrIO.
+func TestEngineRunErrorMatchesSentinel(t *testing.T) {
+	fs, c := testCluster(t, 1, 1)
+	w := &Workload{Tasks: []*Task{{
+		Name:   "reader",
+		Script: []Op{Read("missing", 1<<20, 1<<20)},
+	}}}
+	_, err := (&Engine{FS: fs, Cluster: c}).Run(w)
+	if err == nil {
+		t.Fatal("run must fail")
+	}
+	if !errors.Is(err, ErrIO) {
+		t.Fatalf("errors.Is(err, ErrIO) = false for %v", err)
+	}
+	if errors.Is(err, ErrNodeCrash) || errors.Is(err, ErrTransient) {
+		t.Fatalf("wrong sentinel matched for %v", err)
+	}
+	var te *TaskError
+	if !errors.As(err, &te) || te.Kind != FailIO || te.Task != "reader" {
+		t.Fatalf("errors.As gave %+v", te)
+	}
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"datalife/internal/journal"
+	"datalife/internal/sim"
+)
+
+// JournalSink is a sim.TraceSink that appends every event to a CRC-framed
+// journal as it happens, one record per event. Unlike Recorder (which holds
+// the trace in memory until Save), a journal written this way survives the
+// writing process being killed: LoadJournal recovers the valid prefix and
+// flags the trace partial.
+type JournalSink struct {
+	mu  sync.Mutex
+	jw  *journal.Writer
+	err error
+}
+
+// NewJournalSink returns a sink appending framed events to w.
+func NewJournalSink(w io.Writer) *JournalSink {
+	return &JournalSink{jw: journal.NewWriter(w)}
+}
+
+// Event implements sim.TraceSink. The first append failure sticks; later
+// events are dropped so a full disk does not turn into a panic mid-run.
+func (s *JournalSink) Event(task string, kind sim.OpKind, path string, off, n int64, start, dur float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	payload, err := json.Marshal(Event{
+		Task: task, Kind: kind, Path: path, Off: off, Len: n, Start: start, Dur: dur,
+	})
+	if err == nil {
+		err = s.jw.Append(payload)
+	}
+	if err != nil {
+		s.err = fmt.Errorf("trace: journaling event: %w", err)
+	}
+}
+
+// Err returns the first append failure, if any. Check it after the run: a
+// sink that errored holds only a prefix of the trace.
+func (s *JournalSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// LoadJournal reads an event journal written by JournalSink, recovering the
+// longest valid prefix. Trace.Partial is set when the journal ends in a torn
+// record — the capturing run was killed mid-flight and the tail is lost.
+func LoadJournal(r io.Reader) (*Trace, error) {
+	s := journal.NewScanner(r)
+	t := &Trace{}
+	for s.Scan() {
+		var ev Event
+		if err := json.Unmarshal(s.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("trace: decoding journaled event: %w", err)
+		}
+		t.Events = append(t.Events, ev)
+	}
+	if err := s.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading event journal: %w", err)
+	}
+	t.Partial = s.Truncated()
+	return t, nil
+}

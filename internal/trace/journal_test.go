@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"datalife/internal/sim"
+	"datalife/internal/vfs"
+	"datalife/internal/workflows"
+)
+
+// captureJournal runs the capture workload with a JournalSink attached and
+// returns the journal bytes plus the reference in-memory trace.
+func captureJournal(t *testing.T) ([]byte, *Trace) {
+	t.Helper()
+	p := workflows.DefaultBelle2()
+	p.Tasks, p.DatasetsPerTask, p.PoolDatasets = 4, 2, 4
+	p.DatasetBytes = 8 << 20
+	p.ComputePerDataset = 0.5
+	run := func(sink sim.TraceSink) {
+		spec := workflows.Belle2(p)
+		fs := vfs.New()
+		cl, err := sim.BuildCluster(fs, sim.ClusterSpec{
+			Name: "c", Nodes: 2, Cores: 8, DefaultTier: "dataserver",
+			Shared:     []*vfs.Tier{sim.DataServerTier()},
+			LocalKinds: []sim.LocalTierSpec{{Kind: "ssd"}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := spec.Seed(fs, "dataserver"); err != nil {
+			t.Fatal(err)
+		}
+		for _, task := range spec.Workload.Tasks {
+			task.CreateTier = "local:ssd"
+		}
+		eng := &sim.Engine{FS: fs, Cluster: cl, Trace: sink}
+		if _, err := eng.Run(spec.Workload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	js := NewJournalSink(&buf)
+	run(js)
+	if err := js.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	run(rec)
+	return buf.Bytes(), rec.Trace()
+}
+
+func TestJournalSinkRoundTrip(t *testing.T) {
+	data, want := captureJournal(t)
+	got, err := LoadJournal(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Partial {
+		t.Fatal("intact journal flagged partial")
+	}
+	if len(got.Events) != len(want.Events) {
+		t.Fatalf("journal events = %d, recorder events = %d", len(got.Events), len(want.Events))
+	}
+	for i := range got.Events {
+		if got.Events[i] != want.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, got.Events[i], want.Events[i])
+		}
+	}
+}
+
+// TestJournalTruncationRecoversPrefix cuts the journal at several interior
+// points; every cut must load the event prefix and flag the trace partial.
+func TestJournalTruncationRecoversPrefix(t *testing.T) {
+	data, want := captureJournal(t)
+	for _, cut := range []int{len(data) / 4, len(data) / 2, 3 * len(data) / 4} {
+		got, err := LoadJournal(bytes.NewReader(data[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(got.Events) >= len(want.Events) {
+			t.Fatalf("cut %d: recovered %d events, want a strict prefix of %d",
+				cut, len(got.Events), len(want.Events))
+		}
+		for i := range got.Events {
+			if got.Events[i] != want.Events[i] {
+				t.Fatalf("cut %d: event %d differs", cut, i)
+			}
+		}
+	}
+	// A cut mid-record must flag Partial; find one by shaving one byte.
+	got, err := LoadJournal(bytes.NewReader(data[:len(data)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Partial {
+		t.Fatal("mid-record cut not flagged partial")
+	}
+	// An empty journal is a valid empty trace (a run killed before any op).
+	empty, err := LoadJournal(bytes.NewReader(nil))
+	if err != nil || len(empty.Events) != 0 || empty.Partial {
+		t.Fatalf("empty journal: %+v err=%v", empty, err)
+	}
+}
