@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"datalife/internal/analysis"
 	"datalife/internal/analysis/dflcheck"
 	"datalife/internal/blockstats"
 	"datalife/internal/dfl"
@@ -17,12 +18,16 @@ var vetWorkflows = []string{"genomes", "ddmd", "belle2", "montage", "seismic", "
 
 // runVet implements the `datalife vet` subcommand: it statically validates
 // workflow DAG definitions and, with -load, a saved measurement database's
-// DFL graph, without executing anything. A non-nil error (and a non-zero
-// process exit) means at least one invariant is breached.
+// DFL graph, without executing anything. With -src it additionally runs the
+// dflvet source analyzers (the detvet determinism suite included) over the
+// given package pattern, which requires running inside the source checkout.
+// A non-nil error (and a non-zero process exit) means at least one
+// invariant is breached.
 func runVet(args []string) error {
 	fs := flag.NewFlagSet("datalife vet", flag.ExitOnError)
 	workflow := fs.String("workflow", "all", "workflow to validate: all, or one of genomes, ddmd, belle2, montage, seismic, random")
 	loadState := fs.String("load", "", "also validate the DFL graph of a measurement database saved with -save")
+	srcPattern := fs.String("src", "", "also run the dflvet source analyzers over this package pattern (e.g. ./...); needs a source checkout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +58,24 @@ func runVet(args []string) error {
 			return err
 		}
 		report("workflow "+name, dflcheck.CheckSpec(spec))
+	}
+
+	if *srcPattern != "" {
+		root, err := analysis.FindModuleRoot("")
+		if err != nil {
+			return fmt.Errorf("vet -src: %w (run inside the datalife checkout)", err)
+		}
+		diags, err := analysis.Vet(root, []string{*srcPattern}, analysis.All())
+		if err != nil {
+			return err
+		}
+		if len(diags) == 0 {
+			fmt.Printf("ok\tsource %s\n", *srcPattern)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			failures++
+		}
 	}
 
 	if *loadState != "" {

@@ -3,20 +3,26 @@
 // invariants the paper's methodology rests on — all task I/O through the
 // iotrace collector, no wall-clock time in discrete-event code, no locks
 // held across blocking operations, no leaked handles, no panics or
-// discarded Engine.Run errors on the simulator run path.
+// discarded Engine.Run errors on the simulator run path — plus the detvet
+// determinism suite (maporder, walltime, unseededrand, fanin) that proves
+// the byte-identical replay invariant statically via cross-package facts.
 //
 // Usage:
 //
-//	dflvet [-list] [-run name,name] [packages...]
+//	dflvet [-list] [-run name,name] [-json] [packages...]
 //
 // Package patterns follow the go tool: a directory, or DIR/... for every
 // package below it; the default is ./... from the module root. dflvet exits
 // 0 when the tree is clean, 1 when any analyzer reports a finding, and 2 on
-// usage or load errors. Findings are suppressed by a //dflvet:ignore
-// comment on the offending line or the line above it.
+// usage or load errors. With -json the findings are emitted as a JSON array
+// of {file, line, col, analyzer, message} objects for CI annotations and
+// editor integration. Findings are suppressed by a //dflvet:ignore comment
+// on the offending line or the line above it, or by a structured
+// "//dflvet:allow <analyzer> <reason>" directive.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +36,7 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
 	flag.Parse()
 
 	if *list {
@@ -45,13 +52,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	root, err := findModuleRoot()
+	root, err := analysis.FindModuleRoot("")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dflvet: %v\n", err)
 		os.Exit(2)
 	}
 
-	n, err := vet(os.Stdout, root, flag.Args(), analyzers)
+	n, err := vet(os.Stdout, root, flag.Args(), analyzers, *jsonOut)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dflvet: %v\n", err)
 		os.Exit(2)
@@ -62,33 +69,46 @@ func main() {
 	}
 }
 
-// vet loads the packages matched by patterns under root, applies the
-// analyzers, prints diagnostics to w, and returns the finding count.
-func vet(w io.Writer, root string, patterns []string, analyzers []*analysis.Analyzer) (int, error) {
-	loader, err := analysis.NewLoader(root)
+// finding is the machine-readable form of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// vet runs the analyzers over the packages matched by patterns under root,
+// prints diagnostics to w (line-oriented, or one JSON array with jsonOut),
+// and returns the finding count.
+func vet(w io.Writer, root string, patterns []string, analyzers []*analysis.Analyzer, jsonOut bool) (int, error) {
+	diags, err := analysis.Vet(root, patterns, analyzers)
 	if err != nil {
 		return 0, err
 	}
-	dirs, err := analysis.ExpandPatterns(root, patterns)
-	if err != nil {
-		return 0, err
-	}
-	count := 0
-	for _, dir := range dirs {
-		pkg, err := loader.LoadDir(dir)
-		if err != nil {
-			return count, err
+	findings := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil {
+			file = filepath.ToSlash(rel)
 		}
-		for _, d := range analysis.Run(pkg, analyzers) {
-			count++
-			pos := d.Pos
-			if rel, err := filepath.Rel(root, pos.Filename); err == nil {
-				pos.Filename = rel
-			}
-			fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
-		}
+		findings = append(findings, finding{
+			File: file, Line: d.Pos.Line, Col: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
 	}
-	return count, nil
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return len(findings), err
+		}
+		return len(findings), nil
+	}
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+	}
+	return len(findings), nil
 }
 
 // selectAnalyzers resolves the -run filter against the registry.
@@ -106,22 +126,4 @@ func selectAnalyzers(filter string) ([]*analysis.Analyzer, error) {
 		out = append(out, a)
 	}
 	return out, nil
-}
-
-// findModuleRoot walks up from the working directory to the nearest go.mod.
-func findModuleRoot() (string, error) {
-	dir, err := os.Getwd()
-	if err != nil {
-		return "", err
-	}
-	for {
-		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
-			return dir, nil
-		}
-		parent := filepath.Dir(dir)
-		if parent == dir {
-			return "", fmt.Errorf("no go.mod found above the working directory")
-		}
-		dir = parent
-	}
 }

@@ -71,16 +71,24 @@ type Pass struct {
 	Info     *types.Info
 	// Rel is the package directory relative to the module root.
 	Rel string
+	// Facts holds the cross-package function facts of this vet run; always
+	// non-nil (possibly empty for single-package runs).
+	Facts *FactSet
 
-	ignores map[string]map[int]bool // filename → suppressed lines
+	ignores map[string]map[int]bool            // filename → suppressed lines
+	allows  map[string]map[string]map[int]bool // filename → analyzer → lines
 	sink    *[]Diagnostic
 }
 
 // Reportf records a diagnostic at pos unless suppressed by a
-// //dflvet:ignore comment on the same line or the line above.
+// //dflvet:ignore comment, or a //dflvet:allow directive naming this
+// analyzer, on the same line or the line above.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if lines := p.ignores[position.Filename]; lines[position.Line] {
+		return
+	}
+	if byAnalyzer := p.allows[position.Filename]; byAnalyzer[p.Analyzer.Name][position.Line] {
 		return
 	}
 	*p.sink = append(*p.sink, Diagnostic{
@@ -93,6 +101,74 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // IgnoreDirective is the comment that suppresses a diagnostic on its line or
 // the line below.
 const IgnoreDirective = "dflvet:ignore"
+
+// AllowDirective is the structured suppression comment:
+// "//dflvet:allow <analyzer> <reason>". Unlike dflvet:ignore it names the
+// analyzer it silences and requires a reason; placed on (or above) a func
+// declaration it also clears the function's propagated facts, marking the
+// code as legitimately exempt (e.g. wall-clock-legit CLI timing) so callers
+// are not flagged transitively.
+const AllowDirective = "dflvet:allow"
+
+// allowedLines parses //dflvet:allow directives: per file, per analyzer, the
+// covered lines (the comment's own line and the one below). Malformed
+// directives — missing analyzer or missing reason — suppress nothing and are
+// returned for reporting.
+func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[string]map[int]bool {
+	out, _ := allowedLinesChecked(fset, files, nil)
+	return out
+}
+
+func allowedLinesChecked(fset *token.FileSet, files []*ast.File, known map[string]bool) (map[string]map[string]map[int]bool, []Diagnostic) {
+	out := make(map[string]map[string]map[int]bool)
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, AllowDirective)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				bad := func(format string, args ...any) {
+					malformed = append(malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "dflvet",
+						Message:  fmt.Sprintf(format, args...),
+					})
+				}
+				if len(fields) == 0 {
+					bad("malformed //dflvet:allow: want \"//dflvet:allow <analyzer> <reason>\"")
+					continue
+				}
+				analyzer := fields[0]
+				if known != nil && !known[analyzer] {
+					bad("//dflvet:allow names unknown analyzer %q", analyzer)
+					continue
+				}
+				if len(fields) < 2 {
+					bad("//dflvet:allow %s is missing a reason; blanket suppressions are not accepted", analyzer)
+					continue
+				}
+				byAnalyzer := out[pos.Filename]
+				if byAnalyzer == nil {
+					byAnalyzer = make(map[string]map[int]bool)
+					out[pos.Filename] = byAnalyzer
+				}
+				lines := byAnalyzer[analyzer]
+				if lines == nil {
+					lines = make(map[int]bool)
+					byAnalyzer[analyzer] = lines
+				}
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	return out, malformed
+}
 
 // ignoredLines collects the lines covered by //dflvet:ignore comments: the
 // comment's own line and the one below it.
@@ -119,25 +195,47 @@ func ignoredLines(fset *token.FileSet, files []*ast.File) map[string]map[int]boo
 }
 
 // Run applies each analyzer whose Match accepts the package and returns the
-// combined diagnostics sorted by position.
+// combined diagnostics sorted by position. Facts are computed over just this
+// package; use RunPackages for cross-package analysis.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunPackages([]*Package{pkg}, analyzers)
+}
+
+// RunPackages computes the facts layer over every package of the run, then
+// applies each analyzer whose Match accepts a package, returning the
+// combined diagnostics sorted by position. Loading every package of interest
+// in one call is what makes the determinism analyzers interprocedural: a
+// tainted value returned in one package is reported where it reaches a sink
+// in another.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	ignores := ignoredLines(pkg.Fset, pkg.Files)
-	for _, a := range analyzers {
-		if a.Match != nil && !a.Match(pkg.Rel) {
-			continue
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	facts := ComputeFacts(pkgs)
+	for _, pkg := range pkgs {
+		ignores := ignoredLines(pkg.Fset, pkg.Files)
+		allows, malformed := allowedLinesChecked(pkg.Fset, pkg.Files, known)
+		diags = append(diags, malformed...)
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Rel) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Rel:      pkg.Rel,
+				Facts:    facts,
+				ignores:  ignores,
+				allows:   allows,
+				sink:     &diags,
+			}
+			a.Run(pass)
 		}
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			Rel:      pkg.Rel,
-			ignores:  ignores,
-			sink:     &diags,
-		}
-		a.Run(pass)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -155,9 +253,14 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// All returns the registered DataLife analyzers in a stable order.
+// All returns the registered DataLife analyzers in a stable order: the six
+// measurement-discipline checks, then the four determinism (detvet)
+// analyzers built on the facts layer.
 func All() []*Analyzer {
-	return []*Analyzer{IOTraceOnly, SimClock, LockHeld, CloseCheck, NoPanic, RunErr}
+	return []*Analyzer{
+		IOTraceOnly, SimClock, LockHeld, CloseCheck, NoPanic, RunErr,
+		MapOrder, WallTime, UnseededRand, FanIn,
+	}
 }
 
 // ByName returns the analyzer with the given name, or nil.

@@ -1,0 +1,313 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file is the detvet infrastructure: a facts layer over the stdlib-only
+// loader that classifies functions across package boundaries so the
+// determinism analyzers (maporder, walltime, unseededrand, fanin) can reason
+// interprocedurally. The byte-identical invariant every golden sha256 gate
+// enforces dynamically — same seed, same bytes, at any -j — is only as
+// strong as the code paths feeding output; the facts here let a vet run
+// prove the invariant statically instead of catching a violation after the
+// fact.
+//
+// Facts are keyed by a stable symbol string (package path + receiver +
+// name), never by *types.Func identity: the loader type-checks a package
+// once when imported (without syntax info) and again when vetted (with
+// info), so the same function is represented by distinct objects in
+// different passes.
+
+// FuncFacts are the exported per-function facts the determinism analyzers
+// consume.
+type FuncFacts struct {
+	// TaintedResults marks result indices whose element or value order
+	// depends on map iteration order (or another unordered source) and was
+	// not canonicalized before the return.
+	TaintedResults []bool
+	// SinkParams marks parameter indices that flow into an ordered sink
+	// (user-visible or hashed output) inside the function body; passing an
+	// order-tainted value there makes the nondeterminism observable.
+	SinkParams []bool
+	// FanInResults marks result indices collected from channel receives in
+	// goroutine-completion order rather than by deterministic index.
+	FanInResults []bool
+	// WallClock records that the function (transitively) consults the wall
+	// clock — time.Now, timers, sleeps — and so must not run on the
+	// measurement/analysis/replay path.
+	WallClock bool
+	// WallClockVia names the forbidden call that set WallClock, for
+	// diagnostics ("time.Now", or a callee's symbol).
+	WallClockVia string
+	// GlobalRand records that the function (transitively) draws from the
+	// auto-seeded math/rand global source, which breaks seeded replay.
+	GlobalRand bool
+	// GlobalRandVia names the call that set GlobalRand.
+	GlobalRandVia string
+}
+
+// FactSet holds the per-function facts for every package in one vet run,
+// plus the function-level //dflvet:allow directives that exempt a function
+// from contributing facts (e.g. wall-clock-legit CLI timing).
+type FactSet struct {
+	funcs map[string]*FuncFacts
+	// funcAllows maps funcKey → analyzer name → true for functions whose
+	// declaration line carries a //dflvet:allow directive: the allow both
+	// suppresses body diagnostics and clears the propagated fact, so legit
+	// callers are not flagged transitively.
+	funcAllows map[string]map[string]bool
+}
+
+// NewFactSet returns an empty fact set; analyzers tolerate running with one
+// (they simply lose cross-package findings).
+func NewFactSet() *FactSet {
+	return &FactSet{
+		funcs:      make(map[string]*FuncFacts),
+		funcAllows: make(map[string]map[string]bool),
+	}
+}
+
+// Func returns the facts recorded for the function, or nil.
+func (fs *FactSet) Func(key string) *FuncFacts {
+	if fs == nil {
+		return nil
+	}
+	return fs.funcs[key]
+}
+
+// FuncOf returns the facts for a resolved callee, or nil.
+func (fs *FactSet) FuncOf(f *types.Func) *FuncFacts {
+	return fs.Func(FuncKey(f))
+}
+
+// funcAllowed reports whether the function carries a declaration-level
+// //dflvet:allow for the analyzer.
+func (fs *FactSet) funcAllowed(key, analyzer string) bool {
+	if fs == nil {
+		return false
+	}
+	return fs.funcAllows[key][analyzer]
+}
+
+// ensure returns (creating if needed) the mutable fact record for key.
+func (fs *FactSet) ensure(key string) *FuncFacts {
+	ff := fs.funcs[key]
+	if ff == nil {
+		ff = &FuncFacts{}
+		fs.funcs[key] = ff
+	}
+	return ff
+}
+
+// FuncKey builds the stable symbol key for a function or method:
+// "pkgpath.Name" or "pkgpath.Recv.Name". It is identity-free on purpose —
+// see the package comment about duplicate type-checking.
+func FuncKey(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return f.Pkg().Path() + "." + n.Obj().Name() + "." + f.Name()
+		}
+		// Interface methods and other receivers fall through to pkg.Name.
+	}
+	return f.Pkg().Path() + "." + f.Name()
+}
+
+// declKey resolves the fact key for a function declaration in pkg.
+func declKey(info *types.Info, decl *ast.FuncDecl) string {
+	f, _ := info.Defs[decl.Name].(*types.Func)
+	return FuncKey(f)
+}
+
+// ComputeFacts builds the fact set for a vet run: packages are processed in
+// import (topological) order so callee facts exist before their callers are
+// analyzed, and each package iterates to a fixpoint so intra-package call
+// order and mutual recursion do not matter.
+func ComputeFacts(pkgs []*Package) *FactSet {
+	fs := NewFactSet()
+	for _, pkg := range topoOrder(pkgs) {
+		fs.recordFuncAllows(pkg)
+		// Fixpoint: a round that changes any fact schedules another round.
+		for round := 0; round < 8; round++ {
+			changed := false
+			for _, file := range pkg.Files {
+				for _, d := range file.Decls {
+					decl, ok := d.(*ast.FuncDecl)
+					if !ok || decl.Body == nil {
+						continue
+					}
+					if fs.analyzeDecl(pkg, decl) {
+						changed = true
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return fs
+}
+
+// analyzeDecl runs the taint engine over one declaration in fact-gathering
+// mode and merges the discovered facts; it reports whether anything changed.
+func (fs *FactSet) analyzeDecl(pkg *Package, decl *ast.FuncDecl) bool {
+	key := declKey(pkg.Info, decl)
+	if key == "" {
+		return false
+	}
+	tw := newTaintWalker(pkg, fs, nil)
+	tw.walkFuncDecl(decl)
+
+	changed := false
+	merge := func(dst *[]bool, src []bool) {
+		for i, v := range src {
+			if !v {
+				continue
+			}
+			for len(*dst) <= i {
+				*dst = append(*dst, false)
+			}
+			if !(*dst)[i] {
+				(*dst)[i] = true
+				changed = true
+			}
+		}
+	}
+	ff := fs.ensure(key)
+	if !fs.funcAllowed(key, "maporder") {
+		merge(&ff.TaintedResults, tw.resultTaint)
+	}
+	merge(&ff.SinkParams, tw.sinkParams)
+	if !fs.funcAllowed(key, "fanin") {
+		merge(&ff.FanInResults, tw.fanInResults)
+		merge(&ff.FanInResults, fanInFacts(pkg, decl))
+	}
+	if tw.wallClockVia != "" && !ff.WallClock && !fs.funcAllowed(key, "walltime") {
+		ff.WallClock = true
+		ff.WallClockVia = tw.wallClockVia
+		changed = true
+	}
+	if tw.globalRandVia != "" && !ff.GlobalRand && !fs.funcAllowed(key, "unseededrand") {
+		ff.GlobalRand = true
+		ff.GlobalRandVia = tw.globalRandVia
+		changed = true
+	}
+	return changed
+}
+
+// recordFuncAllows scans the package for //dflvet:allow directives placed on
+// (or directly above) a function declaration and records them as
+// function-level allows.
+func (fs *FactSet) recordFuncAllows(pkg *Package) {
+	allows := allowedLines(pkg.Fset, pkg.Files)
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			pos := pkg.Fset.Position(decl.Pos())
+			byAnalyzer := allows[pos.Filename]
+			if byAnalyzer == nil {
+				continue
+			}
+			key := declKey(pkg.Info, decl)
+			if key == "" {
+				continue
+			}
+			for analyzer, lines := range byAnalyzer {
+				if lines[pos.Line] {
+					m := fs.funcAllows[key]
+					if m == nil {
+						m = make(map[string]bool)
+						fs.funcAllows[key] = m
+					}
+					m[analyzer] = true
+				}
+			}
+		}
+	}
+}
+
+// topoOrder sorts packages so that imports precede importers; packages
+// outside the given set (stdlib, cached module imports) are ignored. The
+// input order breaks ties, which keeps fact computation deterministic.
+func topoOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		if p.Types != nil {
+			byPath[p.Types.Path()] = p
+		}
+	}
+	seen := make(map[string]bool, len(pkgs))
+	out := make([]*Package, 0, len(pkgs))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		path := p.Types.Path()
+		if seen[path] {
+			return
+		}
+		seen[path] = true
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		if p.Types != nil {
+			visit(p)
+		}
+	}
+	return out
+}
+
+// isStdTimeForbidden reports whether f is a wall-clock entry point of
+// package time (the walltime analyzer's root set — a superset of simclock's,
+// adding timers and tickers).
+func isStdTimeForbidden(f *types.Func) bool {
+	if funcPkgPath(f) != "time" {
+		return false
+	}
+	switch f.Name() {
+	case "Now", "Since", "Until", "Sleep", "After", "Tick",
+		"NewTimer", "NewTicker", "AfterFunc":
+		return true
+	}
+	return false
+}
+
+// isGlobalRand reports whether f is a package-level math/rand (or
+// math/rand/v2) function drawing from the auto-seeded global source.
+// Explicitly seeded constructors are allowed: determinism comes from the
+// seed, and the unseededrand analyzer only hunts ambient randomness.
+func isGlobalRand(f *types.Func) bool {
+	pkg := funcPkgPath(f)
+	if pkg != "math/rand" && pkg != "math/rand/v2" {
+		return false
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false // methods run on an explicitly constructed *Rand
+	}
+	switch f.Name() {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return false
+	}
+	return true
+}
+
+// moduleInternal reports whether the import path belongs to this module.
+func moduleInternal(path string) bool {
+	return path == "datalife" || strings.HasPrefix(path, "datalife/")
+}

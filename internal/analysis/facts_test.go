@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadTestdataPkgs loads testdata packages by their src-relative paths.
+func loadTestdataPkgs(t *testing.T, dirs ...string) []*Package {
+	t.Helper()
+	loader, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(filepath.Join("testdata", "src", dir))
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs
+}
+
+func TestComputeFactsCrossPackage(t *testing.T) {
+	pkgs := loadTestdataPkgs(t,
+		"maporder/dep", "walltime/dep", "unseededrand/dep", "fanin/dep")
+	fs := ComputeFacts(pkgs)
+	base := "datalife/internal/analysis/testdata/src/"
+
+	keys := fs.Func(base + "maporder/dep.Keys")
+	if keys == nil || len(keys.TaintedResults) == 0 || !keys.TaintedResults[0] {
+		t.Errorf("dep.Keys: want TaintedResults[0], got %+v", keys)
+	}
+	emit := fs.Func(base + "maporder/dep.Emit")
+	if emit == nil || len(emit.SinkParams) == 0 || !emit.SinkParams[0] {
+		t.Errorf("dep.Emit: want SinkParams[0], got %+v", emit)
+	}
+
+	clock := fs.Func(base + "walltime/dep.HiddenClock")
+	if clock == nil || !clock.WallClock || clock.WallClockVia != "time.Now" {
+		t.Errorf("dep.HiddenClock: want WallClock via time.Now, got %+v", clock)
+	}
+	// Elapsed carries a function-level //dflvet:allow walltime: the fact must
+	// be cleared so callers stay clean.
+	if ff := fs.Func(base + "walltime/dep.Elapsed"); ff != nil && ff.WallClock {
+		t.Errorf("dep.Elapsed: allow directive should clear WallClock, got %+v", ff)
+	}
+
+	jitter := fs.Func(base + "unseededrand/dep.Jitter")
+	if jitter == nil || !jitter.GlobalRand || !strings.Contains(jitter.GlobalRandVia, "Float64") {
+		t.Errorf("dep.Jitter: want GlobalRand via rand.Float64, got %+v", jitter)
+	}
+	if ff := fs.Func(base + "unseededrand/dep.Draw"); ff != nil && ff.GlobalRand {
+		t.Errorf("dep.Draw: seeded draw should not set GlobalRand, got %+v", ff)
+	}
+
+	collect := fs.Func(base + "fanin/dep.Collect")
+	if collect == nil || len(collect.FanInResults) == 0 || !collect.FanInResults[0] {
+		t.Errorf("dep.Collect: want FanInResults[0], got %+v", collect)
+	}
+}
+
+func TestFuncKey(t *testing.T) {
+	pkg := types.NewPackage("example.com/p", "p")
+	plain := types.NewFunc(token.NoPos, pkg, "F",
+		types.NewSignatureType(nil, nil, nil, nil, nil, false))
+	if got, want := FuncKey(plain), "example.com/p.F"; got != want {
+		t.Errorf("FuncKey(func) = %q, want %q", got, want)
+	}
+	named := types.NewNamed(
+		types.NewTypeName(token.NoPos, pkg, "T", nil),
+		types.NewStruct(nil, nil), nil)
+	recv := types.NewVar(token.NoPos, pkg, "t", types.NewPointer(named))
+	method := types.NewFunc(token.NoPos, pkg, "M",
+		types.NewSignatureType(recv, nil, nil, nil, nil, false))
+	if got, want := FuncKey(method), "example.com/p.T.M"; got != want {
+		t.Errorf("FuncKey(method) = %q, want %q", got, want)
+	}
+	if FuncKey(nil) != "" {
+		t.Error("FuncKey(nil) should be empty")
+	}
+}
+
+func TestAllowDirectiveParsing(t *testing.T) {
+	const src = `package p
+
+func a() {
+	//dflvet:allow walltime operator-facing stopwatch
+	_ = 1
+}
+
+func b() {
+	//dflvet:allow walltime
+	_ = 2
+}
+
+func c() {
+	//dflvet:allow
+	_ = 3
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{"walltime": true}
+	allows, malformed := allowedLinesChecked(fset, []*ast.File{f}, known)
+
+	lines := allows["p.go"]["walltime"]
+	if lines == nil || !lines[4] || !lines[5] {
+		t.Errorf("well-formed allow should cover its line and the next, got %v", lines)
+	}
+	if len(malformed) != 2 {
+		t.Fatalf("want 2 malformed diagnostics, got %d: %v", len(malformed), malformed)
+	}
+	if !strings.Contains(malformed[0].Message, "missing a reason") {
+		t.Errorf("missing-reason directive: got %q", malformed[0].Message)
+	}
+	if !strings.Contains(malformed[1].Message, "want \"//dflvet:allow <analyzer> <reason>\"") {
+		t.Errorf("empty directive: got %q", malformed[1].Message)
+	}
+	for _, d := range malformed {
+		if d.Analyzer != "dflvet" {
+			t.Errorf("malformed diagnostics report under %q, want dflvet", d.Analyzer)
+		}
+	}
+}

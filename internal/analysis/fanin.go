@@ -1,0 +1,407 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FanIn flags goroutine result collection that does not merge by
+// deterministic index — the pattern the parallel-measurement and
+// parallel-analysis PRs hand-audited. Three local shapes are reported in
+// functions that launch goroutines:
+//
+//  1. a channel receive appended to a slice inside a loop (completion
+//     order becomes element order),
+//  2. a goroutine appending to a slice captured from the enclosing
+//     function (with or without a mutex — the lock makes it safe, not
+//     deterministic),
+//  3. an ordered sink (fmt output, writer, journal) called from inside a
+//     goroutine (output interleaves in completion order).
+//
+// A slice that is sorted after collection is canonical and not reported;
+// the deterministic fix is otherwise an indexed slot per task
+// (results[i] = ...), which never triggers the analyzer. Functions whose
+// returned slice is built from channel receives additionally export a
+// fan-in fact, so calling such a collector from goroutine-launching code in
+// another package is flagged at the call site.
+var FanIn = &Analyzer{
+	Name: "fanin",
+	Doc:  "goroutine results must merge by deterministic index, not completion order",
+	Run:  runFanIn,
+}
+
+// fanInCandidate is one potential nondeterministic collection site.
+type fanInCandidate struct {
+	obj  types.Object // collection target (nil for sink calls)
+	pos  token.Pos
+	kind string // "receive-append" | "goroutine-append" | "goroutine-sink"
+	what string
+}
+
+// fanInScan is the single-pass scan shared by the analyzer and the facts
+// layer.
+type fanInScan struct {
+	pkg        *Package
+	hasGo      bool
+	recv       map[types.Object]bool
+	fanInObjs  map[types.Object]token.Pos
+	sorted     map[types.Object][]token.Pos
+	candidates []fanInCandidate
+	results    []bool
+	visited    map[*ast.FuncLit]bool
+}
+
+// fanInScanDecl scans one function declaration.
+func fanInScanDecl(pkg *Package, decl *ast.FuncDecl) *fanInScan {
+	s := &fanInScan{
+		pkg:       pkg,
+		recv:      make(map[types.Object]bool),
+		fanInObjs: make(map[types.Object]token.Pos),
+		sorted:    make(map[types.Object][]token.Pos),
+		visited:   make(map[*ast.FuncLit]bool),
+	}
+	if fn, _ := pkg.Info.Defs[decl.Name].(*types.Func); fn != nil {
+		s.results = make([]bool, fn.Type().(*types.Signature).Results().Len())
+	}
+	if decl.Body != nil {
+		s.walkStmts(decl.Body.List, nil, nil)
+	}
+	return s
+}
+
+// fanInFacts reports which results of the declaration are built from
+// channel receives in completion order (and never canonicalized).
+func fanInFacts(pkg *Package, decl *ast.FuncDecl) []bool {
+	return fanInScanDecl(pkg, decl).results
+}
+
+func (s *fanInScan) walkStmts(list []ast.Stmt, loop ast.Stmt, lit *ast.FuncLit) {
+	for _, st := range list {
+		s.walkStmt(st, loop, lit)
+	}
+}
+
+func (s *fanInScan) walkStmt(stmt ast.Stmt, loop ast.Stmt, lit *ast.FuncLit) {
+	switch st := stmt.(type) {
+	case *ast.GoStmt:
+		s.hasGo = true
+		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok && !s.visited[fl] {
+			s.visited[fl] = true
+			s.walkStmts(fl.Body.List, nil, fl)
+		}
+		for _, a := range st.Call.Args {
+			s.scanExpr(a, lit)
+		}
+	case *ast.RangeStmt:
+		if t := s.pkg.Info.TypeOf(st.X); t != nil && isChanType(t) {
+			if id, ok := st.Key.(*ast.Ident); ok && id.Name != "_" {
+				if obj := s.pkg.Info.Defs[id]; obj != nil {
+					s.recv[obj] = true
+				}
+			}
+		}
+		s.scanExpr(st.X, lit)
+		s.walkStmts(st.Body.List, st, lit)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.walkStmt(st.Init, loop, lit)
+		}
+		s.walkStmts(st.Body.List, st, lit)
+	case *ast.AssignStmt:
+		s.assign(st, loop, lit)
+	case *ast.ExprStmt:
+		s.scanExpr(st.X, lit)
+	case *ast.ReturnStmt:
+		for i, r := range st.Results {
+			if i >= len(s.results) {
+				break
+			}
+			if obj := s.exprObj(r); obj != nil {
+				if _, ok := s.fanInObjs[obj]; ok && len(s.sorted[obj]) == 0 {
+					s.results[i] = true
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.walkStmt(st.Init, loop, lit)
+		}
+		s.scanExpr(st.Cond, lit)
+		s.walkStmts(st.Body.List, loop, lit)
+		if st.Else != nil {
+			s.walkStmt(st.Else, loop, lit)
+		}
+	case *ast.BlockStmt:
+		s.walkStmts(st.List, loop, lit)
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.walkStmts(cc.Body, loop, lit)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.walkStmts(cc.Body, loop, lit)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if recvStmt, ok := cc.Comm.(*ast.AssignStmt); ok {
+					s.assign(recvStmt, loop, lit)
+				}
+				s.walkStmts(cc.Body, loop, lit)
+			}
+		}
+	case *ast.DeferStmt:
+		s.scanExpr(st.Call, lit)
+	case *ast.SendStmt:
+		s.scanExpr(st.Value, lit)
+	case *ast.LabeledStmt:
+		s.walkStmt(st.Stmt, loop, lit)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.scanExpr(v, lit)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (s *fanInScan) assign(st *ast.AssignStmt, loop ast.Stmt, lit *ast.FuncLit) {
+	// v := <-ch (also the comm clause of a select).
+	if len(st.Rhs) == 1 {
+		if ue, ok := ast.Unparen(st.Rhs[0]).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+			for _, l := range st.Lhs {
+				if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+					if obj := s.objOf(id); obj != nil {
+						s.recv[obj] = true
+					}
+				}
+			}
+			return
+		}
+	}
+	for i, r := range st.Rhs {
+		call, ok := ast.Unparen(r).(*ast.CallExpr)
+		if !ok {
+			// Alias propagation: x := v where v was received.
+			if obj := s.exprObj(r); obj != nil && s.recv[obj] && i < len(st.Lhs) {
+				if dst := s.objOf(st.Lhs[i]); dst != nil {
+					s.recv[dst] = true
+				}
+			}
+			s.scanExpr(r, lit)
+			continue
+		}
+		if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && id.Name == "append" {
+			if _, isBuiltin := s.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+				s.appendCall(st, call, loop, lit)
+				continue
+			}
+		}
+		s.scanExpr(r, lit)
+	}
+}
+
+// appendCall classifies one append: receive-derived elements accumulated
+// across loop iterations, or any append inside a goroutine to a slice
+// captured from outside it.
+func (s *fanInScan) appendCall(st *ast.AssignStmt, call *ast.CallExpr, loop ast.Stmt, lit *ast.FuncLit) {
+	var target types.Object
+	if len(st.Lhs) > 0 {
+		target = s.objOf(st.Lhs[0])
+	}
+	if target == nil {
+		return
+	}
+	fromRecv := false
+	for _, a := range call.Args[1:] {
+		if ue, ok := ast.Unparen(a).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+			fromRecv = true
+			break
+		}
+		mentioned := false
+		ast.Inspect(a, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := s.pkg.Info.Uses[id]; obj != nil && s.recv[obj] {
+					mentioned = true
+				}
+			}
+			return true
+		})
+		if mentioned {
+			fromRecv = true
+			break
+		}
+	}
+	// Only a target declared outside the receiving loop accumulates values
+	// across receives; a per-iteration local resets each time and its append
+	// order is program order, not completion order.
+	if fromRecv && loop != nil && target.Pos().IsValid() &&
+		(target.Pos() < loop.Pos() || target.Pos() > loop.End()) {
+		s.fanInObjs[target] = call.Pos()
+		s.candidates = append(s.candidates, fanInCandidate{
+			obj: target, pos: call.Pos(), kind: "receive-append",
+			what: "channel receives appended in completion order",
+		})
+	}
+	if lit != nil && target.Pos().IsValid() &&
+		(target.Pos() < lit.Pos() || target.Pos() > lit.End()) {
+		s.candidates = append(s.candidates, fanInCandidate{
+			obj: target, pos: call.Pos(), kind: "goroutine-append",
+			what: "goroutine appends to captured slice " + target.Name(),
+		})
+	}
+}
+
+// scanExpr looks for canonicalizing sorts, sink calls inside goroutines,
+// and function literals reached outside go statements.
+func (s *fanInScan) scanExpr(e ast.Expr, lit *ast.FuncLit) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if !s.visited[x] {
+				s.visited[x] = true
+				s.walkStmts(x.Body.List, nil, lit)
+			}
+			return false
+		case *ast.CallExpr:
+			fn := calleeFunc(s.pkg.Info, x)
+			if fn == nil {
+				return true
+			}
+			if isInPlaceSort(funcPkgPath(fn), fn.Name()) && len(x.Args) > 0 {
+				if obj := s.exprObj(x.Args[0]); obj != nil {
+					s.sorted[obj] = append(s.sorted[obj], x.Pos())
+				}
+				return true
+			}
+			if lit != nil {
+				if spec, ok := rootSink(fn); ok {
+					_ = spec
+					s.candidates = append(s.candidates, fanInCandidate{
+						pos: x.Pos(), kind: "goroutine-sink",
+						what: "ordered output written from a goroutine",
+					})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// exprObj unwraps an expression to its root object.
+func (s *fanInScan) exprObj(e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return s.objOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (s *fanInScan) objOf(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := s.pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return s.pkg.Info.Defs[id]
+}
+
+func runFanIn(pass *Pass) {
+	pkg := &Package{Fset: pass.Fset, Files: pass.Files, Types: pass.Pkg, Info: pass.Info}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			if key := declKey(pass.Info, decl); key != "" && pass.Facts.funcAllowed(key, pass.Analyzer.Name) {
+				continue
+			}
+			s := fanInScanDecl(pkg, decl)
+
+			// Local shapes require goroutines launched in this function:
+			// without senders of our own, a receive loop may legitimately
+			// drain a single-producer channel in order.
+			for _, c := range s.candidates {
+				if !s.hasGo && c.kind == "receive-append" {
+					continue
+				}
+				if c.obj != nil && sortedAfter(s.sorted[c.obj], c.pos) {
+					continue
+				}
+				switch c.kind {
+				case "receive-append":
+					pass.Reportf(c.pos,
+						"%s; merge by deterministic index (results[i] = ...) or sort before use", c.what)
+				case "goroutine-append":
+					pass.Reportf(c.pos,
+						"%s in completion order; write an indexed slot per task instead", c.what)
+				case "goroutine-sink":
+					pass.Reportf(c.pos,
+						"%s interleaves in completion order; buffer per task and emit in deterministic order", c.what)
+				}
+			}
+
+			// Cross-package: calling another package's fan-in collector
+			// while launching the senders here.
+			if !s.hasGo {
+				continue
+			}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Info, call)
+				if fn == nil || fn.Pkg() == pass.Pkg || !moduleInternal(funcPkgPath(fn)) {
+					return true
+				}
+				if ff := pass.Facts.FuncOf(fn); ff != nil {
+					for _, fan := range ff.FanInResults {
+						if fan {
+							pass.Reportf(call.Pos(),
+								"%s collects goroutine results in completion order; merge by deterministic index at the call site or fix the collector",
+								FuncKey(fn))
+							break
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func sortedAfter(sorts []token.Pos, pos token.Pos) bool {
+	for _, sp := range sorts {
+		if sp > pos {
+			return true
+		}
+	}
+	return false
+}

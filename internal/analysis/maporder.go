@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// MapOrder is the flagship detvet analyzer: it reports order-tainted values
+// — derived from `range` over a map, a maps.Keys/Values iterator, or a
+// callee whose results carry a taint fact — that reach an ordered sink
+// (fmt output, JSON/CSV encoding, journal or writer output, a sim.Result
+// field) without passing through a recognized canonicalizer (sort.*,
+// slices.Sort*, or an indexed-slot merge). Every golden sha256 gate in the
+// repo assumes no such path exists; this proves it at vet time and, unlike
+// the dynamic gates, points at the line responsible.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "order-tainted values must be canonicalized before reaching an ordered sink",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	pkg := &Package{Fset: pass.Fset, Files: pass.Files, Types: pass.Pkg, Info: pass.Info}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			if key := declKey(pass.Info, decl); key != "" && pass.Facts.funcAllowed(key, pass.Analyzer.Name) {
+				continue
+			}
+			tw := newTaintWalker(pkg, pass.Facts, func(r sinkReport) {
+				if r.info.fanIn {
+					return // completion-order taint is the fanin analyzer's report
+				}
+				pass.Reportf(r.pos,
+					"order-tainted value reaches %s: %s; canonicalize with sort.* or an indexed-slot merge first",
+					r.sink, r.info.describe())
+			})
+			tw.walkFuncDecl(decl)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+// Package dep exports a completion-order collector so the fanin golden test
+// can exercise the cross-package FanInResults fact: the collector itself has
+// no goroutines (draining a single producer is legitimate), so the finding
+// surfaces only at goroutine-launching call sites.
+package dep
+
+// Collect drains n results in completion order.
+func Collect(ch chan int, n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, <-ch)
+	}
+	return out
+}

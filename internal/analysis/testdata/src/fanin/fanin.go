@@ -1,0 +1,111 @@
+// Package fanin seeds violations for the fanin analyzer: goroutine results
+// collected in completion order instead of by deterministic index, next to
+// the canonical patterns (indexed slots, sort-after-collect) that are fine.
+package fanin
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"datalife/internal/analysis/testdata/src/fanin/dep"
+)
+
+func receiveAppend(n int) []int {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) { ch <- i * i }(i)
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, <-ch) // want "channel receives appended in completion order"
+	}
+	return out
+}
+
+func canonicalized(n int) []int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) { ch <- i }(i)
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, <-ch)
+	}
+	sort.Ints(out) // clean: sorted after collection
+	return out
+}
+
+func perIterationLocal(n int, ch chan []int) {
+	go func() {
+		for v := range ch {
+			var batch []int // clean: resets every receive, cannot accumulate order
+			batch = append(batch, v...)
+			fmt.Sprint(batch)
+		}
+	}()
+}
+
+func indexedSlots(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i * i // clean: indexed slot per task
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+func goroutineAppend(n int) []int {
+	var mu sync.Mutex
+	var out []int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			out = append(out, i) // want "goroutine appends to captured slice"
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+func goroutineSink(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fmt.Println(i) // want "ordered output written from a goroutine"
+		}(i)
+	}
+	wg.Wait()
+}
+
+func crossCollector(n int) []int {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) { ch <- i }(i)
+	}
+	return dep.Collect(ch, n) // want "collects goroutine results in completion order"
+}
+
+func suppressed(n int) []int {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) { ch <- i }(i)
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		//dflvet:allow fanin fixture exercising the structured allow directive
+		out = append(out, <-ch)
+	}
+	return out
+}

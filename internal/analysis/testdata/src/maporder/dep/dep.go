@@ -1,0 +1,23 @@
+// Package dep exports an order-tainted producer and an ordered-sink consumer
+// so the maporder golden test can exercise cross-package facts in both
+// directions: a tainted result imported by the main package, and a sink
+// parameter the main package feeds.
+package dep
+
+import "fmt"
+
+// Keys returns m's keys in map iteration order: the classic order-tainted
+// result. There is no sink here, so the finding surfaces at call sites.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Emit prints xs: the parameter flows into an ordered sink, so callers must
+// canonicalize before passing order-tainted values.
+func Emit(xs []string) {
+	fmt.Println(xs)
+}

@@ -1,0 +1,82 @@
+// Package maporder seeds violations for the maporder analyzer: values whose
+// order depends on map iteration reaching ordered sinks, plus the clean
+// canonicalization patterns and //dflvet:allow suppressions that must not be
+// reported.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+
+	"datalife/internal/analysis/testdata/src/maporder/dep"
+)
+
+func direct(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "order-tainted value reaches"
+	}
+}
+
+func collected(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	fmt.Println(keys) // want "order-tainted value reaches"
+}
+
+func canonicalized(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println(keys) // clean: sorted before the sink
+}
+
+func indexedSlots(m map[string]int, pos map[string]int) {
+	out := make([]int, len(m))
+	for k, v := range m {
+		out[pos[k]] = v // clean: slot derived from the element itself
+	}
+	fmt.Println(out)
+}
+
+func accumulated(m map[string]int) {
+	total := 0
+	for _, v := range m {
+		total += v // clean: commutative accumulation
+	}
+	fmt.Println(total)
+}
+
+func crossProducer(m map[string]int) {
+	fmt.Println(dep.Keys(m)) // want "order-tainted result of"
+}
+
+func crossSink(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	dep.Emit(keys) // want "order-tainted value reaches"
+}
+
+func suppressed(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	//dflvet:allow maporder fixture exercising the structured allow directive
+	fmt.Println(keys)
+}
+
+func badDirective(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	//dflvet:allow nosuchanalyzer bogus target // want "unknown analyzer"
+	fmt.Println(keys)
+}

@@ -1,0 +1,16 @@
+// Package dep hides ambient randomness behind an API so the unseededrand
+// golden test can exercise cross-package facts.
+package dep
+
+import "math/rand"
+
+// Jitter draws from the auto-seeded global source; callers are flagged
+// through the GlobalRand fact.
+func Jitter() float64 {
+	return rand.Float64() // want "auto-seeded rand.Float64"
+}
+
+// Draw is properly seeded: determinism comes from the caller's seed.
+func Draw(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}

@@ -1,0 +1,30 @@
+// Package unseededrand seeds violations for the unseededrand analyzer:
+// draws from the auto-seeded math/rand global source, both direct and
+// hidden behind a cross-package call, next to the seeded patterns that are
+// fine.
+package unseededrand
+
+import (
+	"math/rand"
+
+	"datalife/internal/analysis/testdata/src/unseededrand/dep"
+)
+
+func globalDraws() int {
+	rand.Shuffle(3, func(i, j int) {}) // want "auto-seeded rand.Shuffle"
+	return rand.Intn(10)               // want "auto-seeded rand.Intn"
+}
+
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64() + dep.Draw(seed) // clean: explicitly seeded
+}
+
+func hidden() float64 {
+	return dep.Jitter() // want "auto-seeded global rand"
+}
+
+func suppressed() int {
+	//dflvet:allow unseededrand fixture exercising the line-level allow
+	return rand.Int()
+}

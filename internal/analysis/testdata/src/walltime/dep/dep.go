@@ -1,0 +1,19 @@
+// Package dep hides a wall clock behind an API so the walltime golden test
+// can exercise cross-package facts and the function-level allow.
+package dep
+
+import "time"
+
+// HiddenClock looks like a pure helper but consults the wall clock; callers
+// on the measurement path are flagged through the WallClock fact.
+func HiddenClock() int64 {
+	return time.Now().UnixNano() // want "wall-clock time.Now"
+}
+
+// Elapsed is wall-clock-legit by annotation: the function-level allow both
+// silences the body and clears the propagated fact, so callers stay clean.
+//
+//dflvet:allow walltime CLI stopwatch for operator feedback, not on the measurement path
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

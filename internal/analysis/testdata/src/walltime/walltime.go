@@ -1,0 +1,34 @@
+// Package walltime seeds violations for the walltime analyzer: wall-clock
+// reads and timers on what stands for the measurement/analysis path, both
+// direct and hidden behind a cross-package call.
+package walltime
+
+import (
+	"time"
+
+	"datalife/internal/analysis/testdata/src/walltime/dep"
+)
+
+func direct() int64 {
+	t := time.Now()          // want "wall-clock time.Now"
+	_ = time.Since(t)        // want "wall-clock time.Since"
+	return dep.HiddenClock() // want "consults the wall clock"
+}
+
+func timers() {
+	<-time.After(time.Millisecond) // want "wall-clock time.After"
+	_ = time.Tick(time.Second)     // want "wall-clock time.Tick"
+}
+
+func suppressed() {
+	//dflvet:allow walltime fixture exercising the line-level allow
+	time.Sleep(time.Millisecond)
+}
+
+func callsAllowed(start time.Time) time.Duration {
+	return dep.Elapsed(start) // clean: the callee is allowed by annotation
+}
+
+func virtual() time.Time {
+	return time.Unix(0, 0) // clean: pure conversion, no clock
+}

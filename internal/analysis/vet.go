@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Vet is the whole-run entry point shared by cmd/dflvet and `datalife vet
+// -src`: it loads every package matched by patterns under root, closes over
+// their module-internal imports so the facts layer can see callee bodies,
+// runs the analyzers once over the combined set, and returns the
+// diagnostics that fall inside the requested packages. The dependency
+// closure is what makes the determinism analyzers interprocedural even when
+// a single package is named on the command line: a clock or an order-tainted
+// return hidden behind an import is still attributed to the call site being
+// vetted.
+func Vet(root string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := ExpandPatterns(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("analysis: no packages match %v", patterns)
+	}
+	var pkgs []*Package
+	requested := make(map[string]bool, len(dirs))
+	loaded := make(map[string]bool, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+		requested[pkg.Dir] = true
+		loaded[pkg.Types.Path()] = true
+	}
+	// Transitive closure over module-internal imports: pkgs grows while the
+	// loop walks it, so indirect dependencies are picked up too.
+	for i := 0; i < len(pkgs); i++ {
+		for _, imp := range pkgs[i].Types.Imports() {
+			path := imp.Path()
+			if loaded[path] || !loader.inModule(path) {
+				continue
+			}
+			loaded[path] = true
+			dep, err := loader.LoadDir(loader.dirFor(path))
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, dep)
+		}
+	}
+	var out []Diagnostic
+	for _, d := range RunPackages(pkgs, analyzers) {
+		if requested[filepath.Dir(d.Pos.Filename)] {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// inModule reports whether the import path belongs to the loaded module.
+func (l *Loader) inModule(path string) bool {
+	return path == l.modPath || strings.HasPrefix(path, l.modPath+"/")
+}
+
+// dirFor maps a module-internal import path to its package directory.
+func (l *Loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+	return filepath.Join(l.root, filepath.FromSlash(rel))
+}
+
+// FindModuleRoot walks up from start (or the working directory when start is
+// empty) to the nearest directory containing go.mod.
+func FindModuleRoot(start string) (string, error) {
+	dir := start
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return "", err
+		}
+		dir = wd
+	}
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", start)
+		}
+		dir = parent
+	}
+}

@@ -10,41 +10,53 @@ import (
 // wantRe extracts the expectation regex from a "// want \"...\"" comment.
 var wantRe = regexp.MustCompile(`want "([^"]+)"`)
 
-// runGolden loads testdata/src/<dir>, runs the analyzer with its package
-// scope filter disabled, and matches diagnostics against the package's
-// // want "regex" comments: every want must be hit on its own line, and
-// every diagnostic must be wanted.
+// runGolden loads testdata/src/<dir> (plus its dep/ subpackage when one
+// exists, so cross-package facts are live), runs the analyzer with its
+// package scope filter disabled, and matches diagnostics against the
+// packages' // want "regex" comments: every want must be hit on its own
+// line, and every diagnostic must be wanted.
 func runGolden(t *testing.T, a *Analyzer, dir string) {
 	t.Helper()
 	loader, err := NewLoader(filepath.Join("..", ".."))
 	if err != nil {
 		t.Fatalf("NewLoader: %v", err)
 	}
+	var pkgs []*Package
+	if depDir := filepath.Join("testdata", "src", dir, "dep"); hasGoFiles(depDir) {
+		dep, err := loader.LoadDir(depDir)
+		if err != nil {
+			t.Fatalf("LoadDir(%s/dep): %v", dir, err)
+		}
+		pkgs = append(pkgs, dep)
+	}
 	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", dir))
 	if err != nil {
 		t.Fatalf("LoadDir(%s): %v", dir, err)
 	}
+	pkgs = append(pkgs, pkg)
 	unscoped := &Analyzer{Name: a.Name, Doc: a.Doc, Run: a.Run}
-	diags := Run(pkg, []*Analyzer{unscoped})
+	diags := RunPackages(pkgs, []*Analyzer{unscoped})
 
 	type key struct {
 		file string
 		line int
 	}
 	wants := make(map[key]*regexp.Regexp)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					rx, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants[key{pos.Filename, pos.Line}] = rx
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				rx, err := regexp.Compile(m[1])
-				if err != nil {
-					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
-				}
-				wants[key{pos.Filename, pos.Line}] = rx
 			}
 		}
 	}
@@ -73,12 +85,16 @@ func runGolden(t *testing.T, a *Analyzer, dir string) {
 	}
 }
 
-func TestIOTraceOnlyGolden(t *testing.T) { runGolden(t, IOTraceOnly, "iotraceonly") }
-func TestSimClockGolden(t *testing.T)    { runGolden(t, SimClock, "simclock") }
-func TestLockHeldGolden(t *testing.T)    { runGolden(t, LockHeld, "lockheld") }
-func TestCloseCheckGolden(t *testing.T)  { runGolden(t, CloseCheck, "closecheck") }
-func TestNoPanicGolden(t *testing.T)     { runGolden(t, NoPanic, "nopanic") }
-func TestRunErrGolden(t *testing.T)      { runGolden(t, RunErr, "runerr") }
+func TestIOTraceOnlyGolden(t *testing.T)  { runGolden(t, IOTraceOnly, "iotraceonly") }
+func TestSimClockGolden(t *testing.T)     { runGolden(t, SimClock, "simclock") }
+func TestLockHeldGolden(t *testing.T)     { runGolden(t, LockHeld, "lockheld") }
+func TestCloseCheckGolden(t *testing.T)   { runGolden(t, CloseCheck, "closecheck") }
+func TestNoPanicGolden(t *testing.T)      { runGolden(t, NoPanic, "nopanic") }
+func TestRunErrGolden(t *testing.T)       { runGolden(t, RunErr, "runerr") }
+func TestMapOrderGolden(t *testing.T)     { runGolden(t, MapOrder, "maporder") }
+func TestWallTimeGolden(t *testing.T)     { runGolden(t, WallTime, "walltime") }
+func TestUnseededRandGolden(t *testing.T) { runGolden(t, UnseededRand, "unseededrand") }
+func TestFanInGolden(t *testing.T)        { runGolden(t, FanIn, "fanin") }
 
 func TestAnalyzerScopes(t *testing.T) {
 	cases := []struct {

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// WallTime generalizes simclock beyond the simulator: nothing on the
+// measurement/analysis/replay path may consult the wall clock — time.Now,
+// time.Since/Until, sleeps, timers, or tickers — because every output is
+// golden-gated to be byte-identical across runs and hosts. Unlike simclock
+// it is also interprocedural: a call into a function that (transitively)
+// uses the wall clock is flagged at the cross-package call site, so a legit
+// wall-clock helper annotated with a function-level
+// "//dflvet:allow walltime <reason>" stays usable in CLI timing code while
+// measurement-path callers are still caught.
+//
+// internal/sim and internal/emulator stay under simclock, which owns the
+// discrete-event phrasing of the same rule.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "no wall-clock time on the measurement/analysis/replay path",
+	Match: func(rel string) bool {
+		return !dirMatcher("internal/sim", "internal/emulator")(rel)
+	},
+	Run: runWallTime,
+}
+
+func runWallTime(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			if key := declKey(pass.Info, decl); key != "" && pass.Facts.funcAllowed(key, pass.Analyzer.Name) {
+				continue
+			}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Info, call)
+				if fn == nil {
+					return true
+				}
+				if isStdTimeForbidden(fn) {
+					pass.Reportf(call.Pos(),
+						"wall-clock time.%s on the measurement/analysis path breaks byte-identical replay; thread virtual time or annotate the function with //dflvet:allow walltime <reason>",
+						fn.Name())
+					return true
+				}
+				// Cross-package: the callee's own package reports direct
+				// uses; here we only surface clocks hidden behind an API.
+				if pkg := funcPkgPath(fn); moduleInternal(pkg) && fn.Pkg() != pass.Pkg {
+					if ff := pass.Facts.FuncOf(fn); ff != nil && ff.WallClock {
+						pass.Reportf(call.Pos(),
+							"call to %s consults the wall clock (via %s); measurement-path code must stay replayable",
+							FuncKey(fn), ff.WallClockVia)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
