@@ -43,8 +43,10 @@ func RunJobs(w, errw io.Writer, jobs []Job, parallelism int) error {
 			if errw != nil {
 				errMu.Lock()
 				if r.err != nil {
+					//dflvet:allow fanin stderr progress notes are advisory and excluded from golden hashes; figure bytes go through per-job buffers
 					fmt.Fprintf(errw, "[%s] failed: %v\n", jobs[i].Name, r.err)
 				} else {
+					//dflvet:allow fanin stderr progress notes are advisory and excluded from golden hashes; figure bytes go through per-job buffers
 					fmt.Fprintf(errw, "[%s] done\n", jobs[i].Name)
 				}
 				errMu.Unlock()
