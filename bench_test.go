@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"datalife/internal/advisor"
+	"datalife/internal/analysis"
 	"datalife/internal/blockstats"
 	"datalife/internal/cache"
 	"datalife/internal/cpa"
@@ -515,5 +517,31 @@ func BenchmarkAblation_TraceEmulation(b *testing.B) {
 		}
 		s1, s6 := results[0].Makespan, results[5].Makespan
 		b.ReportMetric(s1/s6, "S6-speedup-x")
+	}
+}
+
+// BenchmarkAblation_DetvetWholeRepo runs the full dflvet suite — all ten
+// analyzers plus the cross-package facts layer — over every package of the
+// repository, the static counterpart of the golden-hash determinism gates.
+// The 10s guard keeps the facts pass cheap enough to run on every CI push;
+// a slower run fails the benchmark rather than silently eating CI budget.
+func BenchmarkAblation_DetvetWholeRepo(b *testing.B) {
+	root, err := analysis.FindModuleRoot("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		diags, err := analysis.Vet(root, []string{"./..."}, analysis.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("repository not clean: %d findings, e.g. %s", len(diags), diags[0])
+		}
+		if d := time.Since(start); d > 10*time.Second {
+			b.Fatalf("whole-repo dflvet took %v, budget is 10s", d)
+		}
 	}
 }
