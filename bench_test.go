@@ -21,6 +21,7 @@ import (
 	"datalife/internal/dfl"
 	"datalife/internal/emulator"
 	"datalife/internal/experiments"
+	"datalife/internal/faults"
 	"datalife/internal/iotrace"
 	"datalife/internal/patterns"
 	"datalife/internal/sankey"
@@ -308,6 +309,59 @@ func BenchmarkAblation_AnalysisLinearity(b *testing.B) {
 			b.ReportMetric(float64(g.NumEdges()), "edges")
 		})
 	}
+}
+
+// BenchmarkAblation_SimEngine stresses the simulator's event core at 10^5
+// task scale: a 100k-task chain (event-loop constants: heap ops, flow
+// add/remove, repricing), a 100k-producer fan-in (huge ready queue, many
+// concurrent flows sharing one tier), and a seeded faulty random DAG sweep
+// (crash recovery, retries, fault-window repricing). No collector or tracer
+// is attached, so the numbers isolate the engine.
+func BenchmarkAblation_SimEngine(b *testing.B) {
+	b.Run("chain-100k", func(b *testing.B) {
+		b.ReportAllocs()
+		spec := workflows.Chain(workflows.DefaultChainParams(100_000))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := workflows.RunBare(spec, workflows.StressOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Makespan, "sim-seconds")
+		}
+	})
+	b.Run("fan-in-100k", func(b *testing.B) {
+		b.ReportAllocs()
+		spec := workflows.FanIn(workflows.DefaultFanInParams(100_000))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := workflows.RunBare(spec, workflows.StressOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Makespan, "sim-seconds")
+		}
+	})
+	b.Run("faulty-sweep", func(b *testing.B) {
+		b.ReportAllocs()
+		spec := workflows.StressRandom(workflows.DefaultStressRandomParams(10_000, 7))
+		sched, err := faults.ParseSpec("crash=node2@900;ioerr=nfs:0.002;slow=beegfs@300-1200x0.5")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for seed := uint64(1); seed <= 4; seed++ {
+				res, err := workflows.RunBare(spec, workflows.StressOptions{Faults: sched.WithSeed(seed)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Makespan <= 0 {
+					b.Fatal("empty result")
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkAblation_SankeyRender renders the DDMD template Sankey to SVG.

@@ -44,6 +44,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 
 	"datalife/internal/dfl"
 	"datalife/internal/experiments"
@@ -69,7 +70,35 @@ func main() {
 	advise := flag.Bool("advise", false, "re-analyze each fault-sweep run's measured DFL through the memoized advisor")
 	ckptTier := flag.String("checkpoint", "", "durable tier for DFL-planned checkpoints; the faults sweep compares recovery-only vs checkpoint-enabled runs")
 	resume := flag.String("resume", "", "directory for the fault sweep's crash-consistent run journal; re-running with the same flags resumes from it")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dflrun: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dflrun: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dflrun: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live + cumulative allocs
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dflrun: -memprofile: %v\n", err)
+			}
+		}()
+	}
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] [-faults SPEC] [-seeds N] [-advise] [-checkpoint TIER] [-resume DIR] <fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|faults|all> ...")
 		os.Exit(2)

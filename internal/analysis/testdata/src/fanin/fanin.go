@@ -97,6 +97,44 @@ func crossCollector(n int) []int {
 	return dep.Collect(ch, n) // want "collects goroutine results in completion order"
 }
 
+func workerPoolIndexed(n, workers int) []int {
+	// The simulator's parallel-group idiom: a channel distributes indexes,
+	// each worker writes only its task's slot, and the caller folds the
+	// slots in index order after the barrier.
+	out := make([]int, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = i * i // clean: indexed slot, merged post-barrier
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+func mergeOnCompletion(n int) []int {
+	// The tempting-but-wrong variant: folding worker results as they
+	// arrive bakes goroutine scheduling into the merged order.
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) { ch <- i * i }(i)
+	}
+	var merged []int
+	for i := 0; i < n; i++ {
+		merged = append(merged, <-ch) // want "channel receives appended in completion order"
+	}
+	return merged
+}
+
 func suppressed(n int) []int {
 	ch := make(chan int)
 	for i := 0; i < n; i++ {

@@ -62,6 +62,40 @@ func crossSink(m map[string]int) {
 	dep.Emit(keys) // want "order-tainted value reaches"
 }
 
+func mergeDisjointMaps(parts []map[string]int) {
+	// The simulator's result-merge idiom: keyed inserts and commutative
+	// += from ranged maps are order-independent; only the sorted render
+	// touches the sink.
+	merged := make(map[string]int)
+	for _, p := range parts {
+		for k, v := range p {
+			merged[k] += v // clean: keyed commutative accumulation
+		}
+	}
+	var keys []string
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, merged[k]) // clean: canonicalized before the sink
+	}
+}
+
+func mergeSpans(parts []map[string]int) int {
+	// Min/max folds over ranged maps are commutative too (stage-span
+	// merging): the extremum cannot depend on iteration order.
+	best := 0
+	for _, p := range parts {
+		for _, v := range p {
+			if v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
 func suppressed(m map[string]int) {
 	var keys []string
 	for k := range m {

@@ -87,10 +87,11 @@ func (e *Engine) noteCkptWrite(ts *taskState, path string) {
 // bulk filter unlinks flows itself and passes false.
 func (e *Engine) abortCkptCopy(st *ckptState, unlink bool) {
 	fl := st.fl
-	fl.version++ // orphan the pending completion event
+	fl.version++ // naive mode: orphan the pending completion event
 	if unlink {
 		e.removeFlow(fl)
-		e.reshare(fl.tier)
+		e.resettle(fl.st)
+		e.freeFlow(fl)
 	}
 	st.fl = nil
 	st.leg = 0
@@ -134,19 +135,18 @@ func (e *Engine) maybeCheckpoint(path string) {
 // copy is fully asynchronous: it has no owning task and never blocks one.
 func (e *Engine) startCkptFlow(st *ckptState, tier *vfs.Tier, write bool) {
 	e.flowSeq++
-	fl := &flow{
-		tier:    tier,
-		write:   write,
-		rem:     float64(st.size),
-		lastT:   e.now,
-		started: e.now,
-		id:      e.flowSeq,
-		ckpt:    st,
-	}
+	fl := e.newFlow()
+	fl.write = write
+	fl.rem = float64(st.size)
+	fl.lastT = e.now
+	fl.started = e.now
+	fl.id = e.flowSeq
+	fl.ckpt = st
 	st.fl = fl
-	e.flows[tier] = append(e.flows[tier], fl)
-	e.result.TierBytes[tier.Name] += uint64(st.size)
-	e.reshare(tier)
+	ts := e.tierFor(tier)
+	e.addFlow(ts, fl)
+	ts.bytes += uint64(st.size)
+	e.resettle(ts)
 }
 
 // finishCkptFlow advances a completed copy leg: the source read chains into

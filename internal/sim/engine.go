@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -72,6 +71,20 @@ type Engine struct {
 	// Retry tunes the recovery policy when faults are active; zero fields
 	// fall back to faults.DefaultRetryPolicy.
 	Retry faults.RetryPolicy
+	// Workers, when > 1, enables conservative parallel execution: the
+	// workload is partitioned into groups that share no node, tier, file,
+	// or dependency edge, each group runs on its own goroutine with a
+	// private engine, and the Results are merged in canonical group order.
+	// Whenever the partition finds a single component — or a coupling
+	// feature is active (collectors, tracing, custom planners,
+	// checkpointing, node crashes, unpinned tasks) — the run falls back to
+	// the exact serial loop. Per-task and per-tier outputs are always
+	// identical to a serial run; cross-group scalar totals (ComputeTime,
+	// RecoverySeconds) sum the same addends in canonical rather than
+	// chronological order, so they are bit-identical whenever those sums
+	// are exact (e.g. dyadic compute times) and equal to the last ulp
+	// otherwise.
+	Workers int
 	// Checkpoint, when non-nil with a non-empty file list, proactively
 	// copies the listed intermediate files to its durable tier as soon as
 	// a task that wrote them finishes, and the crash-recovery triage
@@ -82,19 +95,25 @@ type Engine struct {
 	now      float64
 	eq       eventHeap
 	seq      int64
-	pool     []*event              // free list; retired events recycle through schedule()
-	flows    map[*vfs.Tier][]*flow // per tier, in creation (id) order
-	flowSeq  int64                 // creation order; reshare iterates flows in this order
-	meta     map[*vfs.Tier]float64 // metadata server next-free time
-	nodes    map[string]*nodeState
-	tasks    map[string]*taskState
-	order    []*taskState // workload order, for deterministic iteration
-	ready    []*taskState
-	unfin    int
-	result   *Result
-	failure  *TaskError
-	faultsOn bool
-	retry    faults.RetryPolicy
+	pool     []*event                 // free list; retired events recycle through schedule()
+	flowPool []*flow                  // free list for completed flows (incremental mode)
+	tiers    map[*vfs.Tier]*tierState // per-tier flow set, counts, rate epoch, meta queue
+	flowSeq  int64                    // flow creation order, for deterministic tie-breaks
+	// naive switches fair-share repricing to the reference O(flows/tier)
+	// implementation (recount, settle, reschedule every flow at every
+	// boundary). The equivalence tests run both modes and assert identical
+	// Results; production runs always use the incremental path.
+	naive        bool
+	inStartReady bool // re-entrancy latch; see startReady
+	nodes        map[string]*nodeState
+	tasks        map[string]*taskState
+	order        []*taskState // workload order, for deterministic iteration
+	ready        []*taskState
+	unfin        int
+	result       *Result
+	failure      *TaskError
+	faultsOn     bool
+	retry        faults.RetryPolicy
 	// Fault-recovery bookkeeping (nil unless faultsOn): file provenance for
 	// the DFL-driven re-stage/re-run decision, the static path → consumer
 	// index, and the set of lost files awaiting a producer re-run.
@@ -135,17 +154,24 @@ const (
 )
 
 type taskState struct {
-	task    *Task
-	state   taskRun
-	node    string
-	pc      int
-	deps    int
-	start   float64
-	end     float64
-	offsets map[string]int64
+	task  *Task
+	state taskRun
+	node  string
+	pc    int
+	deps  int
+	start float64
+	end   float64
+	// offsets tracks sequential read cursors per path. Lazily allocated:
+	// only scripts with cursor reads (OpRead, Offset < 0) need it, and a
+	// nil map reads as zero — only writes are guarded.
+	offsets      map[string]int64
+	needsOffsets bool
 	// current I/O op progress
-	parts    []ReadPart
-	partIdx  int
+	parts   []ReadPart
+	partIdx int
+	// partsBuf inlines the 1–2 parts every non-planner op uses, so write,
+	// stage, and default-planner read ops plan without allocating.
+	partsBuf [2]ReadPart
 	opStart  float64
 	children []*taskState
 	// staging scratch
@@ -166,18 +192,89 @@ type taskState struct {
 }
 
 type flow struct {
-	tier    *vfs.Tier
+	st      *tierState
 	write   bool
 	rem     float64 // remaining bytes
 	lastT   float64
 	rate    float64
-	version int64
+	version int64 // naive-mode staleness counter (incremental mode: unused)
+	idx     int   // position in st.flows, for O(1) swap-remove
 	owner   *taskState
 	extra   float64    // fixed post-transfer delay (per-access latency)
 	async   bool       // buffered write: does not block the owner
 	started float64    // issue time, for per-flow tier-time accounting
-	id      int64      // creation order, for deterministic re-sharing
+	id      int64      // creation order, for deterministic tie-breaks
 	ckpt    *ckptState // non-nil for checkpoint copy legs (owner is nil)
+}
+
+// tierState is a tier's complete simulation state: its live flow set (
+// unordered; flows carry their index for O(1) swap-remove), incrementally
+// maintained reader/writer counts, the tier's single pending completion
+// event (aimed at the earliest-finishing flow and re-aimed in place at each
+// boundary), a rate epoch counting boundaries, and the metadata-server
+// queue tail.
+type tierState struct {
+	tier  *vfs.Tier
+	flows []*flow
+	nr    int // live read flows
+	nw    int // live write flows
+	epoch int64
+	ev    *event  // pending evFlowDone; nil when the tier is idle or stalled
+	meta  float64 // metadata server next-free time
+	// Result accumulators, flushed into the Result maps once at the end of
+	// the run so the hot path never hashes tier names. The touched flag
+	// preserves exactly which TierTime keys the per-flow updates would have
+	// created (a flow can finish in zero time).
+	bytes     uint64
+	ttime     float64
+	ttimeEver bool
+	metaOps   uint64
+	metaWait  float64
+}
+
+// newFlow draws a flow from the free list (zeroed).
+func (e *Engine) newFlow() *flow {
+	if n := len(e.flowPool); n > 0 {
+		fl := e.flowPool[n-1]
+		e.flowPool = e.flowPool[:n-1]
+		*fl = flow{}
+		return fl
+	}
+	return &flow{}
+}
+
+// freeFlow recycles a flow that is out of every structure. Only the
+// incremental path recycles: naive mode leaves stale completion events
+// holding flow pointers for their version check, so its flows must survive
+// until the run ends.
+func (e *Engine) freeFlow(fl *flow) {
+	if e.naive {
+		return
+	}
+	fl.st, fl.owner, fl.ckpt = nil, nil, nil
+	e.flowPool = append(e.flowPool, fl)
+}
+
+// tierFor returns (creating on first use) a tier's state.
+func (e *Engine) tierFor(t *vfs.Tier) *tierState {
+	st := e.tiers[t]
+	if st == nil {
+		st = &tierState{tier: t}
+		e.tiers[t] = st
+	}
+	return st
+}
+
+// addFlow inserts fl into its tier's flow set and bumps the direction count.
+func (e *Engine) addFlow(st *tierState, fl *flow) {
+	fl.st = st
+	fl.idx = len(st.flows)
+	st.flows = append(st.flows, fl)
+	if fl.write {
+		st.nw++
+	} else {
+		st.nr++
+	}
 }
 
 type evKind uint8
@@ -200,23 +297,113 @@ type event struct {
 	version int64
 	ts      *taskState
 	gen     int64     // task incarnation the event belongs to
+	idx     int       // heap position, for in-place Fix/Remove; -1 when popped
 	node    string    // evCrash payload
 	tier    *vfs.Tier // evTierChange payload
 }
 
+// eventHeap is a concrete binary min-heap over (t, seq) with intrusive
+// indices: events know their slot, so a tier boundary re-aims its pending
+// completion event in place (one sift) instead of orphaning it and pushing
+// a replacement.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+func eventLess(a, b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (e *Engine) push(ev *event)       { e.seq++; ev.seq = e.seq; heap.Push(&e.eq, ev) }
+
+func (e *Engine) heapPush(ev *event) {
+	ev.idx = len(e.eq)
+	e.eq = append(e.eq, ev)
+	e.heapUp(ev.idx)
+}
+
+func (e *Engine) heapPop() *event {
+	h := e.eq
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[0].idx = 0
+	h[n] = nil
+	e.eq = h[:n]
+	if n > 1 {
+		e.heapDown(0)
+	}
+	ev.idx = -1
+	return ev
+}
+
+// heapFix restores heap order after e.eq[i] changed key.
+func (e *Engine) heapFix(i int) {
+	if !e.heapDown(i) {
+		e.heapUp(i)
+	}
+}
+
+// heapRemove deletes e.eq[i].
+func (e *Engine) heapRemove(i int) {
+	h := e.eq
+	n := len(h) - 1
+	ev := h[i]
+	if i != n {
+		h[i] = h[n]
+		h[i].idx = i
+	}
+	h[n] = nil
+	e.eq = h[:n]
+	if i < n {
+		e.heapFix(i)
+	}
+	ev.idx = -1
+}
+
+func (e *Engine) heapUp(i int) {
+	h := e.eq
+	ev := h[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].idx = i
+		i = p
+	}
+	h[i] = ev
+	ev.idx = i
+}
+
+// heapDown sifts e.eq[i] toward the leaves; reports whether it moved.
+func (e *Engine) heapDown(i int) bool {
+	h := e.eq
+	n := len(h)
+	ev := h[i]
+	i0 := i
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && eventLess(h[r], h[l]) {
+			c = r
+		}
+		if !eventLess(h[c], ev) {
+			break
+		}
+		h[i] = h[c]
+		h[i].idx = i
+		i = c
+	}
+	h[i] = ev
+	ev.idx = i
+	return i > i0
+}
+
+func (e *Engine) push(ev *event)       { e.seq++; ev.seq = e.seq; e.heapPush(ev) }
 func (e *Engine) at(t float64) float64 { return math.Max(t, e.now) }
 
 // newEvent draws an event struct from the free list.
@@ -367,12 +554,16 @@ func (e *Engine) Run(w *Workload) (*Result, error) {
 	if e.ChunkLatencyEvery <= 0 {
 		e.ChunkLatencyEvery = 1
 	}
+	if e.Workers > 1 {
+		if res, err, ok := e.runParallel(w); ok {
+			return res, err
+		}
+	}
 	e.now = 0
 	e.eq = nil
 	e.failure = nil
-	e.flows = make(map[*vfs.Tier][]*flow)
+	e.tiers = make(map[*vfs.Tier]*tierState)
 	e.flowSeq = 0
-	e.meta = make(map[*vfs.Tier]float64)
 	e.nodes = make(map[string]*nodeState, len(e.Cluster.Nodes))
 	for _, n := range e.Cluster.Nodes {
 		e.nodes[n.Name] = &nodeState{node: n, freeCores: n.Cores}
@@ -381,7 +572,7 @@ func (e *Engine) Run(w *Workload) (*Result, error) {
 	e.order = e.order[:0]
 	e.ready = nil
 	e.result = &Result{
-		Tasks:     make(map[string]TaskTime),
+		Tasks:     make(map[string]TaskTime, len(w.Tasks)),
 		Stages:    make(map[string]TaskTime),
 		TierBytes: make(map[string]uint64),
 		TierTime:  make(map[string]float64),
@@ -389,9 +580,20 @@ func (e *Engine) Run(w *Workload) (*Result, error) {
 		MetaWait:  make(map[string]float64),
 	}
 
-	// Build dependency graph.
-	for _, t := range w.Tasks {
-		ts := &taskState{task: t, deps: len(t.Deps), offsets: make(map[string]int64), attempt: 1}
+	// Build dependency graph. Task states are slab-allocated (the slice is
+	// never reallocated, so the pointers stay stable) and the sequential-
+	// read cursor map is only built for scripts that use cursor reads.
+	states := make([]taskState, len(w.Tasks))
+	for i, t := range w.Tasks {
+		ts := &states[i]
+		ts.task, ts.deps, ts.attempt = t, len(t.Deps), 1
+		for j := range t.Script {
+			if op := &t.Script[j]; op.Kind == OpRead && op.Offset < 0 {
+				ts.needsOffsets = true
+				ts.offsets = make(map[string]int64)
+				break
+			}
+		}
 		e.tasks[t.Name] = ts
 		e.order = append(e.order, ts)
 	}
@@ -420,16 +622,26 @@ func (e *Engine) Run(w *Workload) (*Result, error) {
 		if e.failure != nil {
 			return nil, e.failure
 		}
-		if e.eq.Len() == 0 {
+		if len(e.eq) == 0 {
 			return nil, fmt.Errorf("sim: deadlock with %d unfinished tasks (unsatisfiable placement or cyclic deps)", e.unfin)
 		}
-		ev := heap.Pop(&e.eq).(*event)
+		ev := e.heapPop()
 		kind, fl, version, ts, t, gen := ev.kind, ev.fl, ev.version, ev.ts, ev.t, ev.gen
 		node, tier := ev.node, ev.tier
-		e.free(ev)
-		if kind == evFlowDone && version != fl.version {
-			continue // stale reschedule
+		if kind == evFlowDone {
+			if e.naive {
+				if version != fl.version {
+					e.free(ev)
+					continue // stale reschedule
+				}
+			} else {
+				// The tier's single completion event is re-aimed in place
+				// and removed when the tier idles, so a popped one is always
+				// current; detach it before finishFlow resettles the tier.
+				fl.st.ev = nil
+			}
 		}
+		e.free(ev)
 		if ts != nil && gen != ts.gen {
 			continue // event from a pre-failure incarnation of the task
 		}
@@ -437,6 +649,7 @@ func (e *Engine) Run(w *Workload) (*Result, error) {
 		switch kind {
 		case evFlowDone:
 			e.finishFlow(fl)
+			e.freeFlow(fl)
 		case evDelayDone, evMetaDone:
 			e.step(ts)
 		case evAsyncDone:
@@ -446,11 +659,26 @@ func (e *Engine) Run(w *Workload) (*Result, error) {
 		case evCrash:
 			e.crashNode(node)
 		case evTierChange:
-			e.reshare(tier)
+			e.resettle(e.tierFor(tier))
 		}
 	}
 	if e.failure != nil {
 		return nil, e.failure
+	}
+	// Flush the per-tier accumulators. Keys are distinct per tier, so map
+	// iteration order cannot affect the result.
+	for _, st := range e.tiers {
+		name := st.tier.Name
+		if st.bytes > 0 {
+			e.result.TierBytes[name] += st.bytes
+		}
+		if st.ttimeEver {
+			e.result.TierTime[name] += st.ttime
+		}
+		if st.metaOps > 0 {
+			e.result.MetaOps[name] += st.metaOps
+			e.result.MetaWait[name] += st.metaWait
+		}
 	}
 	e.result.Makespan = e.now
 	if e.faultsOn {
@@ -627,33 +855,35 @@ func (e *Engine) crashNode(name string) {
 
 	// Cancel every flow owned by a task on the crashed node, in sorted tier
 	// order for deterministic event sequencing.
-	tiers := make([]*vfs.Tier, 0, len(e.flows))
-	for tier := range e.flows {
-		tiers = append(tiers, tier)
+	tiers := make([]*tierState, 0, len(e.tiers))
+	for _, st := range e.tiers {
+		tiers = append(tiers, st)
 	}
-	sort.Slice(tiers, func(i, j int) bool { return tiers[i].Name < tiers[j].Name })
-	for _, tier := range tiers {
-		list := e.flows[tier]
-		keep := list[:0] // in-place filter preserves creation order
-		for _, fl := range list {
+	sort.Slice(tiers, func(i, j int) bool { return tiers[i].tier.Name < tiers[j].tier.Name })
+	for _, st := range tiers {
+		changed := false
+		for i := 0; i < len(st.flows); {
+			fl := st.flows[i]
 			if fl.owner != nil && fl.owner.node == name && fl.owner.state == tRunning {
-				fl.version++ // orphan the pending completion event
-				continue
+				fl.version++ // naive mode: orphan the pending completion event
+				e.removeFlow(fl)
+				e.freeFlow(fl)
+				changed = true
+				continue // swap-remove moved a new flow into slot i
 			}
 			if fl.ckpt != nil && fl.ckpt.srcNode == name {
 				// The copy's source bytes just vanished with the node:
 				// abort the in-flight checkpoint; it never becomes durable.
 				e.abortCkptCopy(fl.ckpt, false)
+				e.removeFlow(fl)
+				e.freeFlow(fl)
+				changed = true
 				continue
 			}
-			keep = append(keep, fl)
+			i++
 		}
-		if len(keep) != len(list) {
-			for i := len(keep); i < len(list); i++ {
-				list[i] = nil
-			}
-			e.flows[tier] = keep
-			e.reshare(tier)
+		if changed {
+			e.resettle(st)
 		}
 	}
 
@@ -674,7 +904,9 @@ func (e *Engine) crashNode(name string) {
 		}
 		ts.node = ""
 		ts.pc = 0
-		ts.offsets = make(map[string]int64)
+		if ts.needsOffsets {
+			ts.offsets = make(map[string]int64)
+		}
 		ts.outstanding, ts.draining = 0, false
 		ts.rerun = true
 		ts.wrote = nil
@@ -783,7 +1015,9 @@ func (e *Engine) resurrect(ts *taskState) {
 	ts.gen++
 	ts.pc = 0
 	ts.parts = nil
-	ts.offsets = make(map[string]int64)
+	if ts.needsOffsets {
+		ts.offsets = make(map[string]int64)
+	}
 	ts.outstanding, ts.draining = 0, false
 	ts.node = ""
 	ts.rerun = true
@@ -793,12 +1027,32 @@ func (e *Engine) resurrect(ts *taskState) {
 }
 
 // startReady launches as many ready tasks as fit on free cores.
+//
+// The queue is scanned in order (placement order is part of the determinism
+// contract) but the scan is O(work done), not O(queue): every task needs at
+// least one core, so once no surviving node has a free core nothing later in
+// the queue can place either and the scan stops. Tasks that could not place
+// (the keepers, typically pinned to a full or down node) are shifted right
+// to join the unscanned suffix instead of copying the — at fan-in scale,
+// enormous — suffix left. e.step can complete a task synchronously and
+// re-enter; the latch makes the nested call a no-op and the outer scan,
+// which reads e.ready live, picks up anything the completion freed.
 func (e *Engine) startReady() {
-	var rem []*taskState
-	for _, ts := range e.ready {
+	if e.inStartReady {
+		return
+	}
+	if len(e.ready) == 0 || e.maxFreeCores() == 0 {
+		return
+	}
+	e.inStartReady = true
+	w := 0 // keepers occupy e.ready[:w]
+	r := 0
+	for ; r < len(e.ready); r++ {
+		ts := e.ready[r]
 		node, ok := e.pickNode(ts.task)
 		if !ok {
-			rem = append(rem, ts)
+			e.ready[w] = ts
+			w++
 			continue
 		}
 		cores := ts.task.Cores
@@ -813,8 +1067,34 @@ func (e *Engine) startReady() {
 			e.Col.TaskStarted(ts.task.Name, e.now)
 		}
 		e.step(ts)
+		if e.maxFreeCores() == 0 {
+			r++
+			break
+		}
 	}
-	e.ready = rem
+	if r >= len(e.ready) {
+		for i := w; i < len(e.ready); i++ {
+			e.ready[i] = nil
+		}
+		e.ready = e.ready[:w]
+	} else {
+		// Early exit: keepers [0,w) join the unscanned suffix [r,len).
+		copy(e.ready[r-w:r], e.ready[:w])
+		e.ready = e.ready[r-w:]
+	}
+	e.inStartReady = false
+}
+
+// maxFreeCores returns the largest free-core count on any surviving node —
+// zero means no ready task can place, whatever its requirements.
+func (e *Engine) maxFreeCores() int {
+	max := 0
+	for _, ns := range e.nodes {
+		if !ns.down && ns.freeCores > max {
+			max = ns.freeCores
+		}
+	}
+	return max
 }
 
 // pickNode selects the pinned node or the least-loaded surviving node with
@@ -926,26 +1206,25 @@ func (e *Engine) step(ts *taskState) {
 // metaOp performs open/close/delete with metadata-server queueing. Returns
 // true when an event was scheduled.
 func (e *Engine) metaOp(ts *taskState, op *Op) (bool, error) {
-	f, err := e.FS.Stat(op.Path)
 	var tier *vfs.Tier
-	if err == nil {
+	if f := e.FS.Lookup(op.Path); f != nil {
 		tier = f.Tier
-	} else {
-		if op.Kind == OpOpen {
-			// Opening a file that will be created: charge against the
-			// task's create tier.
-			tier, err = e.resolveTier(ts, ts.task.CreateTier)
-			if err != nil {
-				return false, err
-			}
-		} else {
-			return false, nil // close/delete of missing file: no-op
+	} else if op.Kind == OpOpen {
+		// Opening a file that will be created: charge against the
+		// task's create tier.
+		var err error
+		tier, err = e.resolveTier(ts, ts.task.CreateTier)
+		if err != nil {
+			return false, err
 		}
+	} else {
+		return false, nil // close/delete of missing file: no-op
 	}
 	if op.Kind == OpDelete {
 		_ = e.FS.Remove(op.Path)
 	}
-	free := e.at(e.meta[tier])
+	st := e.tierFor(tier)
+	free := e.at(st.meta)
 	wait := free - e.now
 	done := free + tier.MetaOpS
 	// The server queue advances by the per-op occupancy: MetaOpS divided by
@@ -954,9 +1233,9 @@ func (e *Engine) metaOp(ts *taskState, op *Op) (bool, error) {
 	if conc < 1 {
 		conc = 1
 	}
-	e.meta[tier] = free + tier.MetaOpS/float64(conc)
-	e.result.MetaOps[tier.Name]++
-	e.result.MetaWait[tier.Name] += wait
+	st.meta = free + tier.MetaOpS/float64(conc)
+	st.metaOps++
+	st.metaWait += wait
 	if e.Col != nil {
 		switch op.Kind {
 		case OpOpen:
@@ -991,9 +1270,9 @@ func (e *Engine) beginIOOp(ts *taskState, op *Op) error {
 	ts.stageSrc = nil
 	switch op.Kind {
 	case OpRead:
-		f, err := e.FS.Stat(op.Path)
-		if err != nil {
-			return err
+		f := e.FS.Lookup(op.Path)
+		if f == nil {
+			return fmt.Errorf("vfs: no such file %q", op.Path)
 		}
 		if !vfs.VisibleFrom(f.Tier, ts.node) {
 			return fmt.Errorf("file on node-local tier %s not visible from node %s", f.Tier.Name, ts.node)
@@ -1030,7 +1309,17 @@ func (e *Engine) beginIOOp(ts *taskState, op *Op) error {
 			ts.parts = nil
 			return nil
 		}
-		ts.offsets[op.Path] = off + n
+		if ts.offsets != nil {
+			ts.offsets[op.Path] = off + n
+		}
+		if _, home := e.Planner.(homePlanner); home {
+			// The default planner serves the whole read from the home tier;
+			// plan it into the task's inline part buffer instead of through
+			// the interface (same single part, no allocation).
+			ts.partsBuf[0] = ReadPart{Tier: f.Tier, Bytes: total}
+			ts.parts = ts.partsBuf[:1]
+			return nil
+		}
 		ts.parts = e.Planner.PlanRead(ts.task.Name, ts.node, op.Path, f.Tier, off, total)
 		var sum int64
 		for _, p := range ts.parts {
@@ -1046,12 +1335,13 @@ func (e *Engine) beginIOOp(ts *taskState, op *Op) error {
 			ts.parts = nil
 			return nil
 		}
-		f, err := e.FS.Stat(op.Path)
-		if err != nil {
+		f := e.FS.Lookup(op.Path)
+		if f == nil {
 			tier, terr := e.resolveTier(ts, ts.task.CreateTier)
 			if terr != nil {
 				return terr
 			}
+			var err error
 			if f, err = e.FS.Create(op.Path, tier.Name); err != nil {
 				return err
 			}
@@ -1062,11 +1352,12 @@ func (e *Engine) beginIOOp(ts *taskState, op *Op) error {
 		if err := e.injectedIOErr(ts, f.Tier); err != nil {
 			return err
 		}
-		ts.parts = []ReadPart{{Tier: f.Tier, Bytes: op.Bytes}}
+		ts.partsBuf[0] = ReadPart{Tier: f.Tier, Bytes: op.Bytes}
+		ts.parts = ts.partsBuf[:1]
 	case OpStage:
-		f, err := e.FS.Stat(op.Path)
-		if err != nil {
-			return err
+		f := e.FS.Lookup(op.Path)
+		if f == nil {
+			return fmt.Errorf("vfs: no such file %q", op.Path)
 		}
 		dst, err := e.resolveTier(ts, op.Tier)
 		if err != nil {
@@ -1081,7 +1372,9 @@ func (e *Engine) beginIOOp(ts *taskState, op *Op) error {
 		}
 		// Leg 1: read at source; leg 2 (write at target) is queued behind it.
 		ts.stageSrc = f.Tier
-		ts.parts = []ReadPart{{Tier: f.Tier, Bytes: f.Size}, {Tier: dst, Bytes: f.Size}}
+		ts.partsBuf[0] = ReadPart{Tier: f.Tier, Bytes: f.Size}
+		ts.partsBuf[1] = ReadPart{Tier: dst, Bytes: f.Size}
+		ts.parts = ts.partsBuf[:2]
 	}
 	return nil
 }
@@ -1106,35 +1399,35 @@ func (e *Engine) startPart(ts *taskState) {
 	extra := float64(batches) * part.Tier.LatencyS
 
 	e.flowSeq++
-	fl := &flow{
-		tier:    part.Tier,
-		write:   write,
-		rem:     float64(part.Bytes),
-		lastT:   e.now,
-		owner:   ts,
-		extra:   extra,
-		started: e.now,
-		id:      e.flowSeq,
-	}
-	// Flow ids are monotonically increasing, so appending keeps the tier's
-	// list in creation order — reshare never re-sorts.
-	e.flows[part.Tier] = append(e.flows[part.Tier], fl)
-	e.result.TierBytes[part.Tier.Name] += uint64(part.Bytes)
-	e.reshare(part.Tier)
+	fl := e.newFlow()
+	fl.write = write
+	fl.rem = float64(part.Bytes)
+	fl.lastT = e.now
+	fl.owner = ts
+	fl.extra = extra
+	fl.started = e.now
+	fl.id = e.flowSeq
+	st := e.tierFor(part.Tier)
+	e.addFlow(st, fl)
+	st.bytes += uint64(part.Bytes)
+	e.resettle(st)
 }
 
-// removeFlow deletes fl from its tier's list, preserving creation order.
-// Flows complete roughly in start order, so the linear scan usually stops
-// within the first few slots.
+// removeFlow deletes fl from its tier's set by swap-remove and drops the
+// direction count. Order does not matter: settle arithmetic is per-flow and
+// event sequencing is derived from (time, id) tie-breaks, not list position.
 func (e *Engine) removeFlow(fl *flow) {
-	list := e.flows[fl.tier]
-	for i, f := range list {
-		if f == fl {
-			copy(list[i:], list[i+1:])
-			list[len(list)-1] = nil
-			e.flows[fl.tier] = list[:len(list)-1]
-			return
-		}
+	st := fl.st
+	last := len(st.flows) - 1
+	i := fl.idx
+	st.flows[i] = st.flows[last]
+	st.flows[i].idx = i
+	st.flows[last] = nil
+	st.flows = st.flows[:last]
+	if fl.write {
+		st.nw--
+	} else {
+		st.nr--
 	}
 }
 
@@ -1142,7 +1435,7 @@ func (e *Engine) removeFlow(fl *flow) {
 // advances to the next part or lets the task continue.
 func (e *Engine) finishFlow(fl *flow) {
 	e.removeFlow(fl)
-	e.reshare(fl.tier)
+	e.resettle(fl.st)
 	if fl.ckpt != nil {
 		// Checkpoint copies have no owning task: they charge bandwidth
 		// through the shared flow machinery but no task-blocking tier time.
@@ -1150,7 +1443,8 @@ func (e *Engine) finishFlow(fl *flow) {
 		return
 	}
 	ts := fl.owner
-	e.result.TierTime[fl.tier.Name] += e.now - fl.started
+	fl.st.ttime += e.now - fl.started
+	fl.st.ttimeEver = true
 	if fl.async {
 		if fl.extra > 0 {
 			e.schedule(e.now+fl.extra, evAsyncDone, nil, 0, ts)
@@ -1211,21 +1505,20 @@ func (e *Engine) issueAsyncWrite(ts *taskState, op *Op) error {
 	nAcc := (op.Bytes + chunk - 1) / chunk
 	batches := (nAcc + int64(e.ChunkLatencyEvery) - 1) / int64(e.ChunkLatencyEvery)
 	e.flowSeq++
-	fl := &flow{
-		tier:    f.Tier,
-		write:   true,
-		rem:     float64(op.Bytes),
-		lastT:   e.now,
-		owner:   ts,
-		extra:   float64(batches) * f.Tier.LatencyS,
-		async:   true,
-		started: e.now,
-		id:      e.flowSeq,
-	}
-	e.flows[f.Tier] = append(e.flows[f.Tier], fl)
-	e.result.TierBytes[f.Tier.Name] += uint64(op.Bytes)
+	fl := e.newFlow()
+	fl.write = true
+	fl.rem = float64(op.Bytes)
+	fl.lastT = e.now
+	fl.owner = ts
+	fl.extra = float64(batches) * f.Tier.LatencyS
+	fl.async = true
+	fl.started = e.now
+	fl.id = e.flowSeq
+	st := e.tierFor(f.Tier)
+	e.addFlow(st, fl)
+	st.bytes += uint64(op.Bytes)
 	ts.outstanding++
-	e.reshare(f.Tier)
+	e.resettle(st)
 	return nil
 }
 
@@ -1238,16 +1531,128 @@ func (e *Engine) asyncDone(ts *taskState) {
 	}
 }
 
-// reshare recomputes fair-share rates for all flows on a tier and
-// reschedules their completion events. Reads share ReadBW; writes WriteBW.
-// Flows are visited in creation order so event sequencing is deterministic.
-// Under an active fault schedule, slowdown windows scale the tier bandwidth
-// and outage windows stall flows entirely until the window-close event
-// reshares the tier.
-func (e *Engine) reshare(tier *vfs.Tier) {
-	// The tier's flow list is maintained in creation (id) order by
-	// startPart/startAsyncWrite/removeFlow, so no snapshot or sort per call.
-	list := e.flows[tier]
+// fairRate computes one direction's per-flow rate: bandwidth scaled by the
+// fault window factor, degraded past the saturation knee, divided by the
+// sharer count. The arithmetic (ordering included) matches the historical
+// per-flow computation bit for bit — the byte-identical gates depend on it.
+func fairRate(tier *vfs.Tier, write bool, n int, factor float64) float64 {
+	bw := tier.ReadBW
+	if write {
+		bw = tier.WriteBW
+	}
+	if bw <= 0 {
+		bw = 1e12 // effectively instantaneous
+	}
+	bw *= factor
+	// Client-count saturation: shared filesystems degrade past a knee.
+	if tier.DegradeAlpha > 0 && n > tier.DegradeKnee {
+		bw /= 1 + tier.DegradeAlpha*float64(n-tier.DegradeKnee)
+	}
+	return bw / float64(n)
+}
+
+// resettle is the tier boundary: it settles every live flow's progress at
+// its old rate, reprices from the incrementally maintained reader/writer
+// counts (one fairRate computation per direction instead of one per flow),
+// and re-aims the tier's single pending completion event at the
+// earliest-finishing flow (ties to the lowest flow id) with one in-place
+// heap fix. Under an active fault schedule, slowdown windows scale the
+// bandwidth and outage windows stall the tier entirely until the
+// window-close event resettles it.
+//
+// Equivalence with the reference implementation (resettleNaive, the
+// pre-incremental engine): both settle every flow with identical arithmetic
+// at identical boundaries, and both assign the tier's next event a fresh
+// sequence number at each boundary, so cross-tier ties resolve in
+// last-boundary order and within-tier ties in flow-id order either way.
+// TestReshareEquivalence asserts identical Results over randomized
+// workloads; the golden stdout/SaveJSON hashes pin the absolute behavior.
+func (e *Engine) resettle(st *tierState) {
+	if e.naive {
+		e.resettleNaive(st)
+		return
+	}
+	st.epoch++
+	if len(st.flows) == 0 {
+		if st.ev != nil {
+			e.heapRemove(st.ev.idx)
+			e.free(st.ev)
+			st.ev = nil
+		}
+		return
+	}
+	avail := true
+	factor := 1.0
+	if e.faultsOn {
+		avail = e.Faults.Available(st.tier.Name, e.now)
+		factor = e.Faults.BandwidthFactor(st.tier.Name, e.now)
+	}
+	if !avail {
+		// Link outage: every flow stalls; the window-end tier-change event
+		// resettles and resumes them.
+		for _, fl := range st.flows {
+			fl.rem -= fl.rate * (e.now - fl.lastT)
+			if fl.rem < 0 {
+				fl.rem = 0
+			}
+			fl.lastT = e.now
+			fl.rate = 0
+		}
+		if st.ev != nil {
+			e.heapRemove(st.ev.idx)
+			e.free(st.ev)
+			st.ev = nil
+		}
+		return
+	}
+	var rr, wr float64
+	if st.nr > 0 {
+		rr = fairRate(st.tier, false, st.nr, factor)
+	}
+	if st.nw > 0 {
+		wr = fairRate(st.tier, true, st.nw, factor)
+	}
+	var best *flow
+	var bestT float64
+	for _, fl := range st.flows {
+		// Settle progress at the old rate.
+		fl.rem -= fl.rate * (e.now - fl.lastT)
+		if fl.rem < 0 {
+			fl.rem = 0
+		}
+		fl.lastT = e.now
+		if fl.write {
+			fl.rate = wr
+		} else {
+			fl.rate = rr
+		}
+		t := e.now + fl.rem/fl.rate
+		if best == nil || t < bestT || (t == bestT && fl.id < best.id) {
+			best, bestT = fl, t
+		}
+	}
+	if st.ev != nil {
+		ev := st.ev
+		ev.t, ev.fl, ev.version = bestT, best, st.epoch
+		e.seq++
+		ev.seq = e.seq
+		e.heapFix(ev.idx)
+		return
+	}
+	ev := e.newEvent()
+	ev.t, ev.kind, ev.fl, ev.version, ev.ts, ev.gen = bestT, evFlowDone, best, st.epoch, nil, 0
+	e.push(ev)
+	st.ev = ev
+}
+
+// resettleNaive is the reference fair-share boundary the incremental path
+// is tested against: recount both directions, settle and reprice every flow,
+// and reschedule every flow's own completion event (staleness-checked via
+// fl.version). Flows are visited in creation (id) order, which requires a
+// sort here because the live set is swap-remove unordered.
+func (e *Engine) resettleNaive(st *tierState) {
+	list := append([]*flow(nil), st.flows...)
+	sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
 	var nr, nw int
 	for _, fl := range list {
 		if fl.write {
@@ -1259,11 +1664,10 @@ func (e *Engine) reshare(tier *vfs.Tier) {
 	avail := true
 	factor := 1.0
 	if e.faultsOn {
-		avail = e.Faults.Available(tier.Name, e.now)
-		factor = e.Faults.BandwidthFactor(tier.Name, e.now)
+		avail = e.Faults.Available(st.tier.Name, e.now)
+		factor = e.Faults.BandwidthFactor(st.tier.Name, e.now)
 	}
 	for _, fl := range list {
-		// Settle progress at the old rate.
 		fl.rem -= fl.rate * (e.now - fl.lastT)
 		if fl.rem < 0 {
 			fl.rem = 0
@@ -1271,25 +1675,14 @@ func (e *Engine) reshare(tier *vfs.Tier) {
 		fl.lastT = e.now
 		fl.version++
 		if !avail {
-			// Link outage: the flow stalls; the window-end tier-change
-			// event reshares and resumes it.
 			fl.rate = 0
 			continue
 		}
-		bw := tier.ReadBW
 		n := nr
 		if fl.write {
-			bw, n = tier.WriteBW, nw
+			n = nw
 		}
-		if bw <= 0 {
-			bw = 1e12 // effectively instantaneous
-		}
-		bw *= factor
-		// Client-count saturation: shared filesystems degrade past a knee.
-		if tier.DegradeAlpha > 0 && n > tier.DegradeKnee {
-			bw /= 1 + tier.DegradeAlpha*float64(n-tier.DegradeKnee)
-		}
-		fl.rate = bw / float64(n)
+		fl.rate = fairRate(st.tier, fl.write, n, factor)
 		e.schedule(e.now+fl.rem/fl.rate, evFlowDone, fl, fl.version, nil)
 	}
 }

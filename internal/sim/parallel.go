@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+)
+
+// Parallel execution across independent task groups. The partition
+// (partition.go) proves the groups share no node, tier, or file; each group
+// then runs on its own goroutine with a completely private engine — its own
+// event heap, free lists, tier states, and accumulators — against the shared
+// (mutex-protected, path-disjoint) filesystem. The merge is deterministic:
+// groups are combined in canonical order regardless of which goroutine
+// finished first.
+
+// runParallel attempts the parallel path. ok=false means a coupling feature
+// or the partition ruled it out and the caller should run the exact serial
+// loop. The bail conditions are deliberately conservative:
+//
+//   - collectors and tracers observe global event order;
+//   - custom read planners may route one group's reads through another
+//     group's tiers;
+//   - checkpointing copies through a shared durable tier;
+//   - node crashes unpin their victims, letting a task restart on any
+//     surviving node — inherently cross-group.
+//
+// Transient I/O errors, slowdowns, and outages stay parallel-eligible:
+// every draw is a pure hash of (seed, task, tier, op, attempt) and every
+// window is a fixed (tier, time) coordinate, so they are oblivious to
+// event interleaving.
+func (e *Engine) runParallel(w *Workload) (*Result, error, bool) {
+	if e.Col != nil || e.Trace != nil || e.Checkpoint != nil {
+		return nil, nil, false
+	}
+	if _, home := e.Planner.(homePlanner); !home {
+		return nil, nil, false
+	}
+	if e.Faults != nil && len(e.Faults.Crashes) > 0 {
+		return nil, nil, false
+	}
+	groups := e.partitionTasks(w)
+	if groups == nil {
+		return nil, nil, false
+	}
+
+	// Snapshot the filesystem so a group abort can roll everything back and
+	// re-run serially: the serial loop stops at the globally first failure,
+	// which independently running groups cannot observe.
+	snap := e.FS.Snapshot()
+
+	subs := make([]*Workload, len(groups))
+	for gi, g := range groups {
+		tasks := make([]*Task, len(g))
+		for k, ti := range g {
+			tasks[k] = w.Tasks[ti]
+		}
+		subs[gi] = &Workload{Name: w.Name, Tasks: tasks}
+	}
+
+	results := make([]*Result, len(groups))
+	errs := make([]error, len(groups))
+	workers := e.Workers
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for gi := range next {
+				// Each worker engine owns private event and flow free
+				// lists, so hot-path recycling never crosses a goroutine.
+				sub := &Engine{
+					FS:                e.FS,
+					Cluster:           e.Cluster,
+					ChunkLatencyEvery: e.ChunkLatencyEvery,
+					Faults:            e.Faults,
+					Retry:             e.Retry,
+				}
+				results[gi], errs[gi] = sub.Run(subs[gi])
+			}
+		}()
+	}
+	for gi := range groups {
+		next <- gi
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			e.FS.Restore(snap)
+			return nil, nil, false
+		}
+	}
+	return mergeResults(results), nil, true
+}
+
+// mergeResults combines per-group results into what the serial loop would
+// have produced, walking groups in canonical (partition) order so the merge
+// never depends on goroutine scheduling. Task, tier, and attempt maps are
+// key-disjoint by construction; stage spans combine by min/max; Makespan is
+// the max; scalar totals sum in canonical order. Failure records concatenate
+// in canonical order and stable-sort by virtual time, restoring the serial
+// loop's chronological report.
+func mergeResults(rs []*Result) *Result {
+	m := &Result{
+		Tasks:     make(map[string]TaskTime),
+		Stages:    make(map[string]TaskTime),
+		TierBytes: make(map[string]uint64),
+		TierTime:  make(map[string]float64),
+		MetaOps:   make(map[string]uint64),
+		MetaWait:  make(map[string]float64),
+	}
+	for _, r := range rs {
+		if r.Makespan > m.Makespan {
+			m.Makespan = r.Makespan
+		}
+		for k, v := range r.Tasks {
+			m.Tasks[k] = v
+		}
+		for k, v := range r.Stages {
+			s, ok := m.Stages[k]
+			if !ok {
+				m.Stages[k] = v
+				continue
+			}
+			if v.Start < s.Start {
+				s.Start = v.Start
+			}
+			if v.End > s.End {
+				s.End = v.End
+			}
+			m.Stages[k] = s
+		}
+		for k, v := range r.TierBytes {
+			m.TierBytes[k] += v
+		}
+		for k, v := range r.TierTime {
+			m.TierTime[k] += v
+		}
+		for k, v := range r.MetaOps {
+			m.MetaOps[k] += v
+		}
+		for k, v := range r.MetaWait {
+			m.MetaWait[k] += v
+		}
+		m.ComputeTime += r.ComputeTime
+		if r.Attempts != nil {
+			if m.Attempts == nil {
+				m.Attempts = make(map[string]int, len(m.Tasks))
+			}
+			for k, v := range r.Attempts {
+				m.Attempts[k] = v
+			}
+		}
+		m.Failures = append(m.Failures, r.Failures...)
+		m.RecoverySeconds += r.RecoverySeconds
+		m.NodeCrashes += r.NodeCrashes
+		m.LostFiles += r.LostFiles
+		m.Restagings += r.Restagings
+		m.ProducerReruns += r.ProducerReruns
+		m.CheckpointCopies += r.CheckpointCopies
+		m.CheckpointBytes += r.CheckpointBytes
+		m.CheckpointRestores += r.CheckpointRestores
+	}
+	sort.SliceStable(m.Failures, func(i, j int) bool {
+		return m.Failures[i].Time < m.Failures[j].Time
+	})
+	return m
+}

@@ -1,0 +1,129 @@
+package sim
+
+import "strings"
+
+// Conservative workload partitioning for parallel execution. Two tasks land
+// in the same group when they could possibly observe each other through any
+// simulator state: the same node (cores, crash domain), the same tier
+// (fair-share bandwidth, metadata queue, capacity), the same file path, or
+// a dependency edge. Anything the static scan cannot prove independent is
+// unioned, so distinct groups share no engine-visible state at all.
+
+// unionFind is a classic disjoint-set forest with path halving and union by
+// rank over task indexes.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+func (u *unionFind) find(i int) int {
+	for u.parent[i] != i {
+		u.parent[i] = u.parent[u.parent[i]]
+		i = u.parent[i]
+	}
+	return i
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
+// tierRefName mirrors Cluster.ResolveTier's naming without touching the FS:
+// it answers "which tier name would this reference resolve to for a task
+// pinned on node".
+func (e *Engine) tierRefName(ref, node string) string {
+	switch {
+	case ref == "" || ref == "default":
+		return e.Cluster.DefaultTier
+	case strings.HasPrefix(ref, "local:"):
+		return LocalTierName(strings.TrimPrefix(ref, "local:"), node)
+	default:
+		return ref
+	}
+}
+
+// partitionTasks splits the workload into groups of task indexes that share
+// no node, tier, file path, or dependency edge. Groups come back in
+// canonical order (by smallest member index) with members ascending. It
+// returns nil when the workload cannot be split: any unpinned task (the
+// scheduler could place it anywhere, coupling everything), or a single
+// connected component.
+func (e *Engine) partitionTasks(w *Workload) [][]int {
+	n := len(w.Tasks)
+	if n < 2 {
+		return nil
+	}
+	uf := newUnionFind(n)
+	byName := make(map[string]int, n)
+	for i, t := range w.Tasks {
+		byName[t.Name] = i
+	}
+	// keyOwner maps each resource key to the first task that touched it;
+	// later touchers union with that representative.
+	keyOwner := make(map[string]int, 4*n)
+	touch := func(i int, kind byte, name string) {
+		key := string(kind) + "\x00" + name
+		if j, ok := keyOwner[key]; ok {
+			uf.union(i, j)
+		} else {
+			keyOwner[key] = i
+		}
+	}
+	for i, t := range w.Tasks {
+		if t.Node == "" {
+			return nil
+		}
+		touch(i, 'n', t.Node)
+		touch(i, 't', e.tierRefName(t.CreateTier, t.Node))
+		for _, d := range t.Deps {
+			uf.union(i, byName[d])
+		}
+		for _, op := range t.Script {
+			if op.Path != "" {
+				touch(i, 'p', op.Path)
+				// A pre-seeded input couples every reader through its
+				// home tier's fair-share queue.
+				if f := e.FS.Lookup(op.Path); f != nil {
+					touch(i, 't', f.Tier.Name)
+				}
+			}
+			if op.Kind == OpStage {
+				touch(i, 't', e.tierRefName(op.Tier, t.Node))
+			}
+		}
+	}
+	slot := make(map[int]int, 8)
+	var groups [][]int
+	for i := 0; i < n; i++ {
+		r := uf.find(i)
+		g, ok := slot[r]
+		if !ok {
+			g = len(groups)
+			slot[r] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], i)
+	}
+	if len(groups) < 2 {
+		return nil
+	}
+	return groups
+}

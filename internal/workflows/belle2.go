@@ -76,7 +76,7 @@ func Belle2Draws(p Belle2Params, task int) []int {
 func Belle2(p Belle2Params) *Spec {
 	s := &Spec{Name: "belle2", Workload: &sim.Workload{Name: "belle2"}}
 	for i := 0; i < p.PoolDatasets; i++ {
-		s.Inputs = append(s.Inputs, InputFile{Belle2Dataset(i), p.DatasetBytes})
+		s.Inputs = append(s.Inputs, InputFile{Path: Belle2Dataset(i), Size: p.DatasetBytes})
 	}
 	for t := 0; t < p.Tasks; t++ {
 		task := &sim.Task{

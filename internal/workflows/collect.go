@@ -5,6 +5,7 @@ import (
 
 	"datalife/internal/blockstats"
 	"datalife/internal/dfl"
+	"datalife/internal/faults"
 	"datalife/internal/iotrace"
 	"datalife/internal/sim"
 	"datalife/internal/vfs"
@@ -76,4 +77,55 @@ func RunCollector(spec *Spec, opts RunOptions) (*iotrace.Collector, *sim.Result,
 		return nil, nil, fmt.Errorf("workflows: running %s: %w", spec.Name, err)
 	}
 	return col, res, nil
+}
+
+// StressOptions configure RunBare.
+type StressOptions struct {
+	// Nodes and Cores size the cluster (defaults 4 × 16).
+	Nodes, Cores int
+	// InputTier is where inputs without a per-file Tier are seeded
+	// (default "nfs").
+	InputTier string
+	// Faults, when non-nil, injects the schedule.
+	Faults *faults.Schedule
+	// Workers sets sim.Engine.Workers (parallel independent-group
+	// execution; ≤1 runs the plain serial loop).
+	Workers int
+}
+
+// RunBare executes a spec with no collector, tracer, or planner attached —
+// the pure simulator hot path. Stress benchmarks and the engine equivalence
+// tests use it so measurements reflect the event core, not instrumentation.
+func RunBare(spec *Spec, opts StressOptions) (*sim.Result, error) {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 4
+	}
+	if opts.Cores <= 0 {
+		opts.Cores = 16
+	}
+	fs := vfs.New()
+	cl, err := sim.BuildCluster(fs, sim.ClusterSpec{
+		Name:        "stress",
+		Nodes:       opts.Nodes,
+		Cores:       opts.Cores,
+		DefaultTier: "nfs",
+		Shared:      []*vfs.Tier{vfs.NewNFS("nfs"), vfs.NewBeeGFS("beegfs")},
+		LocalKinds:  []sim.LocalTierSpec{{Kind: "ssd"}, {Kind: "shm"}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tier := opts.InputTier
+	if tier == "" {
+		tier = "nfs"
+	}
+	if err := spec.Seed(fs, tier); err != nil {
+		return nil, err
+	}
+	eng := &sim.Engine{FS: fs, Cluster: cl, Faults: opts.Faults, Workers: opts.Workers}
+	res, err := eng.Run(spec.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("workflows: running %s: %w", spec.Name, err)
+	}
+	return res, nil
 }

@@ -54,13 +54,13 @@ func annFile(c int) string { return fmt.Sprintf("ALL.chr%d.annotation.vcf", c+1)
 // input staging, is added by the stage package when a configuration opts in.)
 func Genomes(p GenomesParams) *Spec {
 	s := &Spec{Name: "1000genomes", Workload: &sim.Workload{Name: "1000genomes"}}
-	s.Inputs = append(s.Inputs, InputFile{"columns.txt", p.ColumnsBytes})
-	s.Inputs = append(s.Inputs, InputFile{"populations.txt", 1 * mb})
+	s.Inputs = append(s.Inputs, InputFile{Path: "columns.txt", Size: p.ColumnsBytes})
+	s.Inputs = append(s.Inputs, InputFile{Path: "populations.txt", Size: 1 * mb})
 
 	for c := 0; c < p.Chromosomes; c++ {
 		s.Inputs = append(s.Inputs,
-			InputFile{chrFile(c), p.ChrBytes},
-			InputFile{annFile(c), p.AnnotationBytes})
+			InputFile{Path: chrFile(c), Size: p.ChrBytes},
+			InputFile{Path: annFile(c), Size: p.AnnotationBytes})
 
 		chunk := p.ChrBytes / int64(p.IndivPerChr)
 		outBytes := chunk // each indiv emits a processed tar.gz of its chunk

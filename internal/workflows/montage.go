@@ -44,7 +44,7 @@ func Montage(p MontageParams) *Spec {
 	corr := func(i int) string { return fmt.Sprintf("corr/c-%02d.fits", i) }
 
 	for i := 0; i < p.Images; i++ {
-		s.Inputs = append(s.Inputs, InputFile{img(i), p.ImageBytes})
+		s.Inputs = append(s.Inputs, InputFile{Path: img(i), Size: p.ImageBytes})
 		s.Workload.Tasks = append(s.Workload.Tasks, &sim.Task{
 			Name:  fmt.Sprintf("mProject#%02d", i),
 			Stage: "project",

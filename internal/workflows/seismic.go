@@ -41,7 +41,7 @@ func Seismic(p SeismicParams) *Spec {
 
 	// Per-station windowing tasks.
 	for i := 0; i < p.Stations; i++ {
-		s.Inputs = append(s.Inputs, InputFile{sig(i), p.SignalBytes})
+		s.Inputs = append(s.Inputs, InputFile{Path: sig(i), Size: p.SignalBytes})
 		s.Workload.Tasks = append(s.Workload.Tasks, &sim.Task{
 			Name:  fmt.Sprintf("window#%03d", i),
 			Stage: "window",

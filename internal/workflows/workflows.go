@@ -30,12 +30,21 @@ type Spec struct {
 type InputFile struct {
 	Path string
 	Size int64
+	// Tier, when non-empty, overrides the seeding tier for this input.
+	// Sharded stress workloads use it to pin each shard's inputs to its
+	// own node-local tier so shards stay independent.
+	Tier string
 }
 
-// Seed creates the spec's inputs on the named tier.
+// Seed creates the spec's inputs on the named tier (or each input's own
+// Tier override).
 func (s *Spec) Seed(fs *vfs.FS, tier string) error {
 	for _, in := range s.Inputs {
-		if _, err := fs.CreateSized(in.Path, tier, in.Size); err != nil {
+		t := tier
+		if in.Tier != "" {
+			t = in.Tier
+		}
+		if _, err := fs.CreateSized(in.Path, t, in.Size); err != nil {
 			return fmt.Errorf("workflows: seeding %s: %w", in.Path, err)
 		}
 	}

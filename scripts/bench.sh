@@ -13,9 +13,10 @@
 # BENCH_TIME overrides the timestamp (for reproducible filenames in CI);
 # BENCH_FLAGS appends extra `go test` flags (e.g. BENCH_FLAGS="-benchtime 5s").
 #
-# After writing the snapshot, the script compares the analysis hot-path
-# benchmarks (AnalysisLinearity/chain-10000, Advisor) against the newest
-# checked-in BENCH_*.json and exits non-zero on a >20% ns/op regression.
+# After writing the snapshot, the script compares the analysis and simulator
+# hot-path benchmarks (AnalysisLinearity/chain-10000, Advisor, and the
+# SimEngine stress suite) against the newest checked-in BENCH_*.json and
+# exits non-zero on a >20% ns/op regression.
 # BENCH_WARN_ONLY=1 downgrades the failure to a warning (used in CI, where
 # shared-runner noise makes hard gating flaky).
 set -eu
@@ -74,7 +75,8 @@ ns_for() {
 }
 
 status=0
-for name in 'AnalysisLinearity/chain-10000' 'Advisor'; do
+for name in 'AnalysisLinearity/chain-10000' 'Advisor' \
+    'SimEngine/chain-100k' 'SimEngine/fan-in-100k' 'SimEngine/faulty-sweep'; do
     old="$(ns_for "$baseline" "$name")"
     new="$(ns_for "$out" "$name")"
     if [ -z "$old" ] || [ -z "$new" ]; then
