@@ -330,6 +330,29 @@ func BenchmarkAblation_SimEngine(b *testing.B) {
 			b.ReportMetric(res.Makespan, "sim-seconds")
 		}
 	})
+	b.Run("chain-100k-linked", func(b *testing.B) {
+		// Same 100k-task chain, but every flow now routes over one
+		// finite-bandwidth link (nfs placed across a backbone from the
+		// nodes), isolating the network model's cost on the event core:
+		// per-flow route lookup, link fair-share repricing, latency
+		// charging.
+		b.ReportAllocs()
+		spec := workflows.Chain(workflows.DefaultChainParams(100_000))
+		tp := &sim.Topology{
+			Links:      []*sim.Link{{Name: "backbone", A: "edge", B: "hub", BWAB: 10e9, BWBA: 10e9, LatencyS: 1e-4}},
+			TierLoc:    map[string]string{"nfs": "hub"},
+			DefaultLoc: "edge",
+			Seed:       1,
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := workflows.RunBare(spec, workflows.StressOptions{Topology: tp})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Makespan, "sim-seconds")
+		}
+	})
 	b.Run("fan-in-100k", func(b *testing.B) {
 		b.ReportAllocs()
 		spec := workflows.FanIn(workflows.DefaultFanInParams(100_000))

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] [-faults SPEC] [-seeds N] [-advise] [-checkpoint TIER] [-resume DIR] fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|faults|all ...
+//	dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] [-faults SPEC] [-seeds N] [-advise] [-checkpoint TIER] [-resume DIR] fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|faults|netsweep|all ...
 //
 // With -svg DIR, Sankey diagrams for the five workflows (Fig. 2) and the
 // chr1 caterpillar (Fig. 5) are written as SVG files into DIR.
@@ -19,6 +19,13 @@
 // -advise, each sweep run's measured DFL is re-analyzed through a memoized
 // advisor keyed by the graph's content hash, so seeds producing identical
 // lifecycles reuse one cached plan.
+//
+// The `netsweep` subcommand runs the federated Belle II campaign (site A MC
+// production feeding site B analysis over a WAN link) under the -faults
+// partition/degradation schedule (default experiments.DefaultNetFaultSpec),
+// once per seed and partition policy (stall vs fail-fast). Like `faults` it
+// is not part of `all`: without it every other subcommand's output is
+// byte-identical to a build without the network model.
 //
 // With -checkpoint TIER, every sweep cell runs twice — recovery-only and
 // with DFL-planned checkpoints to the named durable tier — and the report
@@ -100,7 +107,7 @@ func main() {
 		}()
 	}
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] [-faults SPEC] [-seeds N] [-advise] [-checkpoint TIER] [-resume DIR] <fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|faults|all> ...")
+		fmt.Fprintln(os.Stderr, "usage: dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] [-faults SPEC] [-seeds N] [-advise] [-checkpoint TIER] [-resume DIR] <fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|faults|netsweep|all> ...")
 		os.Exit(2)
 	}
 	var scale experiments.Scale
@@ -171,7 +178,7 @@ func run(out io.Writer, cmds []string, scale experiments.Scale, svgDir string, j
 		switch name {
 		case "fig2", "fig4", "table1":
 			needFig2 = true
-		case "faults":
+		case "faults", "netsweep":
 			// Not part of `all`: fault sweeps are opt-in so the default
 			// output stays byte-identical to a fault-free build.
 		default:
@@ -274,6 +281,28 @@ func runOne(w io.Writer, name string, scale experiments.Scale, svgDir string, df
 			}
 			fmt.Fprintln(w, experiments.FaultAdviceReport(adv))
 		}
+	case "netsweep":
+		spec := fo.Spec
+		if spec == "" {
+			spec = experiments.DefaultNetFaultSpec
+		}
+		sched, err := faults.ParseSpec(spec)
+		if err != nil {
+			return err
+		}
+		seeds := fo.Seeds
+		if seeds < 1 {
+			seeds = 1
+		}
+		list := make([]uint64, seeds)
+		for i := range list {
+			list[i] = sched.Seed + uint64(i)
+		}
+		rows, err := experiments.NetSweep(scale, sched, list)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.NetSweepReport(sched, rows))
 	case "fig2":
 		fmt.Fprintln(w, experiments.Fig2Report(dfls, true))
 		if svgDir != "" {

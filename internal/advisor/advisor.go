@@ -91,6 +91,10 @@ type FilePlacement struct {
 	// RerunCost is the expected virtual seconds of recovery work
 	// (producer re-runs weighted by RerunRisk) the placement risks.
 	RerunCost float64
+	// XferInflation is the staging transfer's expected retransmission
+	// factor over the configured lossy link (1 when no loss is configured
+	// or the placement never considered staging).
+	XferInflation float64
 }
 
 // Plan is the advisor's full output.
@@ -119,6 +123,18 @@ type Config struct {
 	// lifetime and the expected re-run cost of recovering it. Zero (the
 	// default) disables the annotation.
 	CrashesPerHour float64
+	// WANLossRate, when positive, is the per-chunk loss probability on the
+	// link staging copies would cross. Every staged-copy candidate's
+	// transfer is priced at the loss's retransmission inflation
+	// (1/(1-loss)); candidates whose inflation exceeds MaxStageInflation
+	// are kept on the shared filesystem instead — past that point the
+	// repeated WAN retransmissions cost more than the congestion staging
+	// would save. Zero (the default) leaves staging advice unchanged.
+	WANLossRate float64
+	// MaxStageInflation is the staging demotion threshold (default 1.5,
+	// i.e. staging is abandoned when the lossy link would retransmit more
+	// than half the bytes again).
+	MaxStageInflation float64
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +146,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LocalityWeight == 0 {
 		c.LocalityWeight = 0.7
+	}
+	if c.MaxStageInflation == 0 {
+		c.MaxStageInflation = 1.5
 	}
 	return c
 }
@@ -370,8 +389,21 @@ func placeFiles(g *dfl.Graph, cfg Config, threads []Thread, threadOf map[dfl.ID]
 		switch {
 		case len(producers) == 0 && len(consumers) >= cfg.StageThreshold:
 			// Read-only input with wide fan-out: the 1000 Genomes columns
-			// pattern — stage a copy per consuming node.
+			// pattern — stage a copy per consuming node, unless the staging
+			// link is lossy enough that retransmissions outweigh the
+			// congestion staging avoids.
+			infl := faults.LossRetransmitFactor(cfg.WANLossRate)
+			if infl > cfg.MaxStageInflation {
+				fp.Class = SharedFS
+				fp.XferInflation = infl
+				fp.Why = fmt.Sprintf("staging %d consumers would pay %.2fx retransmission inflation over the lossy link (loss %.1f%% > cap %.2fx); keep on shared storage",
+					len(consumers), infl, 100*cfg.WANLossRate, cfg.MaxStageInflation)
+				break
+			}
 			fp.Class = StagedCopy
+			if infl > 1 {
+				fp.XferInflation = infl
+			}
 			fp.Why = fmt.Sprintf("read-only input with %d consumers across %d node(s): duplicated, congested flow",
 				len(consumers), len(nodes))
 		case home >= 0 && sameThread:
@@ -453,6 +485,10 @@ func (p *Plan) Report(limit int) string {
 		if fp.RerunRisk > 0 {
 			fmt.Fprintf(&b, "  %-40s %-12s volatile: %.2f%% crash exposure over lifetime, expected re-run cost %.3gs\n",
 				"", "", 100*fp.RerunRisk, fp.RerunCost)
+		}
+		if fp.XferInflation > 1 {
+			fmt.Fprintf(&b, "  %-40s %-12s lossy link: %.2fx expected transfer inflation\n",
+				"", "", fp.XferInflation)
 		}
 	}
 	if len(p.Opportunities) > 0 {

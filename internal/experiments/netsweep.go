@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"datalife/internal/faults"
+	"datalife/internal/sim"
+	"datalife/internal/vfs"
+	"datalife/internal/workflows"
+)
+
+// The network sweep runs the federated Belle II campaign (MC production at
+// site A feeding an analysis cluster at site B over one WAN link) under a
+// partition/degradation schedule, twice per seed: once with the schedule's
+// own partition policy (stall: cross-site flows freeze and drain after the
+// heal) and once with every partition forced fail-fast (crossing ops fail
+// with FailPartition and retry with backoff). The pair demonstrates the
+// triage distinction the recovery engine makes: a partition is transient —
+// the bytes still exist on the far side, so retries re-stage nothing — while
+// a node crash loses data and forces re-staging or producer re-runs.
+
+// DefaultNetFaultSpec is the netsweep schedule when dflrun is given none: a
+// 20-second cut of the WAN core while analysis staging is in flight, a
+// degraded-WAN window at quarter capacity over the campaign's tail, and 1%
+// packet loss on the WAN link throughout.
+const DefaultNetFaultSpec = "seed=1;partition=coreA|coreB@25-45;degrade=wan@50-80x0.25;loss=wan:0.01"
+
+// Netsweep scenario names.
+const (
+	// NetModeStall runs the schedule as given: partitioned flows stall.
+	NetModeStall = "stall"
+	// NetModeFailFast forces every partition fail-fast: crossing ops fail
+	// typed and retry.
+	NetModeFailFast = "failfast"
+)
+
+// NetSweepRow is one (scenario, seed) cell of a network fault sweep.
+type NetSweepRow struct {
+	Scenario        string
+	Seed            uint64
+	Baseline        float64 // fault-free makespan over the same topology
+	Makespan        float64
+	Attempts        int
+	Failures        int
+	PartitionStalls int
+	Restagings      int
+	WANBytes        uint64 // bytes carried by the wan link, retransmits included
+	WANRetrans      uint64 // chunks retransmitted on the wan link
+	RecoverySeconds float64
+	// Err records a run that exhausted recovery; the sweep reports it
+	// instead of aborting.
+	Err string
+}
+
+// netSweepParams scales the federated campaign.
+func netSweepParams(s Scale) workflows.FederatedParams {
+	p := workflows.DefaultFederated()
+	if s == Small {
+		// Shrink task counts only: virtual compute seconds are free, and
+		// keeping the paper-scale timing means the default fault windows
+		// overlap the campaign identically at both scales.
+		p.MCTasks, p.PoolDatasets, p.AnalysisTasks = 8, 8, 4
+	}
+	return p
+}
+
+// withFailFast returns a copy of the schedule with every partition's policy
+// forced to fail-fast. The original is untouched.
+func withFailFast(sched *faults.Schedule) *faults.Schedule {
+	c := *sched
+	c.Partitions = make([]faults.Partition, len(sched.Partitions))
+	for i, pt := range sched.Partitions {
+		pt.FailFast = true
+		c.Partitions[i] = pt
+	}
+	return &c
+}
+
+// runFederated builds a fresh federated cluster and runs the campaign under
+// the schedule (nil for the fault-free baseline).
+func runFederated(p workflows.FederatedParams, sched *faults.Schedule) (*sim.Result, error) {
+	fs := vfs.New()
+	c, tp, err := workflows.FederatedCluster(fs, p)
+	if err != nil {
+		return nil, err
+	}
+	spec := workflows.FederatedBelle2(p)
+	if err := spec.Seed(fs, "storeA"); err != nil {
+		return nil, err
+	}
+	// Fail-fast partition retries must be able to outlast the cut: with the
+	// default 4 attempts the capped backoff covers ~7 virtual seconds, far
+	// less than a realistic partition window. Eight attempts back off
+	// through ~2 minutes.
+	eng := &sim.Engine{FS: fs, Cluster: c, Topology: tp, Faults: sched,
+		Retry: faults.RetryPolicy{MaxAttempts: 8}}
+	return eng.Run(spec.Workload)
+}
+
+// NetSweep runs the federated campaign under the schedule once per seed and
+// scenario, alongside one fault-free baseline over the same topology. Same
+// schedule and seeds ⇒ bit-identical rows.
+func NetSweep(s Scale, sched *faults.Schedule, seeds []uint64) ([]NetSweepRow, error) {
+	if len(seeds) == 0 {
+		seeds = []uint64{sched.Seed}
+	}
+	p := netSweepParams(s)
+	base, err := runFederated(p, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: net sweep baseline: %w", err)
+	}
+	scenarios := []struct {
+		name  string
+		sched *faults.Schedule
+	}{
+		{NetModeStall, sched},
+		{NetModeFailFast, withFailFast(sched)},
+	}
+	var rows []NetSweepRow
+	for _, sc := range scenarios {
+		for _, seed := range seeds {
+			row := NetSweepRow{Scenario: sc.name, Seed: seed, Baseline: base.Makespan}
+			res, err := runFederated(p, sc.sched.WithSeed(seed))
+			if err != nil {
+				row.Err = err.Error()
+			} else {
+				row.Makespan = res.Makespan
+				for _, a := range res.Attempts {
+					row.Attempts += a
+				}
+				row.Failures = len(res.Failures)
+				row.PartitionStalls = res.PartitionStalls
+				row.Restagings = res.Restagings
+				row.WANBytes = res.LinkBytes["wan"]
+				row.WANRetrans = res.LinkRetransmits["wan"]
+				row.RecoverySeconds = res.RecoverySeconds
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// NetSweepReport renders a network sweep as the table dflrun prints.
+func NetSweepReport(sched *faults.Schedule, rows []NetSweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Network fault sweep: %s\n", sched.String())
+	b.WriteString("federated belle2: siteA MC production feeding siteB analysis over the wan link\n")
+	fmt.Fprintf(&b, "%-9s %6s %10s %10s %9s %9s %7s %8s %10s %8s %12s\n",
+		"scenario", "seed", "baseline", "makespan", "attempts", "failures",
+		"stalls", "restage", "wan-MB", "wan-retx", "recovery(s)")
+	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(&b, "%-9s %6d %10.2f %10s  unrecovered: %s\n",
+				r.Scenario, r.Seed, r.Baseline, "-", r.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-9s %6d %10.2f %10.2f %9d %9d %7d %8d %10.1f %8d %12.2f\n",
+			r.Scenario, r.Seed, r.Baseline, r.Makespan, r.Attempts, r.Failures,
+			r.PartitionStalls, r.Restagings, float64(r.WANBytes)/(1<<20), r.WANRetrans,
+			r.RecoverySeconds)
+	}
+	return b.String()
+}

@@ -3,7 +3,9 @@
 // deliberately move data onto volatile node-local tiers because DFL analysis
 // shows short lifetimes; this package supplies the failure model that makes
 // that trade-off measurable: virtual-time node crashes, transient per-tier
-// I/O error rates, tier bandwidth degradation windows, and WAN link outages.
+// I/O error rates, tier bandwidth degradation windows, WAN link outages, and
+// — against a sim.Topology — network partitions, per-link bandwidth
+// degradation, and per-chunk link loss.
 //
 // Every decision is a pure function of the schedule's seed and the failure
 // coordinates (task name, op index, attempt, tier), never of host entropy or
@@ -46,6 +48,31 @@ type Outage struct {
 	Start, End float64
 }
 
+// Partition severs the network between two named topology locations during
+// [Start, End): every link that directly joins A and B is cut. By default
+// flows crossing the cut stall and resume when the window closes; with
+// FailFast set, crossing ops fail immediately with a typed, retryable
+// partition error, so tasks fall back to the engine's capped backoff and
+// succeed once the partition heals. Unlike a node crash, no data is lost —
+// the bytes are still there on the far side.
+type Partition struct {
+	// A and B are the two topology location names the cut separates.
+	A, B       string
+	Start, End float64
+	// FailFast fails crossing ops immediately instead of stalling them.
+	FailFast bool
+}
+
+// LinkDegrade multiplies a named network link's bandwidth (both directions)
+// by Factor during [Start, End) — a congested or flapping WAN circuit, as
+// opposed to the total cut a Partition models.
+type LinkDegrade struct {
+	Link       string
+	Start, End float64
+	// Factor is the bandwidth multiplier in (0, 1].
+	Factor float64
+}
+
 // Schedule is one run's deterministic fault plan. The zero value injects
 // nothing.
 type Schedule struct {
@@ -60,12 +87,25 @@ type Schedule struct {
 	Slowdowns []Slowdown
 	// Outages are total-unavailability windows.
 	Outages []Outage
+	// Partitions are network cuts between topology locations.
+	Partitions []Partition
+	// LinkDegrades are per-link bandwidth-degradation windows.
+	LinkDegrades []LinkDegrade
+	// LinkLoss maps link name to an extra per-chunk loss probability in
+	// [0, 1) that composes with the link's intrinsic loss rate.
+	LinkLoss map[string]float64
 }
 
 // Empty reports whether the schedule injects nothing.
 func (s *Schedule) Empty() bool {
 	return s == nil || (len(s.Crashes) == 0 && len(s.IOErrorRates) == 0 &&
-		len(s.Slowdowns) == 0 && len(s.Outages) == 0)
+		len(s.Slowdowns) == 0 && len(s.Outages) == 0 && !s.HasNetworkFaults())
+}
+
+// HasNetworkFaults reports whether the schedule carries any clause that
+// needs a sim.Topology to act on (partitions, link degradation, link loss).
+func (s *Schedule) HasNetworkFaults() bool {
+	return s != nil && (len(s.Partitions) > 0 || len(s.LinkDegrades) > 0 || len(s.LinkLoss) > 0)
 }
 
 // Validate checks window sanity: non-negative times, Start < End, and
@@ -100,6 +140,37 @@ func (s *Schedule) Validate() error {
 	for _, o := range s.Outages {
 		if o.Start < 0 || math.IsNaN(o.Start) || !(o.End > o.Start) {
 			return fmt.Errorf("faults: outage on %s has invalid window [%v,%v)", o.Tier, o.Start, o.End)
+		}
+	}
+	for _, p := range s.Partitions {
+		if p.A == "" || p.B == "" {
+			return fmt.Errorf("faults: partition with empty location name")
+		}
+		if p.A == p.B {
+			return fmt.Errorf("faults: partition %s|%s does not separate two locations", p.A, p.B)
+		}
+		if p.Start < 0 || math.IsNaN(p.Start) || !(p.End > p.Start) {
+			return fmt.Errorf("faults: partition %s|%s has invalid window [%v,%v)", p.A, p.B, p.Start, p.End)
+		}
+	}
+	for _, d := range s.LinkDegrades {
+		if d.Link == "" {
+			return fmt.Errorf("faults: degrade with empty link name")
+		}
+		if d.Start < 0 || math.IsNaN(d.Start) || !(d.End > d.Start) {
+			return fmt.Errorf("faults: degrade on %s has invalid window [%v,%v)", d.Link, d.Start, d.End)
+		}
+		if !(d.Factor > 0) || d.Factor > 1 {
+			return fmt.Errorf("faults: degrade on %s has factor %v outside (0,1]", d.Link, d.Factor)
+		}
+	}
+	for link, rate := range s.LinkLoss {
+		if link == "" {
+			return fmt.Errorf("faults: loss with empty link name")
+		}
+		// A rate of 1 would retransmit every chunk forever; reject it.
+		if !(rate >= 0) || rate >= 1 {
+			return fmt.Errorf("faults: loss rate for link %s out of [0,1): %v", link, rate)
 		}
 	}
 	return nil
@@ -202,6 +273,83 @@ func (s *Schedule) TierBoundaries() map[string][]float64 {
 	return out
 }
 
+// PartitionState reports whether the location pair (a, b) — unordered — is
+// cut at virtual time t, and whether any active cut demands fail-fast
+// handling (stall is the default when policies disagree only in windows that
+// don't overlap t).
+func (s *Schedule) PartitionState(a, b string, t float64) (cut, failFast bool) {
+	if s == nil {
+		return false, false
+	}
+	for _, p := range s.Partitions {
+		if t < p.Start || t >= p.End {
+			continue
+		}
+		if (p.A == a && p.B == b) || (p.A == b && p.B == a) {
+			cut = true
+			if p.FailFast {
+				failFast = true
+			}
+		}
+	}
+	return cut, failFast
+}
+
+// LinkFactor returns the product of all degrade factors active on the link
+// at virtual time t (1 when none are).
+func (s *Schedule) LinkFactor(link string, t float64) float64 {
+	if s == nil || len(s.LinkDegrades) == 0 {
+		return 1
+	}
+	f := 1.0
+	for _, d := range s.LinkDegrades {
+		if d.Link == link && t >= d.Start && t < d.End {
+			f *= d.Factor
+		}
+	}
+	return f
+}
+
+// LinkLossRate returns the schedule's extra per-chunk loss probability for
+// the link (0 when none is set).
+func (s *Schedule) LinkLossRate(link string) float64 {
+	if s == nil {
+		return 0
+	}
+	return s.LinkLoss[link]
+}
+
+// LinkJitter returns a deterministic jitter fraction in [0, 1) for one
+// flow's traversal of a link, keyed — like every fault draw — purely by the
+// seed and the failure coordinates. The engine scales it by the link's
+// configured jitter bound.
+func LinkJitter(seed uint64, link, task string, opIdx, attempt int) float64 {
+	h := seed ^ 0xd1b54a32d192ed03
+	h = mix(h ^ hashString(link))
+	h = mix(h ^ hashString(task))
+	h = mix(h ^ uint64(opIdx)<<32 ^ uint64(uint32(attempt)))
+	return unit(h)
+}
+
+// LinkChunkLost draws the deterministic per-chunk loss decision for chunk
+// number chunk of the given op's transfer over a link, in retransmission
+// round round (0 for the first send). Each round re-draws, so a retransmit
+// clears with probability 1-rate.
+func LinkChunkLost(seed uint64, link, task string, opIdx, attempt, round, chunk int, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	h := seed ^ 0xa24baed4963ee407
+	h = mix(h ^ hashString(link))
+	h = mix(h ^ hashString(task))
+	h = mix(h ^ uint64(opIdx)<<32 ^ uint64(uint32(attempt)))
+	h = mix(h ^ uint64(round)<<32 ^ uint64(uint32(chunk)))
+	return unit(h) < rate
+}
+
 // RetryPolicy caps per-task recovery: how many attempts a task gets and how
 // the virtual-time backoff between them grows.
 type RetryPolicy struct {
@@ -252,9 +400,13 @@ func (p RetryPolicy) Delay(attempt int) float64 {
 // ParseSpec parses the compact fault-spec syntax used by dflrun -faults:
 //
 //	seed=42;crash=node0@30;ioerr=nfs:0.05;slow=nfs@100-200x0.5;outage=wan@50-80
+//	partition=siteA|siteB@120-240;partition=siteA|siteB@400-420:failfast
+//	degrade=wan@300-600x0.25;loss=wan:0.01
 //
-// Clauses are ';'-separated and may repeat (crash, slow, outage). Times are
-// virtual seconds.
+// Clauses are ';'-separated and may repeat (crash, slow, outage, partition,
+// degrade). Times are virtual seconds. The partition, degrade and loss
+// clauses act on a sim.Topology's locations and links and are rejected by
+// the engine when no topology is attached.
 func ParseSpec(spec string) (*Schedule, error) {
 	s := &Schedule{}
 	for _, clause := range strings.Split(spec, ";") {
@@ -324,6 +476,59 @@ func ParseSpec(spec string) (*Schedule, error) {
 				return nil, fmt.Errorf("faults: outage %q: %v", val, err)
 			}
 			s.Outages = append(s.Outages, Outage{Tier: tier, Start: start, End: end})
+		case "partition":
+			pair, win, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("faults: partition %q is not locA|locB@start-end", val)
+			}
+			a, b, ok := strings.Cut(pair, "|")
+			if !ok {
+				return nil, fmt.Errorf("faults: partition %q is not locA|locB@start-end", val)
+			}
+			span, policy, hasPolicy := strings.Cut(win, ":")
+			failFast := false
+			if hasPolicy {
+				if policy != "failfast" {
+					return nil, fmt.Errorf("faults: partition %q has unknown policy %q (want failfast)", val, policy)
+				}
+				failFast = true
+			}
+			start, end, err := parseWindow(span)
+			if err != nil {
+				return nil, fmt.Errorf("faults: partition %q: %v", val, err)
+			}
+			s.Partitions = append(s.Partitions, Partition{A: a, B: b, Start: start, End: end, FailFast: failFast})
+		case "degrade":
+			link, win, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("faults: degrade %q is not link@start-endxfactor", val)
+			}
+			span, fs, ok := strings.Cut(win, "x")
+			if !ok {
+				return nil, fmt.Errorf("faults: degrade %q missing xfactor", val)
+			}
+			start, end, err := parseWindow(span)
+			if err != nil {
+				return nil, fmt.Errorf("faults: degrade %q: %v", val, err)
+			}
+			f, err := strconv.ParseFloat(fs, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad degrade factor %q: %v", fs, err)
+			}
+			s.LinkDegrades = append(s.LinkDegrades, LinkDegrade{Link: link, Start: start, End: end, Factor: f})
+		case "loss":
+			link, rs, ok := strings.Cut(val, ":")
+			if !ok {
+				return nil, fmt.Errorf("faults: loss %q is not link:rate", val)
+			}
+			rate, err := strconv.ParseFloat(rs, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad loss rate %q: %v", rs, err)
+			}
+			if s.LinkLoss == nil {
+				s.LinkLoss = make(map[string]float64)
+			}
+			s.LinkLoss[link] = rate
 		default:
 			return nil, fmt.Errorf("faults: unknown clause %q", key)
 		}
@@ -376,6 +581,24 @@ func (s *Schedule) String() string {
 	for _, o := range s.Outages {
 		parts = append(parts, fmt.Sprintf("outage=%s@%g-%g", o.Tier, o.Start, o.End))
 	}
+	for _, p := range s.Partitions {
+		suffix := ""
+		if p.FailFast {
+			suffix = ":failfast"
+		}
+		parts = append(parts, fmt.Sprintf("partition=%s|%s@%g-%g%s", p.A, p.B, p.Start, p.End, suffix))
+	}
+	for _, d := range s.LinkDegrades {
+		parts = append(parts, fmt.Sprintf("degrade=%s@%g-%gx%g", d.Link, d.Start, d.End, d.Factor))
+	}
+	links := make([]string, 0, len(s.LinkLoss))
+	for l := range s.LinkLoss {
+		links = append(links, l)
+	}
+	sort.Strings(links)
+	for _, l := range links {
+		parts = append(parts, fmt.Sprintf("loss=%s:%g", l, s.LinkLoss[l]))
+	}
 	return strings.Join(parts, ";")
 }
 
@@ -387,6 +610,29 @@ func CrashProbability(crashesPerHour, windowSeconds float64) float64 {
 		return 0
 	}
 	return 1 - math.Exp(-crashesPerHour*windowSeconds/3600)
+}
+
+// LossRetransmitFactor returns the expected transfer inflation for a link
+// with per-chunk loss probability p: every chunk is sent 1/(1-p) times on
+// average, so a staged copy across the link costs that multiple of its
+// nominal bytes and time. The advisor uses it to weigh staging across a
+// lossy WAN against recomputing locally, the way CrashProbability prices
+// volatile-tier placement.
+func LossRetransmitFactor(p float64) float64 {
+	if p <= 0 || math.IsNaN(p) {
+		return 1
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return 1 / (1 - p)
+}
+
+// PartitionProbability returns 1-exp(-rate*window): the chance a network
+// partition opens at least once while a transfer is in flight, given a
+// partition rate in cuts per hour. The CrashProbability analogue for links.
+func PartitionProbability(cutsPerHour, windowSeconds float64) float64 {
+	return CrashProbability(cutsPerHour, windowSeconds)
 }
 
 // mix is the splitmix64 finalizer: a full-avalanche 64-bit mixer.

@@ -119,3 +119,165 @@ func TestCrashProbability(t *testing.T) {
 		t.Fatal("one expected crash per window should give 1-1/e")
 	}
 }
+
+func TestParseSpecNetworkClauses(t *testing.T) {
+	spec := "seed=1;partition=siteA|siteB@120-240;partition=a|b@10-20:failfast;degrade=wan@300-600x0.25;loss=lan:0.005;loss=wan:0.01"
+	s, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Partitions) != 2 {
+		t.Fatalf("parsed %+v", s)
+	}
+	p0, p1 := s.Partitions[0], s.Partitions[1]
+	if p0.A != "siteA" || p0.B != "siteB" || p0.Start != 120 || p0.End != 240 || p0.FailFast {
+		t.Fatalf("partition 0 = %+v", p0)
+	}
+	if p1.A != "a" || p1.B != "b" || !p1.FailFast {
+		t.Fatalf("partition 1 = %+v", p1)
+	}
+	if len(s.LinkDegrades) != 1 || s.LinkDegrades[0].Link != "wan" || s.LinkDegrades[0].Factor != 0.25 {
+		t.Fatalf("degrades = %+v", s.LinkDegrades)
+	}
+	if s.LinkLoss["wan"] != 0.01 || s.LinkLoss["lan"] != 0.005 {
+		t.Fatalf("loss = %+v", s.LinkLoss)
+	}
+	if got := s.String(); got != spec {
+		t.Fatalf("round trip = %q, want %q", got, spec)
+	}
+	if s.Empty() {
+		t.Fatal("network-only schedule must not be Empty")
+	}
+	if !s.HasNetworkFaults() {
+		t.Fatal("HasNetworkFaults = false")
+	}
+	for _, bad := range []string{
+		"partition=a@1-2",         // no pair
+		"partition=a|@1-2",        // empty side
+		"partition=a|a@1-2",       // same location twice
+		"partition=a|b@5-5",       // empty window
+		"partition=a|b@NaN-5",     // NaN start
+		"partition=a|b@1-2:bogus", // unknown policy suffix
+		"degrade=l@1-2x0",         // zero factor
+		"degrade=l@1-2x1.5",       // amplifying factor
+		"degrade=l@2-1x0.5",       // inverted window
+		"degrade=l@0-1xNaN",       // NaN factor
+		"loss=l:1",                // rate 1 never delivers
+		"loss=l:-0.1",             // negative rate
+		"loss=l:NaN",              // NaN rate
+		"loss=l",                  // missing rate
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPartitionStateAndLinkWindows(t *testing.T) {
+	s := &Schedule{
+		Partitions: []Partition{
+			{A: "siteA", B: "siteB", Start: 10, End: 20},
+			{A: "siteA", B: "siteB", Start: 15, End: 30, FailFast: true},
+		},
+		LinkDegrades: []LinkDegrade{
+			{Link: "wan", Start: 0, End: 10, Factor: 0.5},
+			{Link: "wan", Start: 5, End: 10, Factor: 0.5},
+		},
+		LinkLoss: map[string]float64{"wan": 0.02},
+	}
+	// Pair matching is unordered; outside any window there is no cut.
+	if cut, _ := s.PartitionState("siteB", "siteA", 12); !cut {
+		t.Fatal("reversed pair not matched")
+	}
+	if cut, _ := s.PartitionState("siteA", "siteB", 9); cut {
+		t.Fatal("cut before the window opens")
+	}
+	if cut, _ := s.PartitionState("siteA", "siteB", 20); !cut {
+		t.Fatal("overlapping second window must keep the cut open")
+	}
+	if cut, _ := s.PartitionState("siteA", "siteB", 30); cut {
+		t.Fatal("end is exclusive")
+	}
+	// Fail-fast applies while any fail-fast window is active.
+	if _, ff := s.PartitionState("siteA", "siteB", 12); ff {
+		t.Fatal("fail-fast before its window")
+	}
+	if _, ff := s.PartitionState("siteA", "siteB", 17); !ff {
+		t.Fatal("fail-fast window not honored")
+	}
+	// Overlapping degrade windows compose multiplicatively, end exclusive.
+	if f := s.LinkFactor("wan", 7); f != 0.25 {
+		t.Fatalf("LinkFactor = %v, want 0.25", f)
+	}
+	if f := s.LinkFactor("wan", 10); f != 1 {
+		t.Fatalf("LinkFactor at end = %v, want 1", f)
+	}
+	if f := s.LinkFactor("other", 7); f != 1 {
+		t.Fatalf("unknown link factor = %v, want 1", f)
+	}
+	if r := s.LinkLossRate("wan"); r != 0.02 {
+		t.Fatalf("LinkLossRate = %v", r)
+	}
+	if r := s.LinkLossRate("other"); r != 0 {
+		t.Fatalf("unknown link loss = %v", r)
+	}
+}
+
+func TestLinkDrawsDeterministicAndBounded(t *testing.T) {
+	const n = 20_000
+	lost := 0
+	for i := 0; i < n; i++ {
+		a := LinkChunkLost(9, "wan", "task", 1, 1, 0, i, 0.1)
+		if a != LinkChunkLost(9, "wan", "task", 1, 1, 0, i, 0.1) {
+			t.Fatalf("chunk draw %d not deterministic", i)
+		}
+		if a {
+			lost++
+		}
+	}
+	if got := float64(lost) / n; math.Abs(got-0.1) > 0.01 {
+		t.Fatalf("empirical loss rate %v, want ~0.1", got)
+	}
+	// Rounds re-draw: a retransmitted chunk is not doomed to loop forever.
+	differs := false
+	for i := 0; i < 1000 && !differs; i++ {
+		differs = LinkChunkLost(9, "wan", "task", 1, 1, 0, i, 0.5) != LinkChunkLost(9, "wan", "task", 1, 1, 1, i, 0.5)
+	}
+	if !differs {
+		t.Fatal("round number does not influence the draw")
+	}
+	var lo, hi float64 = 2, -1
+	for i := 0; i < 1000; i++ {
+		j := LinkJitter(9, "wan", "task", i, 1)
+		if j != LinkJitter(9, "wan", "task", i, 1) {
+			t.Fatalf("jitter draw %d not deterministic", i)
+		}
+		if j < lo {
+			lo = j
+		}
+		if j > hi {
+			hi = j
+		}
+	}
+	if lo < 0 || hi >= 1 {
+		t.Fatalf("jitter draws outside [0,1): min %v max %v", lo, hi)
+	}
+}
+
+func TestLossRetransmitFactor(t *testing.T) {
+	if f := LossRetransmitFactor(0); f != 1 {
+		t.Fatalf("no loss gives factor %v", f)
+	}
+	if f := LossRetransmitFactor(0.5); f != 2 {
+		t.Fatalf("50%% loss gives factor %v, want 2", f)
+	}
+	if f := LossRetransmitFactor(math.NaN()); f != 1 {
+		t.Fatalf("NaN gives factor %v, want 1", f)
+	}
+	if f := LossRetransmitFactor(1); !math.IsInf(f, 1) {
+		t.Fatalf("total loss gives factor %v, want +Inf", f)
+	}
+	if p := PartitionProbability(1, 3600); math.Abs(p-(1-1/math.E)) > 1e-12 {
+		t.Fatalf("one expected cut per window gives %v, want 1-1/e", p)
+	}
+}

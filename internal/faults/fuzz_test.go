@@ -24,6 +24,16 @@ func FuzzParseSpec(f *testing.F) {
 		"crash=node0@+Inf",
 		"slow=nfs@0-1xNaN",
 		"outage=wan@NaN-5",
+		"seed=1;partition=siteA|siteB@120-240;degrade=wan@300-600x0.25;loss=wan:0.01",
+		"partition=a|b@0-10:failfast",
+		"partition=a|b@NaN-5",
+		"partition=a|a@0-1",
+		"partition=a|b@5-5",
+		"degrade=l@0-1xNaN",
+		"degrade=l@0-1x0",
+		"loss=l:NaN",
+		"loss=l:1",
+		"loss=l:0.999;loss=l:0.001",
 	} {
 		f.Add(seed)
 	}

@@ -90,7 +90,7 @@ func (e *Engine) abortCkptCopy(st *ckptState, unlink bool) {
 	fl.version++ // naive mode: orphan the pending completion event
 	if unlink {
 		e.removeFlow(fl)
-		e.resettle(fl.st)
+		e.resettleNet(fl.st, fl)
 		e.freeFlow(fl)
 	}
 	st.fl = nil
@@ -134,19 +134,38 @@ func (e *Engine) maybeCheckpoint(path string) {
 // so checkpoint traffic contends for bandwidth like any other stream. The
 // copy is fully asynchronous: it has no owning task and never blocks one.
 func (e *Engine) startCkptFlow(st *ckptState, tier *vfs.Tier, write bool) {
+	rem := float64(st.size)
+	var extra float64
+	var hops []hop
+	if e.netOn {
+		// Checkpoint copies route through the source node like stage legs. A
+		// routing failure (disconnected location) skips the links rather than
+		// failing the copy: checkpointing never aborts the run. An active
+		// partition cut stalls the copy; it drains after the heal.
+		if h, err := e.flowRoute(st.srcNode, tier, write); err == nil {
+			hops = h
+			extraBytes, extraLat := e.linkEffects(hops, "checkpoint:"+st.path, st.leg, 1, st.size, 1, 1)
+			rem += extraBytes
+			extra += extraLat
+		}
+	}
 	e.flowSeq++
 	fl := e.newFlow()
 	fl.write = write
-	fl.rem = float64(st.size)
+	fl.rem = rem
 	fl.lastT = e.now
+	fl.extra = extra
 	fl.started = e.now
 	fl.id = e.flowSeq
 	fl.ckpt = st
 	st.fl = fl
 	ts := e.tierFor(tier)
 	e.addFlow(ts, fl)
+	if len(hops) > 0 {
+		e.addFlowLinks(fl, hops)
+	}
 	ts.bytes += uint64(st.size)
-	e.resettle(ts)
+	e.resettleNet(ts, fl)
 }
 
 // finishCkptFlow advances a completed copy leg: the source read chains into

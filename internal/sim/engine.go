@@ -91,6 +91,13 @@ type Engine struct {
 	// restores from those copies in preference to re-staging or re-running
 	// producers. Nil leaves every code path byte-identical.
 	Checkpoint *CheckpointPolicy
+	// Topology, when non-nil, routes every flow between its task's node and
+	// its target tier over a path of named network links with latency,
+	// jitter, seeded per-chunk loss, and asymmetric bandwidth shared among
+	// crossing flows; the faults partition/degrade/loss clauses act on it.
+	// Nil — or a Trivial topology with no network fault clauses — leaves
+	// every code path byte-identical to an un-networked run.
+	Topology *Topology
 
 	now      float64
 	eq       eventHeap
@@ -126,6 +133,14 @@ type Engine struct {
 	ckptTier  *vfs.Tier
 	ckptFiles map[string]bool
 	ckpt      map[string]*ckptState
+	// Network bookkeeping (nil unless netOn, i.e. a non-trivial Topology or
+	// network fault clauses are active): per-link runtime state, sorted
+	// adjacency for route search, and the per-location-pair route cache.
+	netOn   bool
+	netSeed uint64
+	links   map[string]*linkState
+	adj     map[string][]adjEdge
+	routes  map[[2]string][]hop
 }
 
 // fileProv records how a file's current placement came to be: the task that
@@ -205,6 +220,11 @@ type flow struct {
 	started float64    // issue time, for per-flow tier-time accounting
 	id      int64      // creation order, for deterministic tie-breaks
 	ckpt    *ckptState // non-nil for checkpoint copy legs (owner is nil)
+	// Network routing state (nil/false unless the engine is netOn and the
+	// flow crosses at least one link).
+	hops    []hop // directed links on the flow's route
+	hopIdx  []int // position in each hop's member list, for O(1) swap-remove
+	stalled bool  // currently stalled behind a partition cut
 }
 
 // tierState is a tier's complete simulation state: its live flow set (
@@ -252,6 +272,7 @@ func (e *Engine) freeFlow(fl *flow) {
 		return
 	}
 	fl.st, fl.owner, fl.ckpt = nil, nil, nil
+	fl.hops, fl.hopIdx = nil, nil
 	e.flowPool = append(e.flowPool, fl)
 }
 
@@ -287,6 +308,7 @@ const (
 	evRetry
 	evCrash
 	evTierChange
+	evLinkChange
 )
 
 type event struct {
@@ -300,6 +322,7 @@ type event struct {
 	idx     int       // heap position, for in-place Fix/Remove; -1 when popped
 	node    string    // evCrash payload
 	tier    *vfs.Tier // evTierChange payload
+	link    *linkState // evLinkChange payload
 }
 
 // eventHeap is a concrete binary min-heap over (t, seq) with intrusive
@@ -445,10 +468,18 @@ func (e *Engine) scheduleTierChange(t float64, tier *vfs.Tier) {
 	e.push(ev)
 }
 
+// scheduleLinkChange queues a fault-window boundary on a network link.
+func (e *Engine) scheduleLinkChange(t float64, ls *linkState) {
+	ev := e.newEvent()
+	ev.t, ev.kind, ev.fl, ev.version, ev.ts, ev.gen = t, evLinkChange, nil, 0, nil, 0
+	ev.link = ls
+	e.push(ev)
+}
+
 // free returns a popped event to the free list, dropping its pointers so the
 // pool does not pin flows or tasks.
 func (e *Engine) free(ev *event) {
-	ev.fl, ev.ts, ev.tier, ev.node = nil, nil, nil, ""
+	ev.fl, ev.ts, ev.tier, ev.link, ev.node = nil, nil, nil, nil, ""
 	e.pool = append(e.pool, ev)
 }
 
@@ -511,6 +542,18 @@ type Result struct {
 	// CheckpointRestores counts crash-lost files re-materialized from
 	// their durable copy instead of re-staging or re-running a producer.
 	CheckpointRestores int
+
+	// Network extensions; all remain zero/nil unless a non-trivial Topology
+	// (or a network fault clause) is active, so un-networked results are
+	// unchanged.
+
+	// LinkBytes counts bytes carried per link name, both directions,
+	// including loss retransmissions.
+	LinkBytes map[string]uint64
+	// LinkRetransmits counts chunks lost and re-sent per link name.
+	LinkRetransmits map[string]uint64
+	// PartitionStalls counts flow stall episodes behind partition cuts.
+	PartitionStalls int
 }
 
 // StageDuration returns the duration of a stage tag, or 0.
@@ -606,6 +649,9 @@ func (e *Engine) Run(w *Workload) (*Result, error) {
 	if err := e.initFaults(); err != nil {
 		return nil, err
 	}
+	if err := e.initTopology(); err != nil {
+		return nil, err
+	}
 	if err := e.initCheckpoint(); err != nil {
 		return nil, err
 	}
@@ -627,7 +673,7 @@ func (e *Engine) Run(w *Workload) (*Result, error) {
 		}
 		ev := e.heapPop()
 		kind, fl, version, ts, t, gen := ev.kind, ev.fl, ev.version, ev.ts, ev.t, ev.gen
-		node, tier := ev.node, ev.tier
+		node, tier, link := ev.node, ev.tier, ev.link
 		if kind == evFlowDone {
 			if e.naive {
 				if version != fl.version {
@@ -660,6 +706,8 @@ func (e *Engine) Run(w *Workload) (*Result, error) {
 			e.crashNode(node)
 		case evTierChange:
 			e.resettle(e.tierFor(tier))
+		case evLinkChange:
+			e.linkChange(link)
 		}
 	}
 	if e.failure != nil {
@@ -679,6 +727,9 @@ func (e *Engine) Run(w *Workload) (*Result, error) {
 			e.result.MetaOps[name] += st.metaOps
 			e.result.MetaWait[name] += st.metaWait
 		}
+	}
+	if e.netOn {
+		e.flushLinkStats()
 	}
 	e.result.Makespan = e.now
 	if e.faultsOn {
@@ -882,7 +933,15 @@ func (e *Engine) crashNode(name string) {
 			}
 			i++
 		}
-		if changed {
+		if changed && !e.netOn {
+			e.resettle(st)
+		}
+	}
+	if e.netOn {
+		// Cancelled flows may have shared links with flows on other tiers;
+		// rather than track the coupling through a rare event, reprice every
+		// tier in sorted order.
+		for _, st := range tiers {
 			e.resettle(st)
 		}
 	}
@@ -1379,7 +1438,11 @@ func (e *Engine) beginIOOp(ts *taskState, op *Op) error {
 	return nil
 }
 
-// startPart launches the current part as a flow on its tier.
+// startPart launches the current part as a flow on its tier. When a
+// topology is active the part is routed over its link path first: an active
+// fail-fast cut fails the op (typed, retryable) before any flow exists, and
+// otherwise the links' latency, jitter, and loss retransmissions are charged
+// up front — all pure functions of the seed and the op's coordinates.
 func (e *Engine) startPart(ts *taskState) {
 	op := &ts.task.Script[ts.pc]
 	part := ts.parts[ts.partIdx]
@@ -1398,10 +1461,28 @@ func (e *Engine) startPart(ts *taskState) {
 	batches := (nAcc + int64(e.ChunkLatencyEvery) - 1) / int64(e.ChunkLatencyEvery)
 	extra := float64(batches) * part.Tier.LatencyS
 
+	rem := float64(part.Bytes)
+	var hops []hop
+	if e.netOn {
+		var err error
+		hops, err = e.flowRoute(ts.node, part.Tier, write)
+		if err != nil {
+			e.opFail(ts, ts.pc, op, FailConfig, err)
+			return
+		}
+		if pe := e.cutByFailFast(hops); pe != nil {
+			e.opFail(ts, ts.pc, op, FailPartition, pe)
+			return
+		}
+		extraBytes, extraLat := e.linkEffects(hops, ts.task.Name, ts.pc, ts.attempt, part.Bytes, nAcc, batches)
+		rem += extraBytes
+		extra += extraLat
+	}
+
 	e.flowSeq++
 	fl := e.newFlow()
 	fl.write = write
-	fl.rem = float64(part.Bytes)
+	fl.rem = rem
 	fl.lastT = e.now
 	fl.owner = ts
 	fl.extra = extra
@@ -1409,8 +1490,11 @@ func (e *Engine) startPart(ts *taskState) {
 	fl.id = e.flowSeq
 	st := e.tierFor(part.Tier)
 	e.addFlow(st, fl)
+	if len(hops) > 0 {
+		e.addFlowLinks(fl, hops)
+	}
 	st.bytes += uint64(part.Bytes)
-	e.resettle(st)
+	e.resettleNet(st, fl)
 }
 
 // removeFlow deletes fl from its tier's set by swap-remove and drops the
@@ -1429,13 +1513,18 @@ func (e *Engine) removeFlow(fl *flow) {
 	} else {
 		st.nr--
 	}
+	if len(fl.hops) > 0 {
+		// Leave the flow's directional links too; fl.hops stays set so the
+		// caller can still compute the affected-tier set for repricing.
+		e.dropFlowLinks(fl)
+	}
 }
 
 // finishFlow settles a completed flow, charges its fixed latency, and either
 // advances to the next part or lets the task continue.
 func (e *Engine) finishFlow(fl *flow) {
 	e.removeFlow(fl)
-	e.resettle(fl.st)
+	e.resettleNet(fl.st, fl)
 	if fl.ckpt != nil {
 		// Checkpoint copies have no owning task: they charge bandwidth
 		// through the shared flow machinery but no task-blocking tier time.
@@ -1504,21 +1593,39 @@ func (e *Engine) issueAsyncWrite(ts *taskState, op *Op) error {
 	}
 	nAcc := (op.Bytes + chunk - 1) / chunk
 	batches := (nAcc + int64(e.ChunkLatencyEvery) - 1) / int64(e.ChunkLatencyEvery)
+	rem := float64(op.Bytes)
+	extra := float64(batches) * f.Tier.LatencyS
+	var hops []hop
+	if e.netOn {
+		// Buffered writes never fail fast on a partition cut — the issuing op
+		// already completed into the buffer — so the flow stalls and drains
+		// after the heal instead.
+		hops, err = e.flowRoute(ts.node, f.Tier, true)
+		if err != nil {
+			return err
+		}
+		extraBytes, extraLat := e.linkEffects(hops, ts.task.Name, ts.pc, ts.attempt, op.Bytes, nAcc, batches)
+		rem += extraBytes
+		extra += extraLat
+	}
 	e.flowSeq++
 	fl := e.newFlow()
 	fl.write = true
-	fl.rem = float64(op.Bytes)
+	fl.rem = rem
 	fl.lastT = e.now
 	fl.owner = ts
-	fl.extra = float64(batches) * f.Tier.LatencyS
+	fl.extra = extra
 	fl.async = true
 	fl.started = e.now
 	fl.id = e.flowSeq
 	st := e.tierFor(f.Tier)
 	e.addFlow(st, fl)
+	if len(hops) > 0 {
+		e.addFlowLinks(fl, hops)
+	}
 	st.bytes += uint64(op.Bytes)
 	ts.outstanding++
-	e.resettle(st)
+	e.resettleNet(st, fl)
 	return nil
 }
 
@@ -1626,10 +1733,30 @@ func (e *Engine) resettle(st *tierState) {
 		} else {
 			fl.rate = rr
 		}
-		t := e.now + fl.rem/fl.rate
+		if len(fl.hops) > 0 {
+			fl.rate = e.linkCappedRate(fl, fl.rate)
+		}
+		var t float64
+		if fl.rate > 0 {
+			t = e.now + fl.rem/fl.rate
+		} else if fl.rem > 0 {
+			continue // stalled behind a partition cut; the heal boundary resettles
+		} else {
+			t = e.now // done; nothing left to transfer
+		}
 		if best == nil || t < bestT || (t == bestT && fl.id < best.id) {
 			best, bestT = fl, t
 		}
+	}
+	if best == nil {
+		// Every flow is stalled behind a cut: no completion until a link
+		// boundary reprices the tier.
+		if st.ev != nil {
+			e.heapRemove(st.ev.idx)
+			e.free(st.ev)
+			st.ev = nil
+		}
+		return
 	}
 	if st.ev != nil {
 		ev := st.ev
@@ -1683,6 +1810,15 @@ func (e *Engine) resettleNaive(st *tierState) {
 			n = nw
 		}
 		fl.rate = fairRate(st.tier, fl.write, n, factor)
+		if len(fl.hops) > 0 {
+			fl.rate = e.linkCappedRate(fl, fl.rate)
+		}
+		if fl.rate <= 0 {
+			if fl.rem <= 0 {
+				e.schedule(e.now, evFlowDone, fl, fl.version, nil)
+			}
+			continue // stalled behind a partition cut; the heal boundary resettles
+		}
 		e.schedule(e.now+fl.rem/fl.rate, evFlowDone, fl, fl.version, nil)
 	}
 }

@@ -20,9 +20,15 @@ const (
 	// The task is re-executed from the top of its script on a surviving
 	// node.
 	FailNodeCrash
+	// FailPartition is an injected network partition (faults.Schedule
+	// Partitions with the fail-fast policy) cutting the op's link path.
+	// Retried with capped exponential backoff: unlike a node crash no data
+	// is lost — the bytes still exist on the far side of the cut — so the
+	// retried op re-routes and succeeds once the partition heals.
+	FailPartition
 )
 
-var failureKindNames = [...]string{"config", "io", "transient", "node-crash"}
+var failureKindNames = [...]string{"config", "io", "transient", "node-crash", "partition"}
 
 func (k FailureKind) String() string {
 	if int(k) < len(failureKindNames) {
@@ -34,7 +40,7 @@ func (k FailureKind) String() string {
 // Retryable reports whether the engine's recovery policies apply to this
 // failure kind.
 func (k FailureKind) Retryable() bool {
-	return k == FailTransient || k == FailNodeCrash
+	return k == FailTransient || k == FailNodeCrash || k == FailPartition
 }
 
 // Sentinel errors matching each FailureKind through errors.Is: callers
@@ -49,6 +55,8 @@ var (
 	ErrTransient = fmt.Errorf("sim: transient I/O failure")
 	// ErrNodeCrash matches TaskErrors with Kind FailNodeCrash.
 	ErrNodeCrash = fmt.Errorf("sim: node crash")
+	// ErrPartition matches TaskErrors with Kind FailPartition.
+	ErrPartition = fmt.Errorf("sim: network partition")
 )
 
 // Sentinel returns the errors.Is target for this failure kind, or nil for
@@ -63,6 +71,8 @@ func (k FailureKind) Sentinel() error {
 		return ErrTransient
 	case FailNodeCrash:
 		return ErrNodeCrash
+	case FailPartition:
+		return ErrPartition
 	}
 	return nil
 }
@@ -104,6 +114,20 @@ func (e *TaskError) Unwrap() error { return e.Cause }
 func (e *TaskError) Is(target error) bool {
 	s := e.Kind.Sentinel()
 	return s != nil && target == s
+}
+
+// PartitionError is the cause of a FailPartition task failure: the
+// partition cut that severed the op's link path. Reachable through
+// errors.As on the run error.
+type PartitionError struct {
+	// A, B are the partitioned location pair.
+	A, B string
+	// Link is the cut link on the op's route.
+	Link string
+}
+
+func (p *PartitionError) Error() string {
+	return fmt.Sprintf("network partition %s|%s cut link %s", p.A, p.B, p.Link)
 }
 
 // transientError is the sentinel cause for injected transient I/O failures;

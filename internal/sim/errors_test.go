@@ -19,6 +19,7 @@ func TestTaskErrorKindTable(t *testing.T) {
 		{FailIO, "io", ErrIO},
 		{FailTransient, "transient", ErrTransient},
 		{FailNodeCrash, "node-crash", ErrNodeCrash},
+		{FailPartition, "partition", ErrPartition},
 	}
 	for _, c := range kinds {
 		t.Run(c.name, func(t *testing.T) {

@@ -23,6 +23,10 @@ import (
 //   - checkpointing copies through a shared durable tier;
 //   - node crashes unpin their victims, letting a task restart on any
 //     surviving node — inherently cross-group.
+//   - network links couple otherwise-independent groups: two groups that
+//     share no node, tier, or file still contend for a link's bandwidth, so
+//     a non-trivial Topology — or any partition/degrade/loss clause — falls
+//     back to the exact serial loop.
 //
 // Transient I/O errors, slowdowns, and outages stay parallel-eligible:
 // every draw is a pure hash of (seed, task, tier, op, attempt) and every
@@ -35,7 +39,10 @@ func (e *Engine) runParallel(w *Workload) (*Result, error, bool) {
 	if _, home := e.Planner.(homePlanner); !home {
 		return nil, nil, false
 	}
-	if e.Faults != nil && len(e.Faults.Crashes) > 0 {
+	if e.Faults != nil && (len(e.Faults.Crashes) > 0 || e.Faults.HasNetworkFaults()) {
+		return nil, nil, false
+	}
+	if e.Topology != nil && !e.Topology.Trivial() {
 		return nil, nil, false
 	}
 	groups := e.partitionTasks(w)
@@ -78,6 +85,7 @@ func (e *Engine) runParallel(w *Workload) (*Result, error, bool) {
 					ChunkLatencyEvery: e.ChunkLatencyEvery,
 					Faults:            e.Faults,
 					Retry:             e.Retry,
+					Topology:          e.Topology, // trivial here, by the bail above
 				}
 				results[gi], errs[gi] = sub.Run(subs[gi])
 			}
@@ -165,6 +173,21 @@ func mergeResults(rs []*Result) *Result {
 		m.CheckpointCopies += r.CheckpointCopies
 		m.CheckpointBytes += r.CheckpointBytes
 		m.CheckpointRestores += r.CheckpointRestores
+		// Link fields are always zero here — a netOn run never parallelizes —
+		// but merge them anyway so the invariant lives in one place.
+		for k, v := range r.LinkBytes {
+			if m.LinkBytes == nil {
+				m.LinkBytes = make(map[string]uint64)
+			}
+			m.LinkBytes[k] += v
+		}
+		for k, v := range r.LinkRetransmits {
+			if m.LinkRetransmits == nil {
+				m.LinkRetransmits = make(map[string]uint64)
+			}
+			m.LinkRetransmits[k] += v
+		}
+		m.PartitionStalls += r.PartitionStalls
 	}
 	sort.SliceStable(m.Failures, func(i, j int) bool {
 		return m.Failures[i].Time < m.Failures[j].Time

@@ -107,6 +107,57 @@ func TestParallelSerialEquivalence(t *testing.T) {
 // parallel-eligible — and requires the same byte-identical merge. Tier names
 // contain '@', which ParseSpec cannot express, so the schedule is built
 // directly.
+// TestParallelSerialEquivalenceNetworked attaches a real topology: every
+// shard's node-local ssd is placed at "hub" while the nodes stay at "edge",
+// so all four shards share one finite-bandwidth backbone link. Shared link
+// state couples the shards, so the engine must refuse to run the groups in
+// parallel goroutines — if that bail were ever lost, each group would price
+// flows against a private copy of the link and the Workers=4 makespan would
+// silently diverge from serial, which this DeepEqual would catch under
+// -race.
+func TestParallelSerialEquivalenceNetworked(t *testing.T) {
+	tp := func() *sim.Topology {
+		return &sim.Topology{
+			Links: []*sim.Link{{Name: "backbone", A: "edge", B: "hub", BWAB: 64e6, BWBA: 64e6, LatencyS: 1e-3}},
+			TierLoc: map[string]string{
+				"ssd@node0": "hub", "ssd@node1": "hub",
+				"ssd@node2": "hub", "ssd@node3": "hub",
+			},
+			DefaultLoc: "edge",
+			Seed:       1,
+		}
+	}
+	mk := func() *workflows.Spec {
+		return workflows.ShardedChains(workflows.DefaultShardedChainsParams(4, 60))
+	}
+	serial, err := workflows.RunBare(mk(), workflows.StressOptions{Topology: tp()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := workflows.RunBare(mk(), workflows.StressOptions{Topology: tp(), Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("networked serial and Workers=4 results diverge:\n  serial:   %+v\n  parallel: %+v", serial, parallel)
+	}
+	if s, p := fmt.Sprintf("%+v", serial), fmt.Sprintf("%+v", parallel); s != p {
+		t.Fatalf("rendered networked results diverge:\n  serial:   %s\n  parallel: %s", s, p)
+	}
+	// Guard against vacuous equivalence: the shared backbone must actually
+	// shape the run, or the bail is never exercised.
+	plain, err := workflows.RunBare(mk(), workflows.StressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.LinkBytes["backbone"] == 0 {
+		t.Fatal("no bytes crossed the backbone; the topology fixture is inert")
+	}
+	if serial.Makespan <= plain.Makespan {
+		t.Fatalf("backbone cap did not slow the run (linked %v <= plain %v)", serial.Makespan, plain.Makespan)
+	}
+}
+
 func TestParallelSerialEquivalenceFaulty(t *testing.T) {
 	sched := &faults.Schedule{
 		Seed:         7,

@@ -72,6 +72,13 @@ type Tier struct {
 	// disable degradation (ideal fair sharing).
 	DegradeKnee  int
 	DegradeAlpha float64
+	// Location optionally names the network-topology location (sim.Topology)
+	// the tier lives at, so flows to and from it are routed over links.
+	// A sim.Topology's TierLoc entries override it; node-local tiers with no
+	// location default to their node's. Empty means the topology default —
+	// link-aware transfer accounting then treats the tier as co-located with
+	// everything else unplaced.
+	Location string
 
 	mu   sync.Mutex
 	used int64

@@ -88,6 +88,9 @@ type StressOptions struct {
 	InputTier string
 	// Faults, when non-nil, injects the schedule.
 	Faults *faults.Schedule
+	// Topology, when non-nil, attaches the network topology so flows route
+	// over links.
+	Topology *sim.Topology
 	// Workers sets sim.Engine.Workers (parallel independent-group
 	// execution; ≤1 runs the plain serial loop).
 	Workers int
@@ -122,7 +125,7 @@ func RunBare(spec *Spec, opts StressOptions) (*sim.Result, error) {
 	if err := spec.Seed(fs, tier); err != nil {
 		return nil, err
 	}
-	eng := &sim.Engine{FS: fs, Cluster: cl, Faults: opts.Faults, Workers: opts.Workers}
+	eng := &sim.Engine{FS: fs, Cluster: cl, Faults: opts.Faults, Topology: opts.Topology, Workers: opts.Workers}
 	res, err := eng.Run(spec.Workload)
 	if err != nil {
 		return nil, fmt.Errorf("workflows: running %s: %w", spec.Name, err)

@@ -1,0 +1,204 @@
+package workflows
+
+import (
+	"fmt"
+
+	"datalife/internal/sim"
+	"datalife/internal/stats"
+	"datalife/internal/vfs"
+)
+
+// FederatedParams configures the cross-cluster Belle II campaign: MC
+// production at site A feeding a remote analysis cluster at site B over a
+// WAN link. It is the network-topology counterpart of Belle2Params — the
+// paper's grid setting (§6.4) where raw-data distribution crosses sites and
+// the WAN, not the local filesystem, is the scarce resource.
+type FederatedParams struct {
+	// MCNodes and AnalysisNodes size the two sites ("a<i>" and "b<i>").
+	MCNodes, AnalysisNodes int
+	// Cores per node.
+	Cores int
+	// MCTasks is the number of MC production tasks, pinned round-robin to
+	// site A's nodes.
+	MCTasks int
+	// DatasetsPerTask is how many pool datasets each MC task draws.
+	DatasetsPerTask int
+	// PoolDatasets is the shared input pool size at site A.
+	PoolDatasets int
+	// DatasetBytes is each pool dataset's size.
+	DatasetBytes int64
+	// OutputBytes is each MC task's output size — the bytes that cross the
+	// WAN to analysis.
+	OutputBytes int64
+	// AnalysisTasks is the number of analysis tasks, pinned round-robin to
+	// site B's nodes.
+	AnalysisTasks int
+	// MCPerAnalysis is how many MC outputs each analysis task stages in.
+	MCPerAnalysis int
+	// ComputeMC and ComputeAnalysis are per-task compute seconds.
+	ComputeMC, ComputeAnalysis float64
+	// WANBandwidth is the WAN link's bandwidth per direction (bytes/s).
+	WANBandwidth float64
+	// WANLatencyS, WANJitterS, and WANLossRate shape the WAN link.
+	WANLatencyS, WANJitterS, WANLossRate float64
+	// Seed varies the deterministic draws and seeds the topology's network
+	// hashes.
+	Seed uint64
+}
+
+// DefaultFederated keeps the campaign shape (many MC producers, fewer
+// analysis consumers, all cross-site flow funneled through one WAN link)
+// with sizes reduced so the sweep stays fast.
+func DefaultFederated() FederatedParams {
+	return FederatedParams{
+		MCNodes:         4,
+		AnalysisNodes:   4,
+		Cores:           8,
+		MCTasks:         24,
+		DatasetsPerTask: 4,
+		PoolDatasets:    24,
+		DatasetBytes:    32 * mb,
+		OutputBytes:     64 * mb,
+		AnalysisTasks:   12,
+		MCPerAnalysis:   3,
+		ComputeMC:       20,
+		ComputeAnalysis: 10,
+		WANBandwidth:    125e6, // 1 Gb/s, Table 2's WAN row
+		WANLatencyS:     0.05,
+		WANJitterS:      0.005,
+		Seed:            1,
+	}
+}
+
+// FederatedCluster builds the two-site cluster and its network topology:
+//
+//	siteA (a0..aN, storeA) — lanA — coreA — wan — coreB — lanB — siteB (b0..bN, storeB)
+//
+// The LAN legs are fat and near-instant; every cross-site byte rides the
+// wan link. Intra-site flows route over no links at all, so a fault-free
+// single-site workload on this cluster stays byte-identical to a run
+// without the topology.
+func FederatedCluster(fs *vfs.FS, p FederatedParams) (*sim.Cluster, *sim.Topology, error) {
+	storeA := vfs.NewBeeGFS("storeA")
+	storeA.Location = "siteA"
+	storeB := vfs.NewBeeGFS("storeB")
+	storeB.Location = "siteB"
+	for _, t := range []*vfs.Tier{storeA, storeB} {
+		if err := fs.AddTier(t); err != nil {
+			return nil, nil, err
+		}
+	}
+	c := &sim.Cluster{Name: "federated", DefaultTier: "storeA"}
+	nodeLoc := make(map[string]string, p.MCNodes+p.AnalysisNodes)
+	addNodes := func(prefix, loc string, n int) error {
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("%s%d", prefix, i)
+			c.Nodes = append(c.Nodes, &sim.Node{Name: name, Cores: p.Cores})
+			nodeLoc[name] = loc
+			ssd := vfs.NewSSD(sim.LocalTierName("ssd", name), name)
+			if err := fs.AddTier(ssd); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := addNodes("a", "siteA", p.MCNodes); err != nil {
+		return nil, nil, err
+	}
+	if err := addNodes("b", "siteB", p.AnalysisNodes); err != nil {
+		return nil, nil, err
+	}
+	tp := &sim.Topology{
+		Links: []*sim.Link{
+			{Name: "lanA", A: "siteA", B: "coreA", LatencyS: 0.0002},
+			{Name: "wan", A: "coreA", B: "coreB",
+				LatencyS: p.WANLatencyS, JitterS: p.WANJitterS, LossRate: p.WANLossRate,
+				BWAB: p.WANBandwidth, BWBA: p.WANBandwidth},
+			{Name: "lanB", A: "coreB", B: "siteB", LatencyS: 0.0002},
+		},
+		NodeLoc:    nodeLoc,
+		DefaultLoc: "siteA",
+		Seed:       p.Seed,
+	}
+	if err := tp.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return c, tp, nil
+}
+
+// FederatedMCOutput names MC task t's output dataset.
+func FederatedMCOutput(t int) string { return fmt.Sprintf("mc/out-%03d.root", t) }
+
+// FederatedDraws returns the MC output indices analysis task t stages in,
+// deterministic in (seed, task), without replacement within a task.
+func FederatedDraws(p FederatedParams, task int) []int {
+	drawn := make(map[int]bool, p.MCPerAnalysis)
+	out := make([]int, 0, p.MCPerAnalysis)
+	for k := 0; len(out) < p.MCPerAnalysis && k < 50*p.MCPerAnalysis; k++ {
+		h := stats.HashString(fmt.Sprintf("fedana:%d:%d:%d", p.Seed, task, k))
+		d := int(h % uint64(p.MCTasks))
+		if !drawn[d] {
+			drawn[d] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FederatedBelle2 generates the cross-cluster campaign. MC tasks run at
+// site A, reading pool datasets from storeA and writing outputs back to it
+// — all intra-site. Each analysis task runs at site B: it stages its drawn
+// MC outputs across the WAN onto its node's SSD, reads them locally, and
+// writes its result to storeB. The stage legs are the only cross-site
+// flows, so every WAN byte in the result is attributable to data
+// distribution, exactly the coordination the sweep's partitions and
+// degradations stress.
+func FederatedBelle2(p FederatedParams) *Spec {
+	s := &Spec{Name: "federated", Workload: &sim.Workload{Name: "federated"}}
+	for i := 0; i < p.PoolDatasets; i++ {
+		s.Inputs = append(s.Inputs, InputFile{
+			Path: fmt.Sprintf("mc/dataset-%03d.root", i), Size: p.DatasetBytes})
+	}
+	for t := 0; t < p.MCTasks; t++ {
+		task := &sim.Task{
+			Name:  fmt.Sprintf("mc#%03d", t),
+			Node:  fmt.Sprintf("a%d", t%p.MCNodes),
+			Stage: "mc",
+		}
+		for k := 0; k < p.DatasetsPerTask; k++ {
+			h := stats.HashString(fmt.Sprintf("fedmc:%d:%d:%d", p.Seed, t, k))
+			ds := fmt.Sprintf("mc/dataset-%03d.root", int(h%uint64(p.PoolDatasets)))
+			task.Script = append(task.Script,
+				sim.Open(ds), sim.Read(ds, p.DatasetBytes, 1*mb), sim.Close(ds))
+		}
+		out := FederatedMCOutput(t)
+		task.Script = append(task.Script,
+			sim.Compute(p.ComputeMC),
+			sim.Open(out), sim.Write(out, p.OutputBytes, 1*mb), sim.Close(out))
+		s.Workload.Tasks = append(s.Workload.Tasks, task)
+	}
+	for t := 0; t < p.AnalysisTasks; t++ {
+		task := &sim.Task{
+			Name:       fmt.Sprintf("ana#%03d", t),
+			Node:       fmt.Sprintf("b%d", t%p.AnalysisNodes),
+			Stage:      "analysis",
+			CreateTier: "storeB",
+		}
+		for _, d := range FederatedDraws(p, t) {
+			out := FederatedMCOutput(d)
+			task.Deps = append(task.Deps, fmt.Sprintf("mc#%03d", d))
+			// The explicit chunk makes the WAN traversal lose and retransmit
+			// at 1 MB granularity instead of treating the whole stage as one
+			// all-or-nothing transfer unit.
+			task.Script = append(task.Script,
+				sim.Op{Kind: sim.OpStage, Path: out, Tier: "local:ssd", Chunk: 1 * mb},
+				sim.Open(out), sim.Read(out, p.OutputBytes, 1*mb), sim.Close(out))
+		}
+		res := fmt.Sprintf("ana/result-%03d.root", t)
+		task.Script = append(task.Script,
+			sim.Compute(p.ComputeAnalysis),
+			sim.Open(res), sim.Write(res, 8*mb, 1*mb), sim.Close(res))
+		s.Workload.Tasks = append(s.Workload.Tasks, task)
+	}
+	return s
+}

@@ -76,7 +76,8 @@ ns_for() {
 
 status=0
 for name in 'AnalysisLinearity/chain-10000' 'Advisor' \
-    'SimEngine/chain-100k' 'SimEngine/fan-in-100k' 'SimEngine/faulty-sweep'; do
+    'SimEngine/chain-100k' 'SimEngine/chain-100k-linked' \
+    'SimEngine/fan-in-100k' 'SimEngine/faulty-sweep'; do
     old="$(ns_for "$baseline" "$name")"
     new="$(ns_for "$out" "$name")"
     if [ -z "$old" ] || [ -z "$new" ]; then

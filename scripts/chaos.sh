@@ -54,3 +54,47 @@ if ! cmp -s "$work/reference.out" "$work/resumed.out"; then
     exit 1
 fi
 echo "chaos: PASS — resumed sweep is byte-identical ($(wc -c < "$work/reference.out") bytes)"
+
+# Phase 2: network chaos. Replay a partition + degraded-link + lossy-WAN
+# schedule through the federated netsweep twice and require byte-identical
+# output, then smoke the exact recovery semantics: stall rows must recover
+# with zero failures, fail-fast rows must recover through typed partition
+# failures, and neither may re-stage anything — a partition loses no data.
+netspec='seed=1;partition=coreA|coreB@25-45;degrade=wan@50-80x0.25;loss=wan:0.01'
+
+run_netsweep() {
+    "$work/dflrun" -scale small -faults "$netspec" -seeds 2 netsweep
+}
+
+echo "chaos: replaying network fault sweep (partition + degrade + loss)"
+run_netsweep > "$work/netsweep-1.out"
+run_netsweep > "$work/netsweep-2.out"
+if ! cmp -s "$work/netsweep-1.out" "$work/netsweep-2.out"; then
+    echo "chaos: FAIL — netsweep replay is not byte-identical" >&2
+    diff "$work/netsweep-1.out" "$work/netsweep-2.out" >&2 || true
+    exit 1
+fi
+
+check_count() {
+    # check_count LABEL GOT WANT
+    if [ "$2" -ne "$3" ]; then
+        echo "chaos: FAIL — $1 = $2, want $3" >&2
+        cat "$work/netsweep-1.out" >&2
+        exit 1
+    fi
+}
+
+# Columns: scenario seed baseline makespan attempts failures stalls restage ...
+check_count "stall rows"             "$(awk '$1=="stall"'    "$work/netsweep-1.out" | wc -l)" 2
+check_count "failfast rows"          "$(awk '$1=="failfast"' "$work/netsweep-1.out" | wc -l)" 2
+check_count "stall-mode failures"    "$(awk '$1=="stall"    {s+=$6} END {print s+0}' "$work/netsweep-1.out")" 0
+check_count "failfast-mode stalls"   "$(awk '$1=="failfast" {s+=$7} END {print s+0}' "$work/netsweep-1.out")" 0
+check_count "total restagings"       "$(awk 'NR>3 {s+=$8} END {print s+0}' "$work/netsweep-1.out")" 0
+stalls=$(awk '$1=="stall" {s+=$7} END {print s+0}' "$work/netsweep-1.out")
+fails=$(awk '$1=="failfast" {s+=$6} END {print s+0}' "$work/netsweep-1.out")
+if [ "$stalls" -le 0 ] || [ "$fails" -le 0 ]; then
+    echo "chaos: FAIL — vacuous network sweep (stalls=$stalls, failfast failures=$fails)" >&2
+    cat "$work/netsweep-1.out" >&2
+    exit 1
+fi
+echo "chaos: PASS — netsweep replay byte-identical; stall recovers failure-free, fail-fast recovers typed, zero restagings"
