@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] [-faults SPEC] [-seeds N] [-advise] [-checkpoint TIER] [-resume DIR] fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|faults|netsweep|all ...
+//	dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] [-faults SPEC] [-seeds N] [-advise] [-checkpoint TIER] [-resume DIR] fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|faults|netsweep|stream|all ...
 //
 // With -svg DIR, Sankey diagrams for the five workflows (Fig. 2) and the
 // chr1 caterpillar (Fig. 5) are written as SVG files into DIR.
@@ -107,7 +107,7 @@ func main() {
 		}()
 	}
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] [-faults SPEC] [-seeds N] [-advise] [-checkpoint TIER] [-resume DIR] <fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|faults|netsweep|all> ...")
+		fmt.Fprintln(os.Stderr, "usage: dflrun [-scale paper|small] [-svg DIR] [-novalidate] [-j N] [-faults SPEC] [-seeds N] [-advise] [-checkpoint TIER] [-resume DIR] <fig2|fig2f|fig3|fig4|fig5|fig6|fig7|fig8|table1|sweep|whatif|faults|netsweep|stream|all> ...")
 		os.Exit(2)
 	}
 	var scale experiments.Scale
@@ -178,9 +178,10 @@ func run(out io.Writer, cmds []string, scale experiments.Scale, svgDir string, j
 		switch name {
 		case "fig2", "fig4", "table1":
 			needFig2 = true
-		case "faults", "netsweep":
-			// Not part of `all`: fault sweeps are opt-in so the default
-			// output stays byte-identical to a fault-free build.
+		case "faults", "netsweep", "stream":
+			// Not part of `all`: fault sweeps and the streaming-build demo
+			// are opt-in so the default output stays byte-identical to a
+			// fault-free batch build.
 		default:
 			if !isExperiment(name) {
 				return fmt.Errorf("unknown subcommand %q", name)
@@ -406,6 +407,12 @@ func runOne(w io.Writer, name string, scale experiments.Scale, svgDir string, df
 			return err
 		}
 		fmt.Fprintln(w, experiments.MontageScalingReport(montage))
+	case "stream":
+		r, err := experiments.StreamDemo(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.StreamReport(r))
 	default:
 		return fmt.Errorf("unknown subcommand %q", name)
 	}

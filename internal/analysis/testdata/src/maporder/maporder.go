@@ -6,6 +6,7 @@ package maporder
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"datalife/internal/analysis/testdata/src/maporder/dep"
@@ -94,6 +95,30 @@ func mergeSpans(parts []map[string]int) int {
 		}
 	}
 	return best
+}
+
+func deltaReplay(pend map[int32]string) {
+	// The incremental-index edit-replay idiom: pending edits keyed by index
+	// are drained through a sorted key slice, so the replayed sequence is
+	// deterministic by construction, not by a commutativity argument.
+	keys := make([]int32, 0, len(pend))
+	for i := range pend {
+		keys = append(keys, i)
+	}
+	slices.Sort(keys)
+	out := make([]string, 0, len(keys))
+	for _, i := range keys {
+		out = append(out, pend[i])
+	}
+	fmt.Println(out) // clean: replay order fixed by the in-place sort
+}
+
+func deltaReplayUnsorted(pend map[int32]string) {
+	var out []string
+	for _, v := range pend {
+		out = append(out, v)
+	}
+	fmt.Println(out) // want "order-tainted value reaches"
 }
 
 func suppressed(m map[string]int) {

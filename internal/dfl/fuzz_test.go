@@ -1,0 +1,113 @@
+package dfl
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzIndexMutations drives byte-decoded mutation programs against the graph
+// and asserts, after every op, that the incremental snapshot path is
+// indistinguishable from a naive full rebuild on every public accessor —
+// including the exact cycle error when an op ties the frontier into a loop.
+func FuzzIndexMutations(f *testing.F) {
+	// Seeds: streaming growth, edits, an anchored mid-stream cycle, the
+	// Invalidate escape hatch, and an unanchored cross edge (compaction).
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0, 3, 0, 3, 12, 3, 24, 0})
+	f.Add([]byte{0, 0, 2, 0, 0, 2, 1, 1})
+	f.Add([]byte{0, 4, 7, 0, 4, 9, 0, 4})
+	f.Add([]byte{0, 0, 1, 5, 10, 0, 1, 5, 3})
+	f.Add([]byte{0, 0, 0, 5, 1, 22, 0, 5, 7, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 96 {
+			data = data[:96]
+		}
+		g := New()
+		g.AddTask("t0")
+		next := func(i *int) byte {
+			if *i >= len(data) {
+				return 0
+			}
+			b := data[*i]
+			*i++
+			return b
+		}
+		for i, step := 0, 0; i < len(data) && g.NumVertices() < 120; step++ {
+			switch op := next(&i) % 6; op {
+			case 0:
+				// Frontier growth off the topological tail (fast path shape).
+				tail, err := g.TopoSort()
+				if err != nil || len(tail) == 0 {
+					g.AddData(fmt.Sprintf("iso%d", step))
+					break
+				}
+				a := tail[len(tail)-1]
+				if a.Kind == TaskVertex {
+					d := g.AddData(fmt.Sprintf("d%d", step))
+					_, _ = g.AddEdge(a, d.ID, Producer, FlowProps{Volume: uint64(1 + next(&i)), Latency: 1})
+				} else {
+					tk := g.AddTask(fmt.Sprintf("t%d", step))
+					_, _ = g.AddEdge(a, tk.ID, Consumer, FlowProps{Volume: uint64(1 + next(&i)), Latency: 1})
+				}
+			case 1:
+				// Cross edge between existing vertices: may point into an old
+				// vertex (compaction) or even close a cycle.
+				vs, _ := g.Index().canonVerts()
+				if len(vs) < 2 {
+					break
+				}
+				a := vs[int(next(&i))%len(vs)].ID
+				b := vs[int(next(&i))%len(vs)].ID
+				if a.Kind == b.Kind || g.FindEdge(a, b) != nil {
+					break
+				}
+				kind := Producer
+				if a.Kind == DataVertex {
+					kind = Consumer
+				}
+				_, _ = g.AddEdge(a, b, kind, FlowProps{Volume: uint64(1 + next(&i)), Latency: 2})
+			case 2:
+				// Anchored loop: new task+data pair where the data feeds the
+				// task back — unorderable, but structurally incremental.
+				tail, err := g.TopoSort()
+				if err != nil || len(tail) == 0 || tail[len(tail)-1].Kind != DataVertex {
+					g.AddTask(fmt.Sprintf("tx%d", step))
+					break
+				}
+				a := tail[len(tail)-1]
+				tk := g.AddTask(fmt.Sprintf("lt%d", step))
+				d := g.AddData(fmt.Sprintf("ld%d", step))
+				_, _ = g.AddEdge(a, tk.ID, Consumer, FlowProps{Volume: 1, Latency: 1})
+				_, _ = g.AddEdge(tk.ID, d.ID, Producer, FlowProps{Volume: 1, Latency: 1})
+				_, _ = g.AddEdge(d.ID, tk.ID, Consumer, FlowProps{Volume: 1, Latency: 1})
+			case 3:
+				// Tracked property edit.
+				es := g.Edges()
+				if len(es) == 0 {
+					break
+				}
+				e := es[int(next(&i))%len(es)]
+				p := e.Props
+				p.Volume = uint64(1 + next(&i))
+				p.Latency = float64(1+next(&i)%7) / 2
+				g.SetEdgeProps(e.Src, e.Dst, p)
+			case 4:
+				// Untracked in-place mutation + Invalidate escape hatch.
+				es := g.Edges()
+				if len(es) == 0 {
+					break
+				}
+				e := g.FindEdge(es[int(next(&i))%len(es)].Src, es[int(next(&i))%len(es)].Dst)
+				if e != nil {
+					e.Props.Ops++
+					g.Invalidate()
+				}
+			case 5:
+				// Fresh unanchored vertex.
+				g.AddData(fmt.Sprintf("iso%d", step))
+			}
+			assertSnapshotEquivalent(t, g)
+		}
+	})
+}

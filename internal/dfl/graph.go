@@ -165,24 +165,43 @@ func (e *Edge) Other(id ID) ID {
 	return e.Src
 }
 
+// edgeKey names an edge by its endpoints for the first-match lookup table.
+type edgeKey struct{ src, dst ID }
+
 // Graph is a DFL graph: a property graph over task and data vertices. A
 // DFL-DAG (one vertex per task instance) is acyclic by construction; a DFL-T
 // (template) may contain cycles.
 //
 // Queries that need sorted snapshots or whole-graph aggregates (Vertices,
 // Edges, TopoSort, TotalVolume, BestRate, Producers/Consumers, ...) are
-// served from a lazily built indexed core (see Index) that structural
-// mutations invalidate, so repeated analysis passes over a finished graph
-// cost slice iterations, not re-sorts. A fully built graph is safe for
-// concurrent readers; mutation is not safe concurrently with queries.
+// served from an indexed core (see Index) that mutations keep current via
+// O(delta) copy-on-write snapshot derivation: AddEdge, new vertices, and
+// SetEdgeProps accumulate a pending delta, and the next query derives a new
+// immutable snapshot from the previous one instead of rebuilding.
+//
+// Concurrency contract: snapshots obtained from Index() (and every slice the
+// query methods return) stay valid and safe to read concurrently, forever —
+// including while the graph keeps mutating and deriving newer snapshots.
+// Mutation itself is single-writer: do not mutate concurrently with other
+// mutations or with calls that may derive a snapshot.
 type Graph struct {
 	vertices map[ID]*Vertex
 	out      map[ID][]*Edge
 	in       map[ID][]*Edge
 	edges    []*Edge
 
-	mu  sync.Mutex // serializes index construction
-	idx atomic.Pointer[Index]
+	// edgeAt maps endpoints to the first matching g.edges index (FindEdge
+	// semantics). Built lazily on the first SetEdgeProps, then maintained.
+	edgeAt map[edgeKey]int32
+
+	pend  pending
+	ep    *epoch
+	force bool // full rebuild requested via Invalidate
+	stats IndexStats
+
+	mu    sync.Mutex // serializes snapshot derivation
+	idx   atomic.Pointer[Index]
+	dirty atomic.Bool
 }
 
 // New creates an empty graph.
@@ -210,7 +229,8 @@ func (g *Graph) ensure(id ID) *Vertex {
 			v.Data.Instances = 1
 		}
 		g.vertices[id] = v
-		g.invalidate()
+		g.pend.newVerts = append(g.pend.newVerts, v)
+		g.dirty.Store(true)
 	}
 	return v
 }
@@ -239,14 +259,77 @@ func (g *Graph) AddEdge(src, dst ID, kind EdgeKind, props FlowProps) (*Edge, err
 	if e.Props.Samples == 0 {
 		e.Props.Samples = 1
 	}
-	g.edges = append(g.edges, e)
-	g.out[src] = append(g.out[src], e)
-	g.in[dst] = append(g.in[dst], e)
-	g.invalidate()
+	g.appendEdge(e)
 	return e, nil
 }
 
-// FindEdge returns the edge src→dst, or nil.
+// appendEdge links e into the adjacency structures and records it in the
+// pending delta (shared by AddEdge and AddUncheckedEdge).
+func (g *Graph) appendEdge(e *Edge) {
+	i := int32(len(g.edges))
+	g.edges = append(g.edges, e)
+	g.out[e.Src] = append(g.out[e.Src], e)
+	g.in[e.Dst] = append(g.in[e.Dst], e)
+	if g.edgeAt != nil {
+		k := edgeKey{e.Src, e.Dst}
+		if _, ok := g.edgeAt[k]; !ok {
+			g.edgeAt[k] = i
+		}
+	}
+	g.pend.newEdges = append(g.pend.newEdges, i)
+	g.dirty.Store(true)
+}
+
+// SetEdgeProps replaces the properties of the edge src→dst (the same edge
+// FindEdge returns) and routes the change through the incremental index
+// delta, so aggregates, fingerprint, and adjacency snapshots stay current
+// without a rebuild. The replacement is copy-on-write: previously obtained
+// snapshots keep reading the old edge value. Returns false when no such edge
+// exists.
+func (g *Graph) SetEdgeProps(src, dst ID, props FlowProps) bool {
+	i := g.edgeIndex(src, dst)
+	if i < 0 {
+		return false
+	}
+	old := g.edges[i]
+	if props.Samples == 0 {
+		props.Samples = 1
+	}
+	ne := &Edge{Src: old.Src, Dst: old.Dst, Kind: old.Kind, Props: props}
+	g.edges[i] = ne
+	swapEdge(g.out[src], old, ne)
+	swapEdge(g.in[dst], old, ne)
+	if g.pend.editOld == nil {
+		g.pend.editOld = make(map[int32]*Edge)
+	}
+	if _, ok := g.pend.editOld[i]; !ok {
+		g.pend.editOld[i] = old
+	}
+	g.dirty.Store(true)
+	return true
+}
+
+// edgeIndex returns the first g.edges index of src→dst, or -1, building the
+// lookup table on first use.
+func (g *Graph) edgeIndex(src, dst ID) int32 {
+	if g.edgeAt == nil {
+		g.edgeAt = make(map[edgeKey]int32, len(g.edges))
+		for i, e := range g.edges {
+			k := edgeKey{e.Src, e.Dst}
+			if _, ok := g.edgeAt[k]; !ok {
+				g.edgeAt[k] = int32(i)
+			}
+		}
+	}
+	if i, ok := g.edgeAt[edgeKey{src, dst}]; ok {
+		return i
+	}
+	return -1
+}
+
+// FindEdge returns the edge src→dst, or nil. Mutating properties through the
+// returned pointer bypasses the index delta — prefer SetEdgeProps; if you do
+// mutate in place after queries have run, call Invalidate.
 func (g *Graph) FindEdge(src, dst ID) *Edge {
 	for _, e := range g.out[src] {
 		if e.Dst == dst {
@@ -276,25 +359,28 @@ func (g *Graph) NumEdges() int { return len(g.edges) }
 
 // Vertices returns all vertices sorted by (kind, name) for determinism. The
 // slice is a shared snapshot from the indexed core — do not modify.
-func (g *Graph) Vertices() []*Vertex { return g.Index().verts }
+func (g *Graph) Vertices() []*Vertex {
+	vs, _ := g.Index().canonVerts()
+	return vs
+}
 
 // Tasks returns all task vertices sorted by name (shared snapshot — do not
 // modify).
 func (g *Graph) Tasks() []*Vertex {
-	ix := g.Index()
-	return ix.verts[:ix.nTasks]
+	vs, nt := g.Index().canonVerts()
+	return vs[:nt]
 }
 
 // DataFiles returns all data vertices sorted by name (shared snapshot — do
 // not modify).
 func (g *Graph) DataFiles() []*Vertex {
-	ix := g.Index()
-	return ix.verts[ix.nTasks:]
+	vs, nt := g.Index().canonVerts()
+	return vs[nt:]
 }
 
 // Edges returns all edges sorted by (src, dst) (shared snapshot — do not
 // modify).
-func (g *Graph) Edges() []*Edge { return g.Index().edges }
+func (g *Graph) Edges() []*Edge { return g.Index().canonEdges() }
 
 func less(a, b ID) bool {
 	if a.Kind != b.Kind {
@@ -333,7 +419,7 @@ func (g *Graph) UseConcurrency(data ID) int {
 func (g *Graph) Producers(data ID) []ID {
 	ix := g.Index()
 	if p := ix.Pos(data); p >= 0 && data.Kind == DataVertex {
-		return ix.prod[p]
+		return ix.producersFor(p)
 	}
 	return g.neighborTasks(g.in[data])
 }
@@ -343,7 +429,7 @@ func (g *Graph) Producers(data ID) []ID {
 func (g *Graph) Consumers(data ID) []ID {
 	ix := g.Index()
 	if p := ix.Pos(data); p >= 0 && data.Kind == DataVertex {
-		return ix.cons[p]
+		return ix.consumersFor(p)
 	}
 	return g.neighborTasks(g.out[data])
 }

@@ -40,49 +40,98 @@ func (h *hasher) id(id ID) {
 	h.str(id.Name)
 }
 
-// fingerprint hashes the whole graph snapshot — vertex and edge sets with all
-// lifecycle properties — in canonical order, so structurally and numerically
-// identical graphs collide exactly and any content difference (a property, a
-// vertex, an edge) changes the hash.
-func fingerprint(ix *Index) uint64 {
+// fmix64 is the splitmix64/MurmurHash3 finalizer: a cheap bijective mixer
+// that spreads per-item FNV hashes over the full 64-bit space before they are
+// summed, so the multiset combination below stays collision-resistant.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// vertexHash is the content hash of one vertex: its ID plus every lifecycle
+// property. Items are hashed independently so the graph fingerprint can be
+// maintained incrementally — adding or editing a vertex adjusts one term.
+func vertexHash(v *Vertex) uint64 {
 	h := hasher(fnv64Offset)
-	h.u64(uint64(len(ix.ids)))
+	h.id(v.ID)
+	switch v.ID.Kind {
+	case TaskVertex:
+		p := v.Task
+		h.f64(p.Lifetime)
+		h.u64(p.ReadOps)
+		h.u64(p.WriteOps)
+		h.u64(p.InVolume)
+		h.u64(p.OutVolume)
+		h.f64(p.ReadLatency)
+		h.f64(p.WriteLatency)
+		h.u64(uint64(p.Instances))
+	case DataVertex:
+		p := v.Data
+		h.u64(uint64(p.Size))
+		h.f64(p.Lifetime)
+		h.u64(uint64(p.Instances))
+	}
+	return fmix64(uint64(h))
+}
+
+// edgeHash is the content hash of one edge: endpoints, kind, and flow
+// properties, independent of the edge's position in any snapshot order.
+func edgeHash(e *Edge) uint64 {
+	h := hasher(fnv64Offset)
+	h.id(e.Src)
+	h.id(e.Dst)
+	h.bytes([]byte{byte(e.Kind)})
+	p := e.Props
+	h.u64(p.Ops)
+	h.u64(p.Volume)
+	h.u64(p.Footprint)
+	h.f64(p.Latency)
+	h.f64(p.MeanDistance)
+	h.f64(p.ZeroDistFrac)
+	h.f64(p.SmallDistFrac)
+	h.u64(uint64(p.Samples))
+	return fmix64(uint64(h))
+}
+
+// combineFingerprint folds the multiset sums and the set sizes into the final
+// 64-bit content hash. Because the per-item sums are commutative (wrapping
+// uint64 addition), two graphs with identical vertex/edge content hash equal
+// regardless of construction order, and an incremental snapshot can derive
+// the next fingerprint from the previous sums in O(delta): add the hashes of
+// new items, subtract the old and add the new hash of edited items.
+func combineFingerprint(nVerts, nEdges int, vertSum, edgeSum uint64) uint64 {
+	h := hasher(fnv64Offset)
+	h.u64(uint64(nVerts))
+	h.u64(vertSum)
+	h.u64(uint64(nEdges))
+	h.u64(edgeSum)
+	return fmix64(uint64(h))
+}
+
+// fingerprintSums computes the multiset vertex/edge hash sums of a snapshot
+// from scratch — the full-rebuild reference the incremental path is derived
+// from (and equivalence-tested against).
+func fingerprintSums(ix *Index) (vertSum, edgeSum uint64) {
 	for _, v := range ix.verts {
-		h.id(v.ID)
-		switch v.ID.Kind {
-		case TaskVertex:
-			p := v.Task
-			h.f64(p.Lifetime)
-			h.u64(p.ReadOps)
-			h.u64(p.WriteOps)
-			h.u64(p.InVolume)
-			h.u64(p.OutVolume)
-			h.f64(p.ReadLatency)
-			h.f64(p.WriteLatency)
-			h.u64(uint64(p.Instances))
-		case DataVertex:
-			p := v.Data
-			h.u64(uint64(p.Size))
-			h.f64(p.Lifetime)
-			h.u64(uint64(p.Instances))
-		}
+		vertSum += vertexHash(v)
 	}
-	h.u64(uint64(len(ix.edges)))
+	for _, v := range ix.extraVerts {
+		vertSum += vertexHash(v)
+	}
 	for _, e := range ix.edges {
-		h.id(e.Src)
-		h.id(e.Dst)
-		h.bytes([]byte{byte(e.Kind)})
-		p := e.Props
-		h.u64(p.Ops)
-		h.u64(p.Volume)
-		h.u64(p.Footprint)
-		h.f64(p.Latency)
-		h.f64(p.MeanDistance)
-		h.f64(p.ZeroDistFrac)
-		h.f64(p.SmallDistFrac)
-		h.u64(uint64(p.Samples))
+		edgeSum += edgeHash(e)
 	}
-	return uint64(h)
+	for _, e := range ix.extraEdges {
+		edgeSum += edgeHash(e)
+	}
+	for o, c := range ix.edited {
+		edgeSum += edgeHash(c) - edgeHash(o)
+	}
+	return vertSum, edgeSum
 }
 
 // Fingerprint returns the graph's 64-bit content hash (see Index.Fingerprint).

@@ -1,0 +1,484 @@
+package dfl
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// assertSnapshotEquivalent deep-compares the graph's (possibly incremental)
+// snapshot against a naive from-scratch buildIndex reference on every public
+// accessor. Slot numbering may differ between the two (overlay snapshots keep
+// delta vertices after the base), so adjacency and neighbor sets are compared
+// at the ID level and canonical views element-wise.
+func assertSnapshotEquivalent(t *testing.T, g *Graph) {
+	t.Helper()
+	ix := g.Index()
+	ref := buildIndex(g)
+
+	if ix.Len() != ref.Len() {
+		t.Fatalf("Len: incremental %d, rebuild %d", ix.Len(), ref.Len())
+	}
+	if ix.mEdges != ref.mEdges {
+		t.Fatalf("edge count: incremental %d, rebuild %d", ix.mEdges, ref.mEdges)
+	}
+
+	// Pos/IDAt/VertexAt bijection over exactly the live IDs.
+	for r := int32(0); r < int32(ref.Len()); r++ {
+		id := ref.IDAt(r)
+		p := ix.Pos(id)
+		if p < 0 || int(p) >= ix.Len() {
+			t.Fatalf("Pos(%v) = %d out of range", id, p)
+		}
+		if ix.IDAt(p) != id {
+			t.Fatalf("IDAt(Pos(%v)) = %v", id, ix.IDAt(p))
+		}
+		if ix.VertexAt(p) != ref.VertexAt(r) {
+			t.Fatalf("VertexAt disagrees for %v", id)
+		}
+	}
+	if ix.Pos(TaskID("__absent__")) != -1 {
+		t.Fatal("Pos of absent ID must be -1")
+	}
+
+	// Topological order: identical ID sequence and identical error text.
+	refTopo, refErr := ref.Topo()
+	_, ixErr := ix.Topo()
+	gotIDs, gErr := g.TopoSort()
+	if (refErr == nil) != (ixErr == nil) || (refErr == nil) != (gErr == nil) {
+		t.Fatalf("Topo error mismatch: rebuild %v, incremental %v / %v", refErr, ixErr, gErr)
+	}
+	if refErr != nil {
+		if refErr.Error() != ixErr.Error() {
+			t.Fatalf("cycle error text differs:\n incremental %q\n rebuild     %q", ixErr, refErr)
+		}
+	} else {
+		if len(gotIDs) != len(refTopo) {
+			t.Fatalf("topo length: incremental %d, rebuild %d", len(gotIDs), len(refTopo))
+		}
+		ixTopo, _ := ix.Topo()
+		for k, slot := range refTopo {
+			if want := ref.IDAt(slot); gotIDs[k] != want || ix.IDAt(ixTopo[k]) != want {
+				t.Fatalf("topo position %d: incremental %v/%v, rebuild %v",
+					k, gotIDs[k], ix.IDAt(ixTopo[k]), want)
+			}
+		}
+	}
+
+	// Adjacency: same edge multiset per vertex, with slot companions that
+	// round-trip to the edge endpoints on both sides.
+	edgeCounts := func(es []*Edge) map[*Edge]int {
+		m := make(map[*Edge]int, len(es))
+		for _, e := range es {
+			m[e]++
+		}
+		return m
+	}
+	for r := int32(0); r < int32(ref.Len()); r++ {
+		id := ref.IDAt(r)
+		p := ix.Pos(id)
+		gotE, gotP := ix.Out(p)
+		wantE, _ := ref.Out(r)
+		if len(gotE) != len(gotP) || ix.OutDegree(p) != ref.OutDegree(r) {
+			t.Fatalf("OutDegree(%v): incremental %d, rebuild %d", id, ix.OutDegree(p), ref.OutDegree(r))
+		}
+		got, want := edgeCounts(gotE), edgeCounts(wantE)
+		for e, c := range want {
+			if got[e] != c {
+				t.Fatalf("Out(%v) edge multiset differs at %v→%v", id, e.Src, e.Dst)
+			}
+		}
+		for k := range gotE {
+			if ix.IDAt(gotP[k]) != gotE[k].Dst {
+				t.Fatalf("Out(%v) slot %d does not match edge dst", id, k)
+			}
+		}
+		gotE, gotP = ix.In(p)
+		wantE, _ = ref.In(r)
+		if ix.InDegree(p) != ref.InDegree(r) {
+			t.Fatalf("InDegree(%v): incremental %d, rebuild %d", id, ix.InDegree(p), ref.InDegree(r))
+		}
+		got, want = edgeCounts(gotE), edgeCounts(wantE)
+		for e, c := range want {
+			if got[e] != c {
+				t.Fatalf("In(%v) edge multiset differs at %v→%v", id, e.Src, e.Dst)
+			}
+		}
+		for k := range gotE {
+			if ix.IDAt(gotP[k]) != gotE[k].Src {
+				t.Fatalf("In(%v) slot %d does not match edge src", id, k)
+			}
+		}
+	}
+
+	// Canonical views must agree element-wise (same pointers, same order).
+	ixVs, ixNT := ix.canonVerts()
+	refVs, refNT := ref.canonVerts()
+	if len(ixVs) != len(refVs) || ixNT != refNT {
+		t.Fatalf("canonical vertices: incremental %d/%d tasks, rebuild %d/%d",
+			len(ixVs), ixNT, len(refVs), refNT)
+	}
+	for k := range refVs {
+		if ixVs[k] != refVs[k] {
+			t.Fatalf("canonical vertex %d differs: %v vs %v", k, ixVs[k].ID, refVs[k].ID)
+		}
+	}
+	ixEs, refEs := ix.canonEdges(), ref.canonEdges()
+	if len(ixEs) != len(refEs) {
+		t.Fatalf("canonical edges: incremental %d, rebuild %d", len(ixEs), len(refEs))
+	}
+	for k := range refEs {
+		if ixEs[k] != refEs[k] {
+			t.Fatalf("canonical edge %d differs: %v→%v vs %v→%v",
+				k, ixEs[k].Src, ixEs[k].Dst, refEs[k].Src, refEs[k].Dst)
+		}
+	}
+
+	// Producer/consumer sets for every data vertex.
+	for r := int32(0); r < int32(ref.Len()); r++ {
+		id := ref.IDAt(r)
+		if id.Kind != DataVertex {
+			continue
+		}
+		if got, want := g.Producers(id), ref.producersFor(r); !idsEqual(got, want) {
+			t.Fatalf("Producers(%v): incremental %v, rebuild %v", id, got, want)
+		}
+		if got, want := g.Consumers(id), ref.consumersFor(r); !idsEqual(got, want) {
+			t.Fatalf("Consumers(%v): incremental %v, rebuild %v", id, got, want)
+		}
+	}
+
+	// Aggregates and the content fingerprint.
+	if ix.totalVolume != ref.totalVolume {
+		t.Fatalf("TotalVolume: incremental %d, rebuild %d", ix.totalVolume, ref.totalVolume)
+	}
+	if ix.bestRate != ref.bestRate {
+		t.Fatalf("BestRate: incremental %g, rebuild %g", ix.bestRate, ref.bestRate)
+	}
+	if ix.Fingerprint() != ref.Fingerprint() {
+		t.Fatalf("Fingerprint: incremental %#x, rebuild %#x", ix.Fingerprint(), ref.Fingerprint())
+	}
+}
+
+// traceStep applies one random mutation to g. Ops are drawn so that a
+// realistic mix of fast derivations and compactions occurs: frontier growth
+// (anchored, stays incremental), random cross edges (forces compaction), and
+// property edits (edit-only fast path).
+func traceStep(rng *rand.Rand, g *Graph, step int) {
+	switch op := rng.Intn(10); {
+	case op < 4:
+		// Frontier growth: hang a new producer/consumer pair off the current
+		// topological tail — the anchored shape the fast path serves.
+		tail, err := g.TopoSort()
+		if err != nil || len(tail) == 0 {
+			g.AddTask(fmt.Sprintf("seed%d", step))
+			return
+		}
+		a := tail[len(tail)-1]
+		if a.Kind == TaskVertex {
+			d := g.AddData(fmt.Sprintf("d%d", step))
+			_, _ = g.AddEdge(a, d.ID, Producer, FlowProps{Volume: uint64(1 + rng.Intn(100)), Latency: 1})
+		} else {
+			tk := g.AddTask(fmt.Sprintf("t%d", step))
+			_, _ = g.AddEdge(a, tk.ID, Consumer, FlowProps{Volume: uint64(1 + rng.Intn(100)), Latency: 1})
+		}
+	case op < 6:
+		// Random cross edge between existing vertices (may be rejected by the
+		// bipartite check; may create an edge into an old vertex → compaction).
+		vs := g.Vertices()
+		if len(vs) < 2 {
+			return
+		}
+		a, b := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+		if a.ID.Kind == b.ID.Kind || g.FindEdge(a.ID, b.ID) != nil {
+			return
+		}
+		kind := Producer
+		if a.ID.Kind == DataVertex {
+			kind = Consumer
+		}
+		_, _ = g.AddEdge(a.ID, b.ID, kind, FlowProps{Volume: uint64(1 + rng.Intn(50)), Latency: 2})
+	case op < 8:
+		// Edit a random edge's properties through the tracked delta path.
+		es := g.Edges()
+		if len(es) == 0 {
+			return
+		}
+		e := es[rng.Intn(len(es))]
+		p := e.Props
+		p.Volume = uint64(1 + rng.Intn(1000))
+		p.Latency = float64(1+rng.Intn(9)) / 2
+		g.SetEdgeProps(e.Src, e.Dst, p)
+	case op < 9:
+		// Fresh disconnected vertex (compacts: unanchored).
+		g.AddData(fmt.Sprintf("iso%d", step))
+	default:
+		// Escape hatch: untracked in-place mutation plus Invalidate.
+		es := g.Edges()
+		if len(es) == 0 {
+			return
+		}
+		e := g.FindEdge(es[rng.Intn(len(es))].Src, es[rng.Intn(len(es))].Dst)
+		if e != nil {
+			e.Props.Ops += 3
+			g.Invalidate()
+		}
+	}
+}
+
+// TestIncrementalMatchesRebuildOnTraces drives randomized mutation traces and
+// checks, after every step, that the incrementally derived snapshot is
+// indistinguishable from a naive full rebuild on every public accessor.
+func TestIncrementalMatchesRebuildOnTraces(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g := New()
+			g.AddTask("root")
+			for step := 0; step < 120; step++ {
+				traceStep(rng, g, step)
+				assertSnapshotEquivalent(t, g)
+			}
+			st := g.IndexStats()
+			if st.Fast == 0 {
+				t.Fatalf("trace never exercised the fast path: %+v", st)
+			}
+			if st.Compactions == 0 {
+				t.Fatalf("trace never exercised compaction: %+v", st)
+			}
+		})
+	}
+}
+
+// TestStreamingChainStaysFast grows a producer chain one edge at a time with
+// a query after every append and asserts the derivations are overwhelmingly
+// O(delta): compactions are bounded by the geometric extras threshold, so
+// their count grows logarithmically, not linearly.
+func TestStreamingChainStaysFast(t *testing.T) {
+	g := New()
+	prev := g.AddTask("t0").ID
+	g.Index()
+	for i := 0; i < 600; i++ {
+		var next ID
+		if prev.Kind == TaskVertex {
+			next = DataID(fmt.Sprintf("d%d", i))
+			g.AddData(next.Name)
+			if _, err := g.AddEdge(prev, next, Producer, FlowProps{Volume: 8, Latency: 1}); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			next = TaskID(fmt.Sprintf("t%d", i))
+			g.AddTask(next.Name)
+			if _, err := g.AddEdge(prev, next, Consumer, FlowProps{Volume: 8, Latency: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = next
+		if _, err := g.TopoSort(); err != nil {
+			t.Fatal(err)
+		}
+		g.Fingerprint()
+		if i%97 == 0 {
+			assertSnapshotEquivalent(t, g)
+		}
+	}
+	assertSnapshotEquivalent(t, g)
+	st := g.IndexStats()
+	if st.Fast < st.Derivations*9/10 {
+		t.Fatalf("streaming build fell off the fast path: %+v", st)
+	}
+	if st.Compactions > 16 {
+		t.Fatalf("too many compactions for a geometric threshold: %+v", st)
+	}
+}
+
+// TestEditOnlyDeltasStayFast asserts that pure property-edit deltas never
+// compact until the cumulative edited set crosses its threshold.
+func TestEditOnlyDeltasStayFast(t *testing.T) {
+	g := New()
+	g.AddTask("t")
+	for i := 0; i < 8; i++ {
+		g.AddData(fmt.Sprintf("d%d", i))
+		if _, err := g.AddEdge(TaskID("t"), DataID(fmt.Sprintf("d%d", i)), Producer,
+			FlowProps{Volume: 10, Latency: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Index()
+	base := g.IndexStats().Compactions
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 8; i++ {
+			id := DataID(fmt.Sprintf("d%d", i))
+			e := g.FindEdge(TaskID("t"), id)
+			p := e.Props
+			p.Volume += uint64(round + 1) // raises the best rate: stays fast
+			g.SetEdgeProps(TaskID("t"), id, p)
+		}
+		assertSnapshotEquivalent(t, g)
+	}
+	st := g.IndexStats()
+	if st.Compactions != base {
+		t.Fatalf("edit-only rounds compacted: %+v", st)
+	}
+	if st.Fast == 0 {
+		t.Fatal("edit-only rounds never took the fast path")
+	}
+
+	// Lowering the best-rate edge must fall back to compaction and still agree.
+	e := g.FindEdge(TaskID("t"), DataID("d0"))
+	p := e.Props
+	p.Volume = 1
+	g.SetEdgeProps(TaskID("t"), DataID("d0"), p)
+	assertSnapshotEquivalent(t, g)
+	if g.IndexStats().Compactions == base {
+		t.Fatal("lowering the best-rate edge should have compacted")
+	}
+}
+
+// TestCycleIntroducedMidStream introduces a cycle among vertices added in a
+// single delta and checks the incremental path reports the exact same error
+// text a full rebuild does, both at the failing snapshot and afterwards.
+func TestCycleIntroducedMidStream(t *testing.T) {
+	g := New()
+	g.AddTask("t0")
+	g.AddData("d0")
+	if _, err := g.AddEdge(TaskID("t0"), DataID("d0"), Producer, FlowProps{Volume: 4, Latency: 1}); err != nil {
+		t.Fatal(err)
+	}
+	g.Index() // establish a snapshot; topo tail is d0
+
+	// One delta: d0→t1 (anchor edge), then a 2-cycle t1→d1→t1 among the new
+	// vertices — anchored, structurally incremental, but unorderable.
+	g.AddTask("t1")
+	g.AddData("d1")
+	mustEdge := func(src, dst ID, k EdgeKind) {
+		t.Helper()
+		if _, err := g.AddEdge(src, dst, k, FlowProps{Volume: 1, Latency: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustEdge(DataID("d0"), TaskID("t1"), Consumer)
+	mustEdge(TaskID("t1"), DataID("d1"), Producer)
+	mustEdge(DataID("d1"), TaskID("t1"), Consumer)
+
+	_, err := g.TopoSort()
+	if err == nil {
+		t.Fatal("expected a cycle error")
+	}
+	assertSnapshotEquivalent(t, g)
+
+	// Later structural growth on a poisoned order must compact and agree.
+	g.AddData("d2")
+	mustEdge(TaskID("t1"), DataID("d2"), Producer)
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("cycle cannot disappear")
+	}
+	assertSnapshotEquivalent(t, g)
+}
+
+// TestStaleSnapshotsUnderConcurrentMutation pins reader goroutines to old
+// snapshots while the writer keeps mutating and deriving new ones. Every
+// answer a pinned snapshot gives must stay bit-identical no matter how far
+// the writer has advanced; run with -race this doubles as the memory-model
+// check for the shared epoch arrays and seq-marked adjacency halves.
+func TestStaleSnapshotsUnderConcurrentMutation(t *testing.T) {
+	g := New()
+	prev := g.AddTask("t0").ID
+	var published atomic.Pointer[Index]
+	published.Store(g.Index())
+
+	const (
+		readers = 4
+		steps   = 400
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ix := published.Load()
+				n := ix.Len()
+				topo, err := ix.Topo()
+				if err != nil {
+					errs <- fmt.Errorf("stale snapshot reports cycle: %v", err)
+					return
+				}
+				if len(topo) != n {
+					errs <- fmt.Errorf("stale snapshot topo length %d != %d", len(topo), n)
+					return
+				}
+				fp := ix.Fingerprint()
+				var edges int
+				for i := int32(0); i < int32(n); i++ {
+					es, ps := ix.Out(i)
+					if len(es) != len(ps) {
+						errs <- fmt.Errorf("ragged adjacency at slot %d", i)
+						return
+					}
+					for k := range es {
+						if ix.IDAt(ps[k]) != es[k].Dst {
+							errs <- fmt.Errorf("slot %d edge %d dst mismatch", i, k)
+							return
+						}
+					}
+					edges += len(es)
+				}
+				// Re-reads from the same snapshot must not drift.
+				if n2, fp2 := ix.Len(), ix.Fingerprint(); n2 != n || fp2 != fp {
+					errs <- fmt.Errorf("snapshot drifted: n %d→%d fp %#x→%#x", n, n2, fp, fp2)
+					return
+				}
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < steps; i++ {
+		var next ID
+		if prev.Kind == TaskVertex {
+			next = DataID(fmt.Sprintf("d%d", i))
+			g.AddData(next.Name)
+			if _, err := g.AddEdge(prev, next, Producer, FlowProps{Volume: 8, Latency: 1}); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			next = TaskID(fmt.Sprintf("t%d", i))
+			g.AddTask(next.Name)
+			if _, err := g.AddEdge(prev, next, Consumer, FlowProps{Volume: 8, Latency: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = next
+		if rng.Intn(3) == 0 {
+			es := g.Edges()
+			e := es[rng.Intn(len(es))]
+			p := e.Props
+			p.Volume += 5
+			g.SetEdgeProps(e.Src, e.Dst, p)
+		}
+		published.Store(g.Index())
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	assertSnapshotEquivalent(t, g)
+	if st := g.IndexStats(); st.Fast == 0 {
+		t.Fatalf("concurrent trace never exercised the fast path: %+v", st)
+	}
+}

@@ -69,7 +69,7 @@ func Template(g *Graph, group GroupFunc) *Graph {
 	for _, e := range g.Edges() {
 		src, dst := rename[e.Src], rename[e.Dst]
 		if cur := t.FindEdge(src, dst); cur != nil {
-			cur.Props = mergeFlowProps(cur.Props, e.Props)
+			t.SetEdgeProps(src, dst, mergeFlowProps(cur.Props, e.Props))
 			continue
 		}
 		if _, err := t.AddEdge(src, dst, e.Kind, e.Props); err != nil {
@@ -155,14 +155,16 @@ func AverageRuns(runs []*Graph) (*Graph, error) {
 				return nil, fmt.Errorf("dfl: run %d has extra edge %v→%v", ri+1, e.Src, e.Dst)
 			}
 			n := float64(ri + 2)
-			ae.Props.Ops = avgU64(ae.Props.Ops, e.Props.Ops, n)
-			ae.Props.Volume = avgU64(ae.Props.Volume, e.Props.Volume, n)
-			ae.Props.Footprint = avgU64(ae.Props.Footprint, e.Props.Footprint, n)
-			ae.Props.Latency += (e.Props.Latency - ae.Props.Latency) / n
-			ae.Props.MeanDistance += (e.Props.MeanDistance - ae.Props.MeanDistance) / n
-			ae.Props.ZeroDistFrac += (e.Props.ZeroDistFrac - ae.Props.ZeroDistFrac) / n
-			ae.Props.SmallDistFrac += (e.Props.SmallDistFrac - ae.Props.SmallDistFrac) / n
-			ae.Props.Samples++
+			p := ae.Props
+			p.Ops = avgU64(p.Ops, e.Props.Ops, n)
+			p.Volume = avgU64(p.Volume, e.Props.Volume, n)
+			p.Footprint = avgU64(p.Footprint, e.Props.Footprint, n)
+			p.Latency += (e.Props.Latency - p.Latency) / n
+			p.MeanDistance += (e.Props.MeanDistance - p.MeanDistance) / n
+			p.ZeroDistFrac += (e.Props.ZeroDistFrac - p.ZeroDistFrac) / n
+			p.SmallDistFrac += (e.Props.SmallDistFrac - p.SmallDistFrac) / n
+			p.Samples++
+			avg.SetEdgeProps(e.Src, e.Dst, p)
 		}
 	}
 	return avg, nil

@@ -259,9 +259,7 @@ func (g *Graph) AddUncheckedEdge(src, dst ID, kind EdgeKind, props FlowProps) *E
 	if e.Props.Samples == 0 {
 		e.Props.Samples = 1
 	}
-	g.edges = append(g.edges, e)
-	g.out[src] = append(g.out[src], e)
-	g.in[dst] = append(g.in[dst], e)
+	g.appendEdge(e)
 	return e
 }
 

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStreamDemoDeterministicAndFast(t *testing.T) {
+	r1, err := Stream(2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Stream(2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("streaming demo not deterministic:\n %+v\n %+v", r1, r2)
+	}
+	if !r1.RebuildMatches {
+		t.Fatal("incremental fingerprint diverged from batch rebuild")
+	}
+	if r1.Vertices != 2_001 || r1.Edges != 2_000 {
+		t.Fatalf("unexpected final size: %+v", r1)
+	}
+	if r1.Stats.Fast < r1.Stats.Derivations*9/10 {
+		t.Fatalf("streaming demo fell off the fast path: %+v", r1.Stats)
+	}
+	if r1.Stats.Compactions > 16 {
+		t.Fatalf("too many compactions for a geometric schedule: %+v", r1.Stats)
+	}
+	rep := StreamReport(r1)
+	for _, want := range []string{"Streaming DFL build", "O(delta) fast path", "batch rebuild matches"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

@@ -318,10 +318,10 @@ type event struct {
 	fl      *flow
 	version int64
 	ts      *taskState
-	gen     int64     // task incarnation the event belongs to
-	idx     int       // heap position, for in-place Fix/Remove; -1 when popped
-	node    string    // evCrash payload
-	tier    *vfs.Tier // evTierChange payload
+	gen     int64      // task incarnation the event belongs to
+	idx     int        // heap position, for in-place Fix/Remove; -1 when popped
+	node    string     // evCrash payload
+	tier    *vfs.Tier  // evTierChange payload
 	link    *linkState // evLinkChange payload
 }
 
