@@ -9,6 +9,7 @@ package datalife
 
 import (
 	"fmt"
+	"net"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"datalife/internal/iotrace"
 	"datalife/internal/patterns"
 	"datalife/internal/sankey"
+	"datalife/internal/serve"
 	"datalife/internal/sim"
 	"datalife/internal/vfs"
 	"datalife/internal/workflows"
@@ -736,4 +738,43 @@ func BenchmarkAblation_IncrementalIndex(b *testing.B) {
 			b.ReportMetric(float64(2*n), "vertices")
 		})
 	}
+}
+
+// BenchmarkAblation_ServeIngest measures the streaming service's durable
+// ingest pipeline over loopback TCP: one op is a 64-event batch traveling
+// wire-encode → CRC frame → decode → journal append → apply → ack. NoSync
+// isolates the pipeline from fsync latency so the row tracks coordination
+// cost, not the disk; crash consistency itself is covered by the serve tests
+// and the serve smoke script.
+func BenchmarkAblation_ServeIngest(b *testing.B) {
+	srv, err := serve.NewServer(serve.Config{
+		Dir: b.TempDir(), NoSync: true, QueueDepth: 64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	c, err := serve.Dial(serve.ClientConfig{Addr: ln.Addr().String(), Session: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	const batch = 64
+	events := serve.ChainEvents(512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (i * batch) % (len(events) - batch)
+		if err := c.Send(events[off : off+batch]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(batch, "events/op")
 }

@@ -9,6 +9,8 @@
 //	         [-top N] [-svg FILE] [-html FILE] [-dot FILE] [-json FILE]
 //	         [-csv FILE] [-advise] [-nodes N] [-sankey] [-template]
 //	datalife vet [-workflow all|NAME] [-load FILE]
+//	datalife serve [-addr HOST:PORT] [-dir DIR] [-max-sessions N] [-queue N]
+//	         [-enqueue-wait D] [-idle D] [-nosync]
 //
 // Workflows: genomes, ddmd, belle2, montage, seismic.
 //
@@ -45,6 +47,13 @@ type options struct {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "vet" {
 		if err := runVet(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "datalife: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
 			fmt.Fprintf(os.Stderr, "datalife: %v\n", err)
 			os.Exit(1)
 		}

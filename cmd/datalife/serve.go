@@ -1,0 +1,62 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"datalife/internal/serve"
+)
+
+// runServe implements the `datalife serve` subcommand: a long-running
+// streaming DFL service. Clients (e.g. `dflrun -connect`) stream trace events
+// into named sessions; every batch is journaled and fsynced before it is
+// acknowledged, so killing the server at any instant loses nothing that was
+// acked — restarting over the same -dir resumes every session byte-identically.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7436", "listen address")
+	dir := fs.String("dir", "datalife-serve", "session journal directory")
+	maxSessions := fs.Int("max-sessions", 64, "bounded session table size; further sessions are rejected")
+	queueDepth := fs.Int("queue", 16, "per-session ingest queue depth (batches)")
+	enqueueWait := fs.Duration("enqueue-wait", 200*time.Millisecond, "how long ingest may wait for queue space before shedding with a typed overload")
+	idle := fs.Duration("idle", 30*time.Second, "idle deadline before a silent connection is evicted (its session resumes on reconnect)")
+	noSync := fs.Bool("nosync", false, "skip per-batch fsync (benchmarks only; disables crash consistency)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := serve.NewServer(serve.Config{
+		Dir:          *dir,
+		MaxSessions:  *maxSessions,
+		QueueDepth:   *queueDepth,
+		EnqueueWait:  *enqueueWait,
+		IdleDeadline: *idle,
+		NoSync:       *noSync,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "datalife serve: listening on %s, journals in %s\n",
+		ln.Addr(), *dir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "datalife serve: shut down")
+	return nil
+}

@@ -77,6 +77,8 @@ func main() {
 	advise := flag.Bool("advise", false, "re-analyze each fault-sweep run's measured DFL through the memoized advisor")
 	ckptTier := flag.String("checkpoint", "", "durable tier for DFL-planned checkpoints; the faults sweep compares recovery-only vs checkpoint-enabled runs")
 	resume := flag.String("resume", "", "directory for the fault sweep's crash-consistent run journal; re-running with the same flags resumes from it")
+	connect := flag.String("connect", "", "stream the `stream` subcommand's workflow to a running `datalife serve` at this address instead of building in-process")
+	session := flag.String("session", "dflrun", "serve session name for -connect; rerunning with the same name resumes idempotently")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -127,6 +129,8 @@ func main() {
 		Advise:     *advise,
 		Checkpoint: *ckptTier,
 		Resume:     *resume,
+		Connect:    *connect,
+		Session:    *session,
 	}
 	if err := runValidated(flag.Args(), scale, *svgDir, *noValidate, *jobs, fo); err != nil {
 		fmt.Fprintf(os.Stderr, "dflrun: %v\n", err)
@@ -148,6 +152,11 @@ type faultsOptions struct {
 	Checkpoint string
 	// Resume is the run-journal directory; empty disables journaling.
 	Resume string
+	// Connect, when non-empty, redirects the stream subcommand to a running
+	// `datalife serve` at this address; Session names the server-side
+	// session it streams into (rerunning the same name resumes).
+	Connect string
+	Session string
 }
 
 // runValidated gates run behind the mandatory pre-run DAG validation unless
@@ -408,6 +417,14 @@ func runOne(w io.Writer, name string, scale experiments.Scale, svgDir string, df
 		}
 		fmt.Fprintln(w, experiments.MontageScalingReport(montage))
 	case "stream":
+		if fo.Connect != "" {
+			r, err := experiments.RemoteStreamDemo(fo.Connect, fo.Session, scale)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, experiments.RemoteStreamReport(r))
+			break
+		}
 		r, err := experiments.StreamDemo(scale)
 		if err != nil {
 			return err

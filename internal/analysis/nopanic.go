@@ -5,16 +5,18 @@ import (
 	"go/types"
 )
 
-// NoPanic forbids the builtin panic on the simulator's run path. Engine
-// failures must surface as typed *sim.TaskError values propagated out of
-// Engine.Run — a panic aborts the whole process, skips the recovery
-// policies, and (under fault injection) turns a modeled failure into a real
-// one. Recovering from an injected failure is the feature under test, so
-// the run path may never reintroduce panics.
+// NoPanic forbids the builtin panic on the simulator's run path and in the
+// streaming service. Engine failures must surface as typed *sim.TaskError
+// values propagated out of Engine.Run — a panic aborts the whole process,
+// skips the recovery policies, and (under fault injection) turns a modeled
+// failure into a real one. The serve package is held to the same bar for the
+// same reason: a long-running server fed hostile bytes from the network must
+// degrade through typed *serve.SessionError rejections, never crash — its
+// kill-and-resume guarantee only covers kills the process chose to survive.
 var NoPanic = &Analyzer{
 	Name:  "nopanic",
-	Doc:   "the simulator run path must return typed errors, not panic",
-	Match: dirMatcher("internal/sim"),
+	Doc:   "the simulator run path and serve service must return typed errors, not panic",
+	Match: dirMatcher("internal/sim", "internal/serve"),
 	Run:   runNoPanic,
 }
 
@@ -34,7 +36,7 @@ func runNoPanic(pass *Pass) {
 			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
 				return true
 			}
-			pass.Reportf(call.Pos(), "panic on the simulator run path; return a typed *sim.TaskError instead")
+			pass.Reportf(call.Pos(), "panic on a no-panic path; return a typed error (*sim.TaskError, *serve.SessionError) instead")
 			return true
 		})
 	}

@@ -1,21 +1,30 @@
 // Package nopanic seeds violations for the nopanic analyzer: builtin panics
-// standing in for simulator run-path code.
+// standing in for simulator run-path and streaming-service code.
 package nopanic
 
 import "errors"
 
 func dispatch(bad bool) error {
 	if bad {
-		panic("unknown op kind") // want "panic on the simulator run path"
+		panic("unknown op kind") // want "panic on a no-panic path"
 	}
 	return nil
 }
 
 func wrap(err error) error {
 	if err != nil {
-		panic(err) // want "panic on the simulator run path"
+		panic(err) // want "panic on a no-panic path"
 	}
 	return nil
+}
+
+// decodeFrame stands in for wire-decoder code: hostile network bytes must
+// surface as typed errors, never abort the server process.
+func decodeFrame(b []byte) (byte, error) {
+	if len(b) == 0 {
+		panic("empty frame") // want "panic on a no-panic path"
+	}
+	return b[0], nil
 }
 
 func suppressed() {

@@ -112,6 +112,7 @@ func TestAnalyzerScopes(t *testing.T) {
 		{SimClock, "internal/emulator", true},
 		{SimClock, "internal/workflows", false},
 		{NoPanic, "internal/sim", true},
+		{NoPanic, "internal/serve", true},    // hostile network input must yield typed errors
 		{NoPanic, "internal/iotrace", false}, // MustCollector's constructor panic is idiomatic
 		{NoPanic, "internal/vfs", false},
 	}

@@ -19,10 +19,14 @@ const (
 	minExtraCap      = 64
 )
 
-// pending is the mutation delta accumulated by AddEdge/ensure/SetEdgeProps
-// since the last snapshot derivation.
+// pending is the mutation delta accumulated by AddEdge/ensure/SetEdgeProps/
+// SetTaskProps/SetDataProps since the last snapshot derivation.
 type pending struct {
 	newVerts []*Vertex
+	// newVertPos maps vertex IDs to their newVerts index. Built lazily on the
+	// first property edit since the last derivation (so pure streaming builds
+	// never pay for it), then maintained by ensure.
+	newVertPos map[ID]int32
 	// newEdges holds indices into g.edges (not pointers): an edge appended
 	// and then edited within the same delta must surface its final pointer.
 	newEdges []int32
@@ -30,10 +34,16 @@ type pending struct {
 	// (recorded on the first SetEdgeProps for that edge since the last
 	// derivation).
 	editOld map[int32]*Edge
+	// editVertOld maps a vertex ID to the pointer the previous snapshot saw
+	// (first SetTaskProps/SetDataProps since the last derivation). Vertices
+	// added within the same delta are swapped in newVerts instead and never
+	// appear here.
+	editVertOld map[ID]*Vertex
 }
 
 func (p *pending) empty() bool {
-	return len(p.newVerts) == 0 && len(p.newEdges) == 0 && len(p.editOld) == 0
+	return len(p.newVerts) == 0 && len(p.newEdges) == 0 &&
+		len(p.editOld) == 0 && len(p.editVertOld) == 0
 }
 
 // epoch is the shared overlay state between two compactions. Its arrays are
@@ -55,6 +65,10 @@ type epoch struct {
 	// first-append pointer), so cumulative edit maps key correctly across
 	// repeated edits.
 	origPtr map[int32]*Edge
+	// origVertPtr is the vertex analogue of origPtr: per edited vertex ID,
+	// the pointer physically stored in the epoch's shared verts/extraVerts
+	// arrays, keying the cumulative editedVerts map across repeated edits.
+	origVertPtr map[ID]*Vertex
 }
 
 // adjHalf is one direction of an overlay slot's adjacency. The three slices
@@ -175,6 +189,11 @@ func (g *Graph) compact(prev *Index, pend pending) *Index {
 			}
 			es += edgeHash(g.edges[i]) - edgeHash(pend.editOld[i])
 		}
+		for _, id := range sortedVertEditKeys(pend.editVertOld) {
+			// Vertices added this delta never appear here: their pending
+			// entry is swapped in place and counted above at its final value.
+			vs += vertexHash(g.vertices[id]) - vertexHash(pend.editVertOld[id])
+		}
 		ix.vertSum, ix.edgeSum = vs, es
 		ix.fp = combineFingerprint(ix.n, ix.mEdges, vs, es)
 		ix.fpReady.Store(true)
@@ -213,7 +232,8 @@ func (g *Graph) fastDerive(prev *Index, pend pending) *Index {
 	if prev.n-int(baseN)+k > max(minExtraCap, int(baseN)) {
 		return nil
 	}
-	if len(prev.edited)+len(pend.editOld) > maxEditedEntries {
+	if len(prev.edited)+len(pend.editOld)+
+		len(prev.editedVerts)+len(pend.editVertOld) > maxEditedEntries {
 		return nil
 	}
 
@@ -239,6 +259,23 @@ func (g *Graph) fastDerive(prev *Index, pend pending) *Index {
 			return nil
 		}
 		edits = append(edits, editRec{i, o, c})
+	}
+
+	// Classify vertex property edits. They are non-structural: adjacency,
+	// topological order, and edge aggregates reference vertices by ID, so a
+	// copy-on-write pointer replacement is the whole change.
+	type vertEditRec struct {
+		id   ID
+		o, c *Vertex
+	}
+	var vertEdits []vertEditRec
+	for _, id := range sortedVertEditKeys(pend.editVertOld) {
+		o := pend.editVertOld[id]
+		c := g.vertices[id]
+		if c == o {
+			continue
+		}
+		vertEdits = append(vertEdits, vertEditRec{id, o, c})
 	}
 
 	var newLocal map[ID]int32
@@ -393,6 +430,28 @@ func (g *Graph) fastDerive(prev *Index, pend pending) *Index {
 		}
 	}
 
+	// 3b. Extend the cumulative vertex-edit map, keyed by the pointer stored
+	// in the epoch's shared verts/extraVerts arrays (which never change within
+	// an epoch), so repeated edits of the same vertex key consistently.
+	editedVerts := prev.editedVerts
+	if len(vertEdits) > 0 {
+		editedVerts = make(map[*Vertex]*Vertex, len(prev.editedVerts)+len(vertEdits))
+		for o, c := range prev.editedVerts {
+			editedVerts[o] = c
+		}
+		if ep.origVertPtr == nil {
+			ep.origVertPtr = make(map[ID]*Vertex)
+		}
+		for _, er := range vertEdits {
+			ap, ok := ep.origVertPtr[er.id]
+			if !ok {
+				ap = er.o
+				ep.origVertPtr[er.id] = ap
+			}
+			editedVerts[ap] = er.c
+		}
+	}
+
 	// 4. Append new edges: overlaid slots grow their private lists, fresh
 	// overlay slots grow the shared seq-marked halves.
 	for _, ei := range pend.newEdges {
@@ -474,14 +533,15 @@ func (g *Graph) fastDerive(prev *Index, pend pending) *Index {
 		nTasksAll: nTasksAll,
 		mEdges:    len(g.edges),
 
-		extraIDs:   ep.extraIDs,
-		extraVerts: ep.extraVerts,
-		extraAdj:   ep.extraAdj,
-		extraEdges: ep.extraEdges,
-		seqMark:    int32(len(ep.extraEdges)),
-		posExtra:   ep.posExtra,
-		touched:    touched,
-		edited:     edited,
+		extraIDs:    ep.extraIDs,
+		extraVerts:  ep.extraVerts,
+		extraAdj:    ep.extraAdj,
+		extraEdges:  ep.extraEdges,
+		seqMark:     int32(len(ep.extraEdges)),
+		posExtra:    ep.posExtra,
+		touched:     touched,
+		edited:      edited,
+		editedVerts: editedVerts,
 
 		topo:    topo,
 		topoIDs: topoIDs,
@@ -505,6 +565,9 @@ func (g *Graph) fastDerive(prev *Index, pend pending) *Index {
 		}
 		for _, er := range edits {
 			es += edgeHash(er.c) - edgeHash(er.o)
+		}
+		for _, er := range vertEdits {
+			vs += vertexHash(er.c) - vertexHash(er.o)
 		}
 		ix.vertSum, ix.edgeSum = vs, es
 		ix.fp = combineFingerprint(n, ix.mEdges, vs, es)
@@ -567,6 +630,17 @@ func sortedEditKeys(m map[int32]*Edge) []int32 {
 		keys = append(keys, i)
 	}
 	slices.Sort(keys)
+	return keys
+}
+
+// sortedVertEditKeys is the vertex analogue of sortedEditKeys: edited vertex
+// IDs in canonical order for deterministic replay.
+func sortedVertEditKeys(m map[ID]*Vertex) []ID {
+	keys := make([]ID, 0, len(m))
+	for id := range m {
+		keys = append(keys, id)
+	}
+	slices.SortFunc(keys, cmpID)
 	return keys
 }
 

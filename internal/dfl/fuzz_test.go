@@ -18,6 +18,7 @@ func FuzzIndexMutations(f *testing.F) {
 	f.Add([]byte{0, 4, 7, 0, 4, 9, 0, 4})
 	f.Add([]byte{0, 0, 1, 5, 10, 0, 1, 5, 3})
 	f.Add([]byte{0, 0, 0, 5, 1, 22, 0, 5, 7, 0})
+	f.Add([]byte{0, 0, 6, 1, 3, 6, 0, 9, 6, 2, 4})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 96 {
@@ -34,7 +35,7 @@ func FuzzIndexMutations(f *testing.F) {
 			return b
 		}
 		for i, step := 0, 0; i < len(data) && g.NumVertices() < 120; step++ {
-			switch op := next(&i) % 6; op {
+			switch op := next(&i) % 7; op {
 			case 0:
 				// Frontier growth off the topological tail (fast path shape).
 				tail, err := g.TopoSort()
@@ -106,6 +107,23 @@ func FuzzIndexMutations(f *testing.F) {
 			case 5:
 				// Fresh unanchored vertex.
 				g.AddData(fmt.Sprintf("iso%d", step))
+			case 6:
+				// Tracked vertex property edit (copy-on-write).
+				vs, _ := g.Index().canonVerts()
+				if len(vs) == 0 {
+					break
+				}
+				v := vs[int(next(&i))%len(vs)]
+				if v.ID.Kind == TaskVertex {
+					p := v.Task
+					p.Lifetime = float64(1+next(&i)%9) / 2
+					p.WriteOps += uint64(next(&i))
+					g.SetTaskProps(v.ID.Name, p)
+				} else {
+					p := v.Data
+					p.Size = int64(next(&i)) * 16
+					g.SetDataProps(v.ID.Name, p)
+				}
 			}
 			assertSnapshotEquivalent(t, g)
 		}

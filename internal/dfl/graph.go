@@ -175,9 +175,10 @@ type edgeKey struct{ src, dst ID }
 // Queries that need sorted snapshots or whole-graph aggregates (Vertices,
 // Edges, TopoSort, TotalVolume, BestRate, Producers/Consumers, ...) are
 // served from an indexed core (see Index) that mutations keep current via
-// O(delta) copy-on-write snapshot derivation: AddEdge, new vertices, and
-// SetEdgeProps accumulate a pending delta, and the next query derives a new
-// immutable snapshot from the previous one instead of rebuilding.
+// O(delta) copy-on-write snapshot derivation: AddEdge, new vertices,
+// SetEdgeProps, and SetTaskProps/SetDataProps accumulate a pending delta, and
+// the next query derives a new immutable snapshot from the previous one
+// instead of rebuilding.
 //
 // Concurrency contract: snapshots obtained from Index() (and every slice the
 // query methods return) stay valid and safe to read concurrently, forever —
@@ -230,6 +231,9 @@ func (g *Graph) ensure(id ID) *Vertex {
 		}
 		g.vertices[id] = v
 		g.pend.newVerts = append(g.pend.newVerts, v)
+		if g.pend.newVertPos != nil {
+			g.pend.newVertPos[id] = int32(len(g.pend.newVerts) - 1)
+		}
 		g.dirty.Store(true)
 	}
 	return v
@@ -304,6 +308,66 @@ func (g *Graph) SetEdgeProps(src, dst ID, props FlowProps) bool {
 	}
 	if _, ok := g.pend.editOld[i]; !ok {
 		g.pend.editOld[i] = old
+	}
+	g.dirty.Store(true)
+	return true
+}
+
+// SetTaskProps replaces the properties of the task vertex with the given
+// name, routing the change through the incremental index delta (the vertex
+// analogue of SetEdgeProps). The replacement is copy-on-write: previously
+// obtained snapshots keep reading the old vertex value, including its term in
+// the content fingerprint. Returns false when no such task exists.
+func (g *Graph) SetTaskProps(name string, props TaskProps) bool {
+	if props.Instances == 0 {
+		props.Instances = 1
+	}
+	id := TaskID(name)
+	old := g.vertices[id]
+	if old == nil {
+		return false
+	}
+	return g.replaceVertex(id, &Vertex{ID: id, Task: props})
+}
+
+// SetDataProps replaces the properties of the data vertex with the given
+// name through the incremental index delta (copy-on-write, like
+// SetTaskProps). Returns false when no such data vertex exists.
+func (g *Graph) SetDataProps(name string, props DataProps) bool {
+	if props.Instances == 0 {
+		props.Instances = 1
+	}
+	id := DataID(name)
+	old := g.vertices[id]
+	if old == nil {
+		return false
+	}
+	return g.replaceVertex(id, &Vertex{ID: id, Data: props})
+}
+
+// replaceVertex swaps the stored vertex pointer for id and records the delta:
+// vertices added since the last derivation are swapped in the pending list
+// (their final value surfaces everywhere), pre-existing ones record the
+// first-seen old pointer for the copy-on-write edit map.
+func (g *Graph) replaceVertex(id ID, nv *Vertex) bool {
+	old := g.vertices[id]
+	g.vertices[id] = nv
+	if g.pend.newVertPos == nil && len(g.pend.newVerts) > 0 {
+		g.pend.newVertPos = make(map[ID]int32, len(g.pend.newVerts))
+		for j, v := range g.pend.newVerts {
+			g.pend.newVertPos[v.ID] = int32(j)
+		}
+	}
+	if j, ok := g.pend.newVertPos[id]; ok {
+		g.pend.newVerts[j] = nv
+		g.dirty.Store(true)
+		return true
+	}
+	if g.pend.editVertOld == nil {
+		g.pend.editVertOld = make(map[ID]*Vertex)
+	}
+	if _, ok := g.pend.editVertOld[id]; !ok {
+		g.pend.editVertOld[id] = old
 	}
 	g.dirty.Store(true)
 	return true

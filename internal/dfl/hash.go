@@ -131,6 +131,9 @@ func fingerprintSums(ix *Index) (vertSum, edgeSum uint64) {
 	for o, c := range ix.edited {
 		edgeSum += edgeHash(c) - edgeHash(o)
 	}
+	for o, c := range ix.editedVerts {
+		vertSum += vertexHash(c) - vertexHash(o)
+	}
 	return vertSum, edgeSum
 }
 

@@ -167,7 +167,7 @@ func assertSnapshotEquivalent(t *testing.T, g *Graph) {
 // (anchored, stays incremental), random cross edges (forces compaction), and
 // property edits (edit-only fast path).
 func traceStep(rng *rand.Rand, g *Graph, step int) {
-	switch op := rng.Intn(10); {
+	switch op := rng.Intn(12); {
 	case op < 4:
 		// Frontier growth: hang a new producer/consumer pair off the current
 		// topological tail — the anchored shape the fast path serves.
@@ -214,6 +214,26 @@ func traceStep(rng *rand.Rand, g *Graph, step int) {
 	case op < 9:
 		// Fresh disconnected vertex (compacts: unanchored).
 		g.AddData(fmt.Sprintf("iso%d", step))
+	case op < 11:
+		// Edit a random vertex's properties through the tracked delta path
+		// (copy-on-write, edit-only fast path).
+		vs := g.Vertices()
+		if len(vs) == 0 {
+			return
+		}
+		v := vs[rng.Intn(len(vs))]
+		if v.ID.Kind == TaskVertex {
+			p := v.Task
+			p.Lifetime = float64(1+rng.Intn(20)) / 4
+			p.ReadOps += uint64(rng.Intn(5))
+			p.InVolume += uint64(rng.Intn(512))
+			g.SetTaskProps(v.ID.Name, p)
+		} else {
+			p := v.Data
+			p.Size = int64(rng.Intn(4096))
+			p.Lifetime += 0.5
+			g.SetDataProps(v.ID.Name, p)
+		}
 	default:
 		// Escape hatch: untracked in-place mutation plus Invalidate.
 		es := g.Edges()
@@ -336,6 +356,67 @@ func TestEditOnlyDeltasStayFast(t *testing.T) {
 	if g.IndexStats().Compactions == base {
 		t.Fatal("lowering the best-rate edge should have compacted")
 	}
+}
+
+// TestVertexEditOnlyDeltasStayFast asserts that SetTaskProps/SetDataProps
+// deltas are non-structural: they never compact (until the cumulative edited
+// set crosses its threshold), previously obtained snapshots keep reading the
+// old vertex values, and the content fingerprint tracks the edits exactly.
+func TestVertexEditOnlyDeltasStayFast(t *testing.T) {
+	g := New()
+	g.AddTask("t")
+	for i := 0; i < 6; i++ {
+		d := fmt.Sprintf("d%d", i)
+		g.AddData(d)
+		if _, err := g.AddEdge(TaskID("t"), DataID(d), Producer,
+			FlowProps{Volume: 10, Latency: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pinned := g.Index()
+	pinnedFP := pinned.Fingerprint()
+	pinnedLifetime := pinned.VertexAt(pinned.Pos(TaskID("t"))).Task.Lifetime
+	base := g.IndexStats().Compactions
+
+	for round := 1; round <= 20; round++ {
+		g.SetTaskProps("t", TaskProps{Lifetime: float64(round), ReadOps: uint64(round)})
+		g.SetDataProps(fmt.Sprintf("d%d", round%6), DataProps{Size: int64(round * 100), Lifetime: 1})
+		assertSnapshotEquivalent(t, g)
+	}
+	st := g.IndexStats()
+	if st.Compactions != base {
+		t.Fatalf("vertex-edit-only rounds compacted: %+v", st)
+	}
+	if st.Fast == 0 {
+		t.Fatal("vertex-edit-only rounds never took the fast path")
+	}
+
+	// The pinned snapshot must still read the pre-edit values.
+	if got := pinned.VertexAt(pinned.Pos(TaskID("t"))).Task.Lifetime; got != pinnedLifetime {
+		t.Fatalf("pinned snapshot drifted: lifetime %g, want %g", got, pinnedLifetime)
+	}
+	if pinned.Fingerprint() != pinnedFP {
+		t.Fatal("pinned snapshot fingerprint drifted")
+	}
+	if g.Fingerprint() == pinnedFP {
+		t.Fatal("fingerprint did not track vertex edits")
+	}
+
+	// Editing a vertex added in the same delta must surface its final value
+	// without an edit record.
+	g.AddTask("late")
+	g.SetTaskProps("late", TaskProps{Lifetime: 9})
+	assertSnapshotEquivalent(t, g)
+	if got := g.Vertex(TaskID("late")).Task.Lifetime; got != 9 {
+		t.Fatalf("same-delta edit lost: lifetime %g", got)
+	}
+	if !g.SetTaskProps("late", TaskProps{Lifetime: 10}) {
+		t.Fatal("SetTaskProps returned false for existing task")
+	}
+	if g.SetTaskProps("absent", TaskProps{}) || g.SetDataProps("absent", DataProps{}) {
+		t.Fatal("SetTaskProps/SetDataProps must return false for missing vertices")
+	}
+	assertSnapshotEquivalent(t, g)
 }
 
 // TestCycleIntroducedMidStream introduces a cycle among vertices added in a
@@ -467,6 +548,19 @@ func TestStaleSnapshotsUnderConcurrentMutation(t *testing.T) {
 			p := e.Props
 			p.Volume += 5
 			g.SetEdgeProps(e.Src, e.Dst, p)
+		}
+		if rng.Intn(4) == 0 {
+			vs := g.Vertices()
+			v := vs[rng.Intn(len(vs))]
+			if v.ID.Kind == TaskVertex {
+				p := v.Task
+				p.ReadOps += 7
+				g.SetTaskProps(v.ID.Name, p)
+			} else {
+				p := v.Data
+				p.Size += 64
+				g.SetDataProps(v.ID.Name, p)
+			}
 		}
 		published.Store(g.Index())
 	}

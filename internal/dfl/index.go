@@ -87,6 +87,11 @@ type Index struct {
 	// their current copy-on-write replacement (SetEdgeProps).
 	edited map[*Edge]*Edge
 
+	// editedVerts maps vertex pointers stored in the shared verts/extraVerts
+	// arrays to their current copy-on-write replacement (SetTaskProps /
+	// SetDataProps).
+	editedVerts map[*Vertex]*Vertex
+
 	topo    []int32
 	topoIDs []ID
 	topoErr error
@@ -332,12 +337,21 @@ func (ix *Index) IDAt(i int32) ID {
 	return ix.extraIDs[i-ix.baseN]
 }
 
-// VertexAt returns the vertex at dense slot i.
+// VertexAt returns the vertex at dense slot i, with copy-on-write property
+// edits applied.
 func (ix *Index) VertexAt(i int32) *Vertex {
+	var v *Vertex
 	if i < ix.baseN {
-		return ix.verts[i]
+		v = ix.verts[i]
+	} else {
+		v = ix.extraVerts[i-ix.baseN]
 	}
-	return ix.extraVerts[i-ix.baseN]
+	if ix.editedVerts != nil {
+		if c, ok := ix.editedVerts[v]; ok {
+			return c
+		}
+	}
+	return v
 }
 
 // Topo returns the deterministic topological order as dense slots, or the
@@ -407,21 +421,36 @@ func (ix *Index) canonVerts() ([]*Vertex, int) {
 		return ix.verts, ix.nTasks
 	}
 	ix.vertsOnce.Do(func() {
+		repl := func(v *Vertex) *Vertex {
+			if c, ok := ix.editedVerts[v]; ok {
+				return c
+			}
+			return v
+		}
+		base := ix.verts
+		if len(ix.editedVerts) > 0 {
+			base = make([]*Vertex, len(ix.verts))
+			for i, v := range ix.verts {
+				base[i] = repl(v)
+			}
+		}
 		extras := make([]*Vertex, len(ix.extraVerts))
-		copy(extras, ix.extraVerts)
+		for i, v := range ix.extraVerts {
+			extras[i] = repl(v)
+		}
 		slices.SortFunc(extras, func(a, b *Vertex) int { return cmpID(a.ID, b.ID) })
 		merged := make([]*Vertex, 0, ix.n)
 		i, j := 0, 0
-		for i < len(ix.verts) && j < len(extras) {
-			if cmpID(ix.verts[i].ID, extras[j].ID) <= 0 {
-				merged = append(merged, ix.verts[i])
+		for i < len(base) && j < len(extras) {
+			if cmpID(base[i].ID, extras[j].ID) <= 0 {
+				merged = append(merged, base[i])
 				i++
 			} else {
 				merged = append(merged, extras[j])
 				j++
 			}
 		}
-		merged = append(merged, ix.verts[i:]...)
+		merged = append(merged, base[i:]...)
 		merged = append(merged, extras[j:]...)
 		ix.sortedVerts = merged
 		ix.sortedNT = ix.nTasksAll

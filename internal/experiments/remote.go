@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"datalife/internal/serve"
+)
+
+// RemoteStreamResult summarizes one remote streaming run: a client streamed a
+// deterministic chain workflow into a `datalife serve` session, with every
+// batch durably journaled before acknowledgement, then asked the live server
+// for its final analysis.
+type RemoteStreamResult struct {
+	// Session names the server-side session (reconnecting resumes it).
+	Session string
+	// Stages is the chain length; Events the resulting trace-event count.
+	Stages int
+	Events uint64
+	// Sent counts events actually transmitted this run: a resumed session
+	// skips everything the server's journal already covers.
+	Sent uint64
+	// Resumed reports whether the session attached to pre-existing state.
+	Resumed bool
+	// Durable is the server's acknowledged journal frontier after the run.
+	Durable uint64
+	// Summary and CriticalPath are the server's final fresh answers.
+	Summary, CriticalPath string
+}
+
+// RemoteStream streams the deterministic chain workflow of the given stage
+// count into session on a serve server at addr, in batches of batch events,
+// then issues final summary and critical-path queries pinned to the stream
+// length (fresh, deterministic answers). Because the event stream is a pure
+// function of stages, a killed-and-rerun invocation resumes idempotently:
+// events the journal already holds are skipped, and the final answers are
+// byte-identical to an uninterrupted run.
+func RemoteStream(addr, session string, stages, batch int) (RemoteStreamResult, error) {
+	if batch <= 0 {
+		batch = 64
+	}
+	events := serve.ChainEvents(stages)
+	c, err := serve.Dial(serve.ClientConfig{Addr: addr, Session: session})
+	if err != nil {
+		return RemoteStreamResult{}, err
+	}
+	defer c.Close()
+	r := RemoteStreamResult{
+		Session: session,
+		Stages:  stages,
+		Events:  uint64(len(events)),
+		Resumed: c.Resumed,
+	}
+	// Resume point: event sequence numbers equal indices into the
+	// deterministic stream, so the journaled frontier is also the index of
+	// the first event still to send.
+	start := c.NextSeq()
+	if start > uint64(len(events)) {
+		return RemoteStreamResult{}, fmt.Errorf(
+			"experiments: session %q has %d journaled events but this run generates %d — stage count changed mid-session?",
+			session, start, len(events))
+	}
+	for i := int(start); i < len(events); i += batch {
+		j := i + batch
+		if j > len(events) {
+			j = len(events)
+		}
+		if err := c.Send(events[i:j]); err != nil {
+			return RemoteStreamResult{}, err
+		}
+		r.Sent += uint64(j - i)
+	}
+	r.Durable = c.Durable()
+
+	sum, err := c.Query("summary", 10, uint64(len(events)))
+	if err != nil {
+		return RemoteStreamResult{}, err
+	}
+	r.Summary = sum.Body
+	cp, err := c.Query("cpa", 5, uint64(len(events)))
+	if err != nil {
+		return RemoteStreamResult{}, err
+	}
+	r.CriticalPath = cp.Body
+	return r, nil
+}
+
+// remoteStages returns the chain length streamed at the given scale.
+func remoteStages(s Scale) int {
+	if s == Small {
+		return 200
+	}
+	return 2_000
+}
+
+// RemoteStreamDemo runs the remote streaming demo at the given scale.
+func RemoteStreamDemo(addr, session string, s Scale) (RemoteStreamResult, error) {
+	return RemoteStream(addr, session, remoteStages(s), 64)
+}
+
+// RemoteStreamReport renders the remote streaming run.
+func RemoteStreamReport(r RemoteStreamResult) string {
+	var b strings.Builder
+	b.WriteString("Remote streaming DFL build: live service ingest\n")
+	fmt.Fprintf(&b, "  %-22s %s\n", "session", r.Session)
+	fmt.Fprintf(&b, "  %-22s %d stages, %d events\n", "workflow chain", r.Stages, r.Events)
+	fmt.Fprintf(&b, "  %-22s %d (resumed: %v)\n", "events sent this run", r.Sent, r.Resumed)
+	fmt.Fprintf(&b, "  %-22s %d\n", "durable frontier", r.Durable)
+	b.WriteString("  server summary:\n")
+	writeIndented(&b, r.Summary)
+	b.WriteString("  server critical path:\n")
+	writeIndented(&b, r.CriticalPath)
+	return b.String()
+}
+
+func writeIndented(b *strings.Builder, s string) {
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		fmt.Fprintf(b, "    %s\n", line)
+	}
+}

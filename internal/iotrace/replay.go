@@ -1,0 +1,113 @@
+package iotrace
+
+import (
+	"fmt"
+
+	"datalife/internal/blockstats"
+)
+
+// EventKind enumerates the trace event types a collector can replay. The set
+// mirrors what the measurement shim observes — task lifecycle, open/close,
+// and single or closed-form sequential accesses — so any trace source (the
+// serve wire protocol, future ingest parsers) reduces to the same stream.
+type EventKind uint8
+
+const (
+	// EvTaskStart marks the start of a task at time T.
+	EvTaskStart EventKind = iota
+	// EvTaskEnd marks the end of a task at time T.
+	EvTaskEnd
+	// EvOpen marks a task opening a file at time T.
+	EvOpen
+	// EvClose marks a task closing a file at time T.
+	EvClose
+	// EvRead is a single read of Len bytes at Off, at time T taking Dt.
+	EvRead
+	// EvWrite is a single write of Len bytes at Off, at time T taking Dt.
+	EvWrite
+	// EvReadChunks is a closed-form sequential read batch: Len bytes from
+	// Off in Chunk-sized pieces, repeated Rep times, starting at T with Dt
+	// per chunk (see blockstats.RecordSequentialChunks).
+	EvReadChunks
+	// EvWriteChunks is the write analogue of EvReadChunks.
+	EvWriteChunks
+
+	numEventKinds // sentinel for validation
+)
+
+var eventKindNames = [...]string{
+	EvTaskStart:   "task-start",
+	EvTaskEnd:     "task-end",
+	EvOpen:        "open",
+	EvClose:       "close",
+	EvRead:        "read",
+	EvWrite:       "write",
+	EvReadChunks:  "read-chunks",
+	EvWriteChunks: "write-chunks",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// TraceEvent is one replayable trace record. Which fields are meaningful
+// depends on Kind; unused fields are zero.
+type TraceEvent struct {
+	Kind EventKind
+	// Task names the acting task (all kinds).
+	Task string
+	// File names the accessed file (all kinds except task start/end).
+	File string
+	// FileSize is the file size hint used when the flow is first created.
+	FileSize int64
+	// Off and Len locate single accesses and chunk batches.
+	Off, Len int64
+	// Chunk and Rep shape EvReadChunks/EvWriteChunks batches.
+	Chunk int64
+	Rep   int
+	// T is the event time; Dt the per-access (or per-chunk) duration.
+	T, Dt float64
+}
+
+// ApplyEvent replays one trace event into the collector, updating task
+// lifecycle or flow histograms exactly as the live measurement shim would.
+// The flow-level calls follow the owner-mutates discipline: callers replaying
+// into a shared collector must serialize events of the same (task, file) flow.
+func (c *Collector) ApplyEvent(ev TraceEvent) error {
+	if ev.Kind >= numEventKinds {
+		return fmt.Errorf("iotrace: unknown trace event kind %d", uint8(ev.Kind))
+	}
+	if ev.Task == "" {
+		return fmt.Errorf("iotrace: %s event without a task", ev.Kind)
+	}
+	switch ev.Kind {
+	case EvTaskStart:
+		c.TaskStarted(ev.Task, ev.T)
+		return nil
+	case EvTaskEnd:
+		c.TaskEnded(ev.Task, ev.T)
+		return nil
+	}
+	if ev.File == "" {
+		return fmt.Errorf("iotrace: %s event without a file", ev.Kind)
+	}
+	fl := c.Flow(ev.Task, ev.File, ev.FileSize)
+	switch ev.Kind {
+	case EvOpen:
+		fl.RecordOpen(ev.T)
+	case EvClose:
+		fl.RecordClose(ev.T)
+	case EvRead:
+		fl.RecordAccess(blockstats.Read, ev.Off, ev.Len, ev.T, ev.Dt)
+	case EvWrite:
+		fl.RecordAccess(blockstats.Write, ev.Off, ev.Len, ev.T, ev.Dt)
+	case EvReadChunks:
+		fl.RecordSequentialChunks(blockstats.Read, ev.Off, ev.Len, ev.Chunk, ev.Rep, ev.T, ev.Dt)
+	case EvWriteChunks:
+		fl.RecordSequentialChunks(blockstats.Write, ev.Off, ev.Len, ev.Chunk, ev.Rep, ev.T, ev.Dt)
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"fmt"
+
+	"datalife/internal/iotrace"
+)
+
+// ChainEvents synthesizes the trace-event stream of a deterministic pipeline
+// workflow: n stages where stage i runs task t<i>, reads its predecessor's
+// output d<i-1> (for i > 0), and writes d<i>. Volumes cycle like the
+// experiments.Stream chain (1 + i mod 97, scaled to bytes), times are pure
+// functions of i — the same n produces byte-identical streams on every
+// machine, which the kill-and-resume gate relies on to compare an interrupted
+// run against an uninterrupted one.
+func ChainEvents(n int) []iotrace.TraceEvent {
+	evs := make([]iotrace.TraceEvent, 0, 8*n)
+	for i := 0; i < n; i++ {
+		task := fmt.Sprintf("t%d", i)
+		out := fmt.Sprintf("d%d", i)
+		t0 := float64(i)
+		vol := int64(1+i%97) * 4096
+		evs = append(evs, iotrace.TraceEvent{Kind: iotrace.EvTaskStart, Task: task, T: t0})
+		if i > 0 {
+			in := fmt.Sprintf("d%d", i-1)
+			inVol := int64(1+(i-1)%97) * 4096
+			evs = append(evs,
+				iotrace.TraceEvent{Kind: iotrace.EvOpen, Task: task, File: in, FileSize: inVol, T: t0 + 0.1},
+				iotrace.TraceEvent{Kind: iotrace.EvReadChunks, Task: task, File: in, FileSize: inVol,
+					Off: 0, Len: inVol, Chunk: 4096, Rep: 1, T: t0 + 0.2, Dt: 0.001},
+				iotrace.TraceEvent{Kind: iotrace.EvClose, Task: task, File: in, T: t0 + 0.4},
+			)
+		}
+		evs = append(evs,
+			iotrace.TraceEvent{Kind: iotrace.EvOpen, Task: task, File: out, FileSize: vol, T: t0 + 0.5},
+			iotrace.TraceEvent{Kind: iotrace.EvWriteChunks, Task: task, File: out, FileSize: vol,
+				Off: 0, Len: vol, Chunk: 4096, Rep: 1, T: t0 + 0.6, Dt: 0.001},
+			iotrace.TraceEvent{Kind: iotrace.EvClose, Task: task, File: out, T: t0 + 0.8},
+			iotrace.TraceEvent{Kind: iotrace.EvTaskEnd, Task: task, T: t0 + 1},
+		)
+	}
+	return evs
+}

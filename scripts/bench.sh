@@ -18,7 +18,9 @@
 # SimEngine stress suite) against the checked-in BENCH_*.json trajectory and
 # exits non-zero on a >20% ns/op regression. The incremental-index rows
 # (IncrementalIndex/append-query-100k and streaming-build-100000) guard the
-# O(delta) snapshot derivation the live-analysis path depends on.
+# O(delta) snapshot derivation the live-analysis path depends on. The
+# ServeIngest row guards the streaming service's durable ingest pipeline
+# (wire → journal → apply → ack, fsync excluded).
 # The baseline per row is the median over the newest three snapshots that
 # contain it, not the single newest value: both sides of the comparison are
 # single samples, and gating a fresh sample against one unusually lucky
@@ -99,7 +101,8 @@ status=0
 for name in 'AnalysisLinearity/chain-10000' 'Advisor' \
     'SimEngine/chain-100k' 'SimEngine/chain-100k-linked' \
     'SimEngine/fan-in-100k' 'SimEngine/faulty-sweep' \
-    'IncrementalIndex/append-query-100k' 'IncrementalIndex/streaming-build-100000'; do
+    'IncrementalIndex/append-query-100k' 'IncrementalIndex/streaming-build-100000' \
+    'ServeIngest'; do
     old="$(median_ns "$name")"
     new="$(ns_for "$out" "$name")"
     if [ -z "$old" ] || [ -z "$new" ]; then

@@ -1,0 +1,124 @@
+#!/bin/sh
+# serve_smoke.sh — kill-and-resume determinism check for the streaming
+# service.
+#
+# Usage: scripts/serve_smoke.sh [work-dir]
+#
+# Builds datalife and dflrun with the race detector, records the final
+# analysis answers of N concurrent client sessions streaming the
+# deterministic chain workflow into an uninterrupted server, then repeats the
+# run against a second server that is SIGKILLed mid-stream and restarted over
+# the same journal directory. Clients resume their sessions idempotently
+# (journaled sequence numbers dedup any resent batches, torn journal tails
+# are truncated to the last valid record), and the smoke asserts every
+# session's final summary + critical-path answers are byte-identical to the
+# uninterrupted run.
+#
+# SMOKE_CLIENTS overrides the concurrent session count (default 4, the
+# minimum the recovery gate requires); SMOKE_KILL_AFTER the delay in seconds
+# before the SIGKILL (default 0.5). The kill races the streams on purpose: a
+# server killed before a session's first batch, mid-batch, or after a session
+# finished must all resume to the same bytes.
+set -eu
+
+cd "$(dirname "$0")/.."
+work="${1:-serve-smoke-artifacts}"
+clients="${SMOKE_CLIENTS:-4}"
+kill_after="${SMOKE_KILL_AFTER:-0.5}"
+addr="127.0.0.1:7439"
+
+rm -rf "$work"
+mkdir -p "$work/ref-journals" "$work/journals"
+
+echo "serve-smoke: building datalife + dflrun (race detector on)"
+go build -race -o "$work/datalife" ./cmd/datalife
+go build -race -o "$work/dflrun" ./cmd/dflrun
+
+# final_answers FILE OUT — strip the per-run preamble (events sent / resumed
+# counters legitimately differ between a fresh and a resumed run) down to the
+# server's final answers, which must not.
+final_answers() {
+    sed -n '/server summary:/,$p' "$1" > "$2"
+}
+
+# run_clients DIR — stream every session to completion, one dflrun per
+# session, concurrently; retries are client-side so each invocation either
+# completes durably or exits non-zero.
+run_clients() {
+    dir="$1"
+    pids=""
+    i=1
+    while [ "$i" -le "$clients" ]; do
+        "$work/dflrun" -connect "$addr" -session "c$i" -scale paper stream \
+            > "$dir/c$i.out" 2> "$dir/c$i.err" &
+        pids="$pids $!"
+        i=$((i + 1))
+    done
+    rc=0
+    for pid in $pids; do
+        wait "$pid" || rc=1
+    done
+    return "$rc"
+}
+
+echo "serve-smoke: reference run ($clients uninterrupted sessions)"
+"$work/datalife" serve -addr "$addr" -dir "$work/ref-journals" 2> "$work/ref-server.log" &
+server=$!
+sleep 0.5
+run_clients "$work"
+kill "$server" 2>/dev/null || true
+wait "$server" 2>/dev/null || true
+i=1
+while [ "$i" -le "$clients" ]; do
+    final_answers "$work/c$i.out" "$work/ref-c$i.answers"
+    i=$((i + 1))
+done
+
+echo "serve-smoke: chaos run (SIGKILL after ${kill_after}s, restart, resume)"
+"$work/datalife" serve -addr "$addr" -dir "$work/journals" 2> "$work/chaos-server1.log" &
+server=$!
+sleep 0.5
+run_clients "$work" &
+first_wave=$!
+sleep "$kill_after"
+kill -9 "$server" 2>/dev/null || true
+wait "$server" 2>/dev/null || true
+echo "serve-smoke: server SIGKILLed; waiting for the first client wave"
+wait "$first_wave" || true
+
+echo "serve-smoke: restarting over the same journals"
+"$work/datalife" serve -addr "$addr" -dir "$work/journals" 2> "$work/chaos-server2.log" &
+server=$!
+sleep 0.5
+# Every session reruns: already-complete sessions resume and send 0 events,
+# interrupted ones resend only what the torn journal is missing.
+run_clients "$work"
+kill "$server" 2>/dev/null || true
+wait "$server" 2>/dev/null || true
+
+status=0
+i=1
+while [ "$i" -le "$clients" ]; do
+    final_answers "$work/c$i.out" "$work/chaos-c$i.answers"
+    if cmp -s "$work/ref-c$i.answers" "$work/chaos-c$i.answers"; then
+        echo "serve-smoke: ok: session c$i answers byte-identical after kill-and-resume"
+    else
+        echo "serve-smoke: FAIL: session c$i answers diverged" >&2
+        diff "$work/ref-c$i.answers" "$work/chaos-c$i.answers" | head -20 >&2 || true
+        status=1
+    fi
+    i=$((i + 1))
+done
+
+ref_sha="$(cat "$work"/ref-c*.answers | sha256sum | cut -d' ' -f1)"
+chaos_sha="$(cat "$work"/chaos-c*.answers | sha256sum | cut -d' ' -f1)"
+echo "serve-smoke: reference sha256 $ref_sha"
+echo "serve-smoke: resumed   sha256 $chaos_sha"
+[ "$ref_sha" = "$chaos_sha" ] || status=1
+
+if [ "$status" -eq 0 ]; then
+    echo "serve-smoke: PASS"
+else
+    echo "serve-smoke: FAIL" >&2
+fi
+exit "$status"
